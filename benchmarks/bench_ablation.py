@@ -1,0 +1,79 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Two implementation decisions make the exhaustive censuses affordable in pure
+Python, and these benchmarks quantify them:
+
+1. **α-interval precomputation** — the census analyses every topology once
+   and answers stability queries for any link cost by comparisons, instead of
+   re-running the BFS-based deviation analysis per (graph, α) pair.
+2. **Orientation search with interval pruning** for UCG Nash-supportability —
+   compared against checking a single explicit link cost from scratch.
+"""
+
+from repro.analysis.sweeps import log_spaced_alphas
+from repro.core import (
+    is_pairwise_stable,
+    pairwise_stability_profile,
+    ucg_nash_alpha_set,
+)
+from repro.core.unilateral import nash_supporting_ownership
+from repro.graphs import enumerate_connected_graphs
+
+
+ALPHA_GRID = log_spaced_alphas(0.4, 36.0, 12)
+
+
+def test_ablation_bcg_census_with_interval_precomputation(benchmark):
+    """Analyse every 6-vertex topology once, then sweep the α grid by comparisons."""
+    graphs = enumerate_connected_graphs(6)
+
+    def run():
+        profiles = [pairwise_stability_profile(g) for g in graphs]
+        return [
+            sum(1 for p in profiles if p.is_stable_at(alpha)) for alpha in ALPHA_GRID
+        ]
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts[0] >= 1
+
+
+def test_ablation_bcg_census_naive_recomputation(benchmark):
+    """The naive alternative: a fresh deviation analysis per (graph, α) pair."""
+    graphs = enumerate_connected_graphs(6)
+
+    def run():
+        return [
+            sum(1 for g in graphs if is_pairwise_stable(g, alpha))
+            for alpha in ALPHA_GRID
+        ]
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts[0] >= 1
+
+
+def test_ablation_ucg_alpha_set_once(benchmark):
+    """One orientation search answering every link cost for all 5-vertex graphs."""
+    graphs = enumerate_connected_graphs(5)
+
+    def run():
+        sets = [ucg_nash_alpha_set(g) for g in graphs]
+        return [
+            sum(1 for s in sets if s.contains(alpha)) for alpha in ALPHA_GRID
+        ]
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(counts) >= 1
+
+
+def test_ablation_ucg_per_alpha_witness_search(benchmark):
+    """The alternative: a fresh ownership-witness search per (graph, α) pair."""
+    graphs = enumerate_connected_graphs(5)
+
+    def run():
+        return [
+            sum(1 for g in graphs if nash_supporting_ownership(g, alpha) is not None)
+            for alpha in ALPHA_GRID
+        ]
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(counts) >= 1

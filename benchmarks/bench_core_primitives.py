@@ -1,0 +1,54 @@
+"""Micro-benchmarks for the core primitives every experiment leans on.
+
+These are the calibrated (multi-round) benchmarks: BFS distance sums,
+single-graph stability profiles, UCG Nash α-sets, social costs and the
+price-of-anarchy computation.
+"""
+
+import random
+
+from repro.core import (
+    pairwise_stability_profile,
+    price_of_anarchy,
+    social_cost_bcg,
+    ucg_nash_alpha_set,
+)
+from repro.graphs import (
+    cycle_graph,
+    distance_sum,
+    petersen_graph,
+    random_connected_graph,
+    total_distance,
+)
+
+
+def test_primitive_distance_sum_petersen(benchmark):
+    graph = petersen_graph()
+    assert benchmark(distance_sum, graph, 0) == 15
+
+
+def test_primitive_total_distance_random_graph(benchmark):
+    graph = random_connected_graph(12, 0.25, random.Random(2))
+    value = benchmark(total_distance, graph)
+    assert value > 0
+
+
+def test_primitive_stability_profile_cycle12(benchmark):
+    graph = cycle_graph(12)
+    profile = benchmark(pairwise_stability_profile, graph)
+    assert profile.alpha_min < profile.alpha_max
+
+
+def test_primitive_ucg_alpha_set_cycle5(benchmark):
+    alpha_set = benchmark(ucg_nash_alpha_set, cycle_graph(5))
+    assert not alpha_set.is_empty()
+
+
+def test_primitive_social_cost_and_poa(benchmark):
+    graph = cycle_graph(10)
+
+    def compute():
+        return social_cost_bcg(graph, 3.0), price_of_anarchy(graph, 3.0, "bcg")
+
+    cost, poa = benchmark(compute)
+    assert cost > 0 and poa >= 1.0

@@ -1,0 +1,49 @@
+"""Benchmarks for the decentralised dynamics (the sampled ten-agent study).
+
+These measure the machinery used for the paper-sized (n = 10) sampled variant
+of Figures 2 and 3: pairwise add/sever dynamics for the BCG and exact
+best-response dynamics for the UCG.
+"""
+
+import random
+
+from repro.core import (
+    best_response_dynamics_ucg,
+    is_pairwise_stable,
+    pairwise_dynamics_bcg,
+)
+from repro.core.unilateral import best_response_ucg
+from repro.graphs import random_connected_graph, star_graph
+
+
+def test_bcg_pairwise_dynamics_ten_agents(benchmark):
+    def run():
+        rng = random.Random(3)
+        start = random_connected_graph(10, 0.3, rng)
+        return pairwise_dynamics_bcg(10, alpha=3.0, initial=start, rng=rng)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged
+    assert is_pairwise_stable(result.graph, 3.0)
+
+
+def test_ucg_best_response_dynamics_ten_agents(benchmark):
+    def run():
+        return best_response_dynamics_ucg(10, alpha=4.0, rng=random.Random(9))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged
+
+
+def test_ucg_single_best_response_ten_agents(benchmark):
+    """One exact best-response computation (2^9 candidate purchase sets)."""
+    others = star_graph(10, center=1).remove_edge(1, 0)
+    cost, targets = benchmark(best_response_ucg, others, 0, 2.0)
+    assert targets == frozenset({1})
+    assert cost < float("inf")
+
+
+def test_bcg_stability_check_ten_agents(benchmark):
+    """One exact pairwise-stability check on a 10-vertex network."""
+    graph = random_connected_graph(10, 0.3, random.Random(21))
+    benchmark(is_pairwise_stable, graph, 3.0)

@@ -1,0 +1,59 @@
+"""Benchmarks for the enumeration substrate behind the empirical study.
+
+The paper's Section 5 machinery: enumerating connected topologies up to
+isomorphism and canonical labelling.  These are the scaling bottlenecks of the
+exhaustive censuses, so they get their own benchmarks (and the counts are
+asserted against the OEIS).
+"""
+
+from repro.graphs import (
+    canonical_form,
+    enumerate_connected_graphs,
+    enumerate_graphs,
+    enumerate_trees,
+    petersen_graph,
+    random_graph,
+)
+from repro.graphs.enumeration import clear_cache
+
+
+def test_enumerate_connected_graphs_n6(benchmark):
+    def build():
+        clear_cache()
+        return enumerate_connected_graphs(6)
+
+    graphs = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(graphs) == 112
+
+
+def test_enumerate_graphs_n7(benchmark):
+    def build():
+        clear_cache()
+        return enumerate_graphs(7)
+
+    graphs = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(graphs) == 1044
+
+
+def test_enumerate_trees_n9(benchmark):
+    def build():
+        return enumerate_trees(9)
+
+    trees = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(trees) == 47
+
+
+def test_canonical_form_petersen(benchmark):
+    """Canonical labelling of a highly symmetric 10-vertex graph."""
+    graph = petersen_graph()
+    form = benchmark(canonical_form, graph)
+    assert form[0] == 10
+
+
+def test_canonical_form_random_graph(benchmark):
+    """Canonical labelling of a typical (asymmetric) 8-vertex graph."""
+    import random
+
+    graph = random_graph(8, 0.4, random.Random(5))
+    form = benchmark(canonical_form, graph)
+    assert form[0] == 8

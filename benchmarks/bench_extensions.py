@@ -1,0 +1,78 @@
+"""Benchmarks for the extension experiments (Proposition 2, transfers, PoS).
+
+These cover the material the paper states without evaluating (Proposition 2)
+or raises as future work in Section 6 (transfers), plus the price of
+stability of both games.
+"""
+
+from repro.core import (
+    is_certified_proper_equilibrium,
+    is_pairwise_stable_with_transfers,
+    transfer_stability_profile,
+)
+from repro.experiments import extensions
+from repro.graphs import petersen_graph
+
+
+def test_prop2_experiment(benchmark, census5):
+    result = benchmark.pedantic(
+        extensions.run_proposition2, kwargs={"census_n": 5}, rounds=1, iterations=1
+    )
+    assert result.all_passed
+
+
+def test_transfers_experiment(benchmark, census6):
+    result = benchmark.pedantic(
+        extensions.run_transfers, kwargs={"n": 6}, rounds=1, iterations=1
+    )
+    assert result.all_passed
+
+
+def test_price_of_stability_experiment(benchmark, census6):
+    result = benchmark.pedantic(
+        extensions.run_price_of_stability, kwargs={"n": 6}, rounds=1, iterations=1
+    )
+    assert result.all_passed
+
+
+def test_transfer_profile_petersen(benchmark):
+    """Joint-deviation analysis of the Petersen graph (the extension's primitive)."""
+    graph = petersen_graph()
+    profile = benchmark(transfer_stability_profile, graph)
+    assert profile.alpha_min < profile.alpha_max
+
+
+def test_proper_certificate_petersen(benchmark):
+    """Lemma 3 certificate of the Petersen graph at α = 3."""
+    graph = petersen_graph()
+    assert benchmark(is_certified_proper_equilibrium, graph, 3.0)
+
+
+def test_transfer_stability_check_petersen(benchmark):
+    graph = petersen_graph()
+    assert benchmark(is_pairwise_stable_with_transfers, graph, 3.0)
+
+
+def test_stochastic_stability_analysis_n5(benchmark):
+    """Full perturbed-dynamics analysis over all 1024 labelled 5-vertex networks."""
+    from repro.analysis import stochastic_stability_analysis
+    from repro.graphs import is_empty
+
+    analysis = benchmark.pedantic(
+        stochastic_stability_analysis,
+        kwargs={"n": 5, "alpha": 2.0, "epsilon": 0.02},
+        rounds=1,
+        iterations=1,
+    )
+    assert analysis.mass_on_sinks > 0.5
+    assert is_empty(analysis.modal_graph)
+
+
+def test_improvement_graph_build_n5(benchmark):
+    """Improvement-graph construction (the α-dependent part of the extension)."""
+    from repro.analysis import build_improvement_graph
+
+    improvement = benchmark.pedantic(
+        build_improvement_graph, args=(5, 2.0), rounds=1, iterations=1
+    )
+    assert improvement.num_states == 1024

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 1 (pairwise-stable named graphs).
+
+Measures the stability analysis of the Figure 1 graphs (Petersen, McGee,
+octahedral, Clebsch, star; the 50-vertex Hoffman–Singleton graph has its own
+benchmark) and asserts that every graph is pairwise stable in its computed
+link-cost window, as the paper claims.
+"""
+
+from repro.core import is_pairwise_stable, pairwise_stability_interval
+from repro.experiments import figure1
+from repro.graphs import hoffman_singleton_graph, petersen_graph
+
+
+def test_figure1_experiment(benchmark):
+    """Full Figure 1 reproduction (without the Hoffman–Singleton graph)."""
+    result = benchmark.pedantic(
+        figure1.run, kwargs={"include_hoffman_singleton": False}, rounds=1, iterations=1
+    )
+    assert result.all_passed
+
+
+def test_figure1_petersen_stability_window(benchmark):
+    """Stability window of the Petersen graph (the paper's flagship example)."""
+    graph = petersen_graph()
+    lo, hi = benchmark(pairwise_stability_interval, graph)
+    assert (lo, hi) == (1.0, 5.0)
+
+
+def test_figure1_hoffman_singleton_stability(benchmark):
+    """Pairwise stability of the 50-vertex Hoffman–Singleton graph."""
+    graph = hoffman_singleton_graph()
+
+    def check():
+        lo, hi = pairwise_stability_interval(graph)
+        midpoint = (lo + hi) / 2.0
+        return lo, hi, is_pairwise_stable(graph, midpoint)
+
+    lo, hi, stable = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert lo < hi
+    assert stable

@@ -1,0 +1,49 @@
+"""Benchmarks: Lemmas 4, 5 (efficiency/stability thresholds) and 6 (cycles).
+
+Each benchmark regenerates the corresponding lemma's computational check:
+exhaustive verification of the efficient/stable sets below and above the
+``α = 1`` threshold, and the cycle stability window with its O(1) price of
+anarchy.
+"""
+
+from repro.core import is_pairwise_stable, pairwise_stability_interval, price_of_anarchy
+from repro.core.theory import cycle_stability_window
+from repro.experiments import lemmas
+from repro.graphs import cycle_graph
+
+
+def test_lemma4_exhaustive_check(benchmark, census6):
+    result = benchmark.pedantic(lemmas.run_lemma4, kwargs={"n": 6}, rounds=1, iterations=1)
+    assert result.all_passed
+
+
+def test_lemma5_exhaustive_check(benchmark, census6):
+    result = benchmark.pedantic(lemmas.run_lemma5, kwargs={"n": 6}, rounds=1, iterations=1)
+    assert result.all_passed
+
+
+def test_lemma6_cycle_experiment(benchmark):
+    result = benchmark.pedantic(
+        lemmas.run_lemma6, kwargs={"sizes": (5, 6, 8, 10, 12, 16, 20, 24)}, rounds=1, iterations=1
+    )
+    assert result.all_passed
+
+
+def test_lemma6_single_cycle_analysis(benchmark):
+    """Per-cycle cost of the exact stability window + PoA computation (C_16)."""
+
+    def analyse():
+        cycle = cycle_graph(16)
+        lo, hi = pairwise_stability_interval(cycle)
+        alpha = (lo + hi) / 2.0
+        return is_pairwise_stable(cycle, alpha), price_of_anarchy(cycle, alpha, "bcg")
+
+    stable, poa = benchmark(analyse)
+    assert stable
+    assert poa < 2.0
+
+
+def test_lemma6_closed_form_window(benchmark):
+    """The closed-form window itself (sanity baseline; effectively free)."""
+    lo, hi = benchmark(cycle_stability_window, 24)
+    assert 0 < lo < hi

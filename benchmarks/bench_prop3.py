@@ -1,0 +1,34 @@
+"""Benchmark: Proposition 3 (lower bound Ω(log₂ α) via Moore-bound graphs).
+
+Regenerates the cage-graph table (Petersen, Heawood, McGee, Tutte–Coxeter,
+Hoffman–Singleton): link convexity, stability windows, PoA versus log₂ α.
+"""
+
+from repro.core import pairwise_stability_interval, price_of_anarchy
+from repro.core.convexity import is_link_convex
+from repro.experiments import propositions
+from repro.graphs import mcgee_graph, tutte_coxeter_graph
+
+
+def test_prop3_full_experiment(benchmark):
+    result = benchmark.pedantic(propositions.run_proposition3, rounds=1, iterations=1)
+    assert result.all_passed
+
+
+def test_prop3_mcgee_link_convexity(benchmark):
+    """Link-convexity check of the (3,7)-cage (all single-link deviations)."""
+    graph = mcgee_graph()
+    assert benchmark(is_link_convex, graph)
+
+
+def test_prop3_tutte_coxeter_poa(benchmark):
+    """Stability window + PoA of the largest cubic cage in the family."""
+    graph = tutte_coxeter_graph()
+
+    def analyse():
+        lo, hi = pairwise_stability_interval(graph)
+        alpha = (lo + hi) / 2.0
+        return price_of_anarchy(graph, alpha, "bcg")
+
+    poa = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    assert poa > 1.0

@@ -1,0 +1,57 @@
+"""Quickstart: the bilateral connection game in a dozen lines.
+
+Builds the star and the cycle on eight players, checks which are pairwise
+stable at a few link costs, and prints their price of anarchy — the basic
+workflow of the library.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BilateralConnectionGame,
+    UnilateralConnectionGame,
+    cycle_graph,
+    star_graph,
+)
+from repro.core import pairwise_stability_interval
+
+
+def main() -> None:
+    n = 8
+    star = star_graph(n)
+    cycle = cycle_graph(n)
+
+    print(f"Connection games on n = {n} players")
+    print("=" * 40)
+    for alpha in (0.5, 2.0, 6.0, 20.0):
+        bcg = BilateralConnectionGame(n=n, alpha=alpha)
+        ucg = UnilateralConnectionGame(n=n, alpha=alpha)
+        print(f"\nlink cost α = {alpha}")
+        for name, graph in (("star", star), ("cycle", cycle)):
+            stable = bcg.is_pairwise_stable(graph)
+            nash = ucg.is_nash_network(graph)
+            rho = bcg.price_of_anarchy(graph)
+            print(
+                f"  {name:>5}: pairwise stable (BCG) = {str(stable):5}  "
+                f"Nash network (UCG) = {str(nash):5}  ρ_BCG = {rho:.3f}"
+            )
+
+    print("\nStability windows (link costs at which each graph is stable):")
+    for name, graph in (("star", star), ("cycle", cycle)):
+        lo, hi = pairwise_stability_interval(graph)
+        print(f"  {name:>5}: α ∈ ({lo:g}, {hi:g}]")
+
+    print("\nThe efficient network switches from the complete graph to the star at α = 1:")
+    for alpha in (0.5, 1.5):
+        bcg = BilateralConnectionGame(n=n, alpha=alpha)
+        optimum = bcg.efficient_graph()
+        print(
+            f"  α = {alpha}: efficient graph has {optimum.num_edges} edges "
+            f"(social cost {bcg.efficient_social_cost():.0f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

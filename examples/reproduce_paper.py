@@ -1,0 +1,48 @@
+"""Run every experiment of the reproduction and print a pass/fail report.
+
+This is the one-command reproduction of all figures, lemmas and propositions
+of Corbo & Parkes (PODC 2005), equivalent to ``python -m repro.cli --all``
+but with a compact summary at the end.
+
+Run with::
+
+    python examples/reproduce_paper.py [--full]
+
+``--full`` also prints every table (several screens of output).
+"""
+
+import sys
+import time
+
+from repro.experiments import available_experiments, run_experiment
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    summaries = []
+    for experiment_id in available_experiments():
+        start = time.time()
+        result = run_experiment(experiment_id)
+        elapsed = time.time() - start
+        summaries.append((result, elapsed))
+        if full:
+            print(result.render())
+            print()
+        else:
+            print(f"{result.summary()}  [{elapsed:.1f}s]")
+            for claim in result.claims:
+                if not claim.passed:
+                    print(f"    {claim.render()}")
+
+    print()
+    print("Reproduction summary")
+    print("--------------------")
+    total_claims = sum(len(r.claims) for r, _ in summaries)
+    passed_claims = sum(sum(1 for c in r.claims if c.passed) for r, _ in summaries)
+    total_time = sum(elapsed for _, elapsed in summaries)
+    print(f"{passed_claims}/{total_claims} paper claims reproduced "
+          f"across {len(summaries)} experiments in {total_time:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

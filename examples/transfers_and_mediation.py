@@ -1,0 +1,83 @@
+"""Can side payments fix the inefficiency of consent-based network formation?
+
+Section 6 of the paper asks whether bilateral transfers between players can
+mediate the price of anarchy of the bilateral connection game.  This example
+answers the question computationally on an exhaustive census: it compares the
+set of pairwise-stable networks with and without transfers, their average and
+worst-case price of anarchy, and the proper-equilibrium certificates of the
+efficient network.
+
+The punchline (visible in the table): purely *local* transfers barely change
+anything — the inefficiency of the stable networks comes from externalities
+on third parties, which two endpoints bargaining over a single link cannot
+internalise.
+
+Run with::
+
+    python examples/transfers_and_mediation.py [n]
+"""
+
+import sys
+
+from repro.analysis import cached_census, format_table
+from repro.core import (
+    average_price_of_anarchy,
+    efficient_graph,
+    is_certified_proper_equilibrium,
+    is_pairwise_stable_with_transfers,
+    transfer_stable_graphs,
+    worst_case_price_of_anarchy,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    census = cached_census(n, include_ucg=False)
+    graphs = [record.graph for record in census.records]
+
+    rows = []
+    for alpha in (1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0):
+        plain = census.stable_graphs_bcg(alpha)
+        with_transfers = transfer_stable_graphs(graphs, alpha)
+        optimum = efficient_graph(n, alpha, "bcg")
+        rows.append(
+            [
+                alpha,
+                len(plain),
+                len(with_transfers),
+                f"{average_price_of_anarchy(plain, alpha, 'bcg'):.4f}",
+                f"{average_price_of_anarchy(with_transfers, alpha, 'bcg'):.4f}",
+                f"{worst_case_price_of_anarchy(plain, alpha, 'bcg'):.4f}",
+                f"{worst_case_price_of_anarchy(with_transfers, alpha, 'bcg'):.4f}",
+                "yes" if is_pairwise_stable_with_transfers(optimum, alpha) else "no",
+                "yes" if is_certified_proper_equilibrium(optimum, alpha) else "no",
+            ]
+        )
+
+    print(f"Pairwise stability with and without transfers (all connected topologies, n = {n})")
+    print(
+        format_table(
+            [
+                "alpha",
+                "#stable",
+                "#stable+transfers",
+                "avg PoA",
+                "avg PoA+transfers",
+                "worst PoA",
+                "worst PoA+transfers",
+                "optimum transfer-stable",
+                "optimum proper-certified",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nTransfers keep the efficient network stable and never worsen the worst\n"
+        "case, but they barely move the averages: local side payments cannot\n"
+        "internalise the benefit a new link brings to *other* players, which is\n"
+        "the root cause of the price of anarchy in the consent-based game."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so that legacy editable installs work without the wheel package.
+
+The environment used for the reproduction has no network access and no
+``wheel`` distribution, so ``pip install -e .`` falls back to the legacy
+``setup.py develop`` code path, which requires this file.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

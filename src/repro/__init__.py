@@ -1,0 +1,120 @@
+"""repro — a reproduction of Corbo & Parkes (PODC 2005).
+
+*The Price of Selfish Behavior in Bilateral Network Formation* studies a
+network formation game in which links need the consent of both endpoints
+(the bilateral connection game, BCG) and compares its pairwise-stable
+networks and price of anarchy with the unilateral connection game (UCG) of
+Fabrikant et al.  This package implements both games, their solution
+concepts, the graph-theoretic substrate (including exhaustive enumeration of
+small graphs up to isomorphism) and the paper's experiments.
+
+Quickstart
+----------
+>>> from repro import BilateralConnectionGame, star_graph
+>>> game = BilateralConnectionGame(n=8, alpha=3.0)
+>>> star = star_graph(8)
+>>> game.is_pairwise_stable(star)
+True
+>>> round(game.price_of_anarchy(star), 3)
+1.0
+"""
+
+from .core import (
+    AlphaInterval,
+    AlphaIntervalSet,
+    BilateralConnectionGame,
+    ConnectionGame,
+    DynamicsResult,
+    PairwiseStabilityProfile,
+    PoAComparison,
+    StrategyProfile,
+    UnilateralConnectionGame,
+    average_price_of_anarchy,
+    best_response_dynamics_ucg,
+    best_response_ucg,
+    compare_price_of_anarchy,
+    efficient_graph,
+    efficient_social_cost,
+    is_cost_convex,
+    is_link_convex,
+    is_nash_graph_ucg,
+    is_nash_profile_bcg,
+    is_nash_profile_ucg,
+    is_pairwise_nash,
+    is_pairwise_stable,
+    pairwise_dynamics_bcg,
+    pairwise_stability_interval,
+    pairwise_stability_profile,
+    price_of_anarchy,
+    profile_from_graph_bcg,
+    social_cost_bcg,
+    social_cost_ucg,
+    theory,
+    ucg_nash_alpha_set,
+    worst_case_price_of_anarchy,
+)
+from .graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    enumerate_connected_graphs,
+    enumerate_graphs,
+    enumerate_trees,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "Graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "petersen_graph",
+    "enumerate_graphs",
+    "enumerate_connected_graphs",
+    "enumerate_trees",
+    # games
+    "ConnectionGame",
+    "BilateralConnectionGame",
+    "UnilateralConnectionGame",
+    "StrategyProfile",
+    "profile_from_graph_bcg",
+    # solution concepts
+    "is_pairwise_stable",
+    "is_pairwise_nash",
+    "is_nash_profile_bcg",
+    "is_nash_profile_ucg",
+    "is_nash_graph_ucg",
+    "best_response_ucg",
+    "ucg_nash_alpha_set",
+    "pairwise_stability_profile",
+    "pairwise_stability_interval",
+    "AlphaInterval",
+    "AlphaIntervalSet",
+    "PairwiseStabilityProfile",
+    # costs / efficiency / PoA
+    "social_cost_bcg",
+    "social_cost_ucg",
+    "efficient_graph",
+    "efficient_social_cost",
+    "price_of_anarchy",
+    "worst_case_price_of_anarchy",
+    "average_price_of_anarchy",
+    "compare_price_of_anarchy",
+    "PoAComparison",
+    # structure
+    "is_cost_convex",
+    "is_link_convex",
+    # dynamics
+    "DynamicsResult",
+    "best_response_dynamics_ucg",
+    "pairwise_dynamics_bcg",
+    # theory oracle
+    "theory",
+]

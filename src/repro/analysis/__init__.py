@@ -1,0 +1,75 @@
+"""Census, sweep, sampling and reporting utilities for the empirical study."""
+
+from .census import (
+    EquilibriumCensus,
+    GraphRecord,
+    cached_census,
+    clear_census_cache,
+)
+from .improvement import (
+    ImprovementGraph,
+    StochasticStabilityResult,
+    build_improvement_graph,
+    graph_to_mask,
+    mask_to_graph,
+    myopic_move,
+    perturbed_transition_matrix,
+    stationary_distribution,
+    stochastic_stability_analysis,
+)
+from .figure_series import (
+    FigureData,
+    FigureSeries,
+    SeriesPoint,
+    census_figure_series,
+    sampled_figure_series,
+)
+from .report import format_ascii_series, format_figure, format_table
+from .sampling import (
+    SampledEquilibria,
+    deduplicate_up_to_isomorphism,
+    sample_equilibria_at_cost,
+    sample_equilibria_over_grid,
+)
+from .sweeps import (
+    aligned_cost_grid,
+    aligned_link_costs,
+    default_alpha_grid,
+    linear_alphas,
+    log_spaced_alphas,
+    per_edge_cost_axis,
+)
+
+__all__ = [
+    "ImprovementGraph",
+    "StochasticStabilityResult",
+    "build_improvement_graph",
+    "graph_to_mask",
+    "mask_to_graph",
+    "myopic_move",
+    "perturbed_transition_matrix",
+    "stationary_distribution",
+    "stochastic_stability_analysis",
+    "EquilibriumCensus",
+    "GraphRecord",
+    "cached_census",
+    "clear_census_cache",
+    "FigureData",
+    "FigureSeries",
+    "SeriesPoint",
+    "census_figure_series",
+    "sampled_figure_series",
+    "format_table",
+    "format_figure",
+    "format_ascii_series",
+    "SampledEquilibria",
+    "deduplicate_up_to_isomorphism",
+    "sample_equilibria_at_cost",
+    "sample_equilibria_over_grid",
+    "log_spaced_alphas",
+    "linear_alphas",
+    "default_alpha_grid",
+    "per_edge_cost_axis",
+    "aligned_link_costs",
+    "aligned_cost_grid",
+]

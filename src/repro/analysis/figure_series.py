@@ -1,0 +1,211 @@
+"""Data series behind Figures 2 and 3 of the paper.
+
+Figure 2 plots the *average price of anarchy* of equilibrium networks and
+Figure 3 the *average number of links*, for the UCG and the BCG, against the
+link cost (on the aligned log axis described in :mod:`repro.analysis.sweeps`).
+This module turns an :class:`~repro.analysis.census.EquilibriumCensus` (or a
+sampled collection of equilibria) into those series, as plain dataclasses that
+the experiments and benchmarks render as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.anarchy import average_price_of_anarchy, worst_case_price_of_anarchy
+from ..graphs import Graph
+from .census import EquilibriumCensus
+from .sweeps import aligned_link_costs, default_alpha_grid, per_edge_cost_axis
+
+
+@dataclass
+class SeriesPoint:
+    """One point of a figure series."""
+
+    alpha: float
+    axis: float
+    value: float
+    num_equilibria: int
+
+    def as_row(self) -> List[float]:
+        """The point as a list (alpha, axis, value, count) for table rendering."""
+        return [self.alpha, self.axis, self.value, float(self.num_equilibria)]
+
+
+@dataclass
+class FigureSeries:
+    """A named series of (link cost, value) points for one game."""
+
+    game: str
+    quantity: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def values(self) -> List[float]:
+        """The y-values of the series."""
+        return [p.value for p in self.points]
+
+    def alphas(self) -> List[float]:
+        """The link costs of the series."""
+        return [p.alpha for p in self.points]
+
+
+@dataclass
+class FigureData:
+    """The full content of one of the paper's empirical figures."""
+
+    n: int
+    quantity: str
+    ucg: FigureSeries
+    bcg: FigureSeries
+    description: str = ""
+
+    def crossover_cost(self) -> Optional[float]:
+        """Smallest total per-edge cost at which the UCG series beats the BCG series.
+
+        For Figure 2 the paper reports that the BCG has the better (lower)
+        average PoA when links are cheap and the worse one when links are
+        expensive; the crossover summarises that shape in a single number.
+        Returns ``None`` when the series never cross.
+        """
+        for ucg_point, bcg_point in zip(self.ucg.points, self.bcg.points):
+            if _is_number(ucg_point.value) and _is_number(bcg_point.value):
+                if bcg_point.value > ucg_point.value + 1e-12:
+                    return ucg_point.alpha
+        return None
+
+
+def _is_number(x: float) -> bool:
+    return x == x and x not in (float("inf"), float("-inf"))
+
+
+# --------------------------------------------------------------------------- #
+# Census-based (exhaustive) series
+# --------------------------------------------------------------------------- #
+
+
+def _census_value(
+    census: EquilibriumCensus, alpha: float, game: str, quantity: str
+) -> float:
+    if quantity == "average_poa":
+        return census.average_price_of_anarchy(alpha, game)
+    if quantity == "worst_poa":
+        return census.worst_price_of_anarchy(alpha, game)
+    if quantity == "average_links":
+        return census.average_num_links(alpha, game)
+    raise ValueError(f"unknown quantity {quantity!r}")
+
+
+def census_figure_series(
+    census: EquilibriumCensus,
+    quantity: str,
+    total_edge_costs: Optional[Sequence[float]] = None,
+    align_per_edge_cost: bool = True,
+) -> FigureData:
+    """Compute a Figure 2/3-style dataset from an exhaustive census.
+
+    Parameters
+    ----------
+    census:
+        The per-topology equilibrium summaries.
+    quantity:
+        ``"average_poa"`` (Figure 2), ``"average_links"`` (Figure 3) or
+        ``"worst_poa"`` (the worst-case PoA used by Proposition 4 checks).
+    total_edge_costs:
+        Grid of total per-edge costs; defaults to a log grid suited to the
+        census size.
+    align_per_edge_cost:
+        When true (the paper's convention) the UCG is evaluated at
+        ``α = cost`` and the BCG at ``α = cost / 2`` so that one x-value
+        corresponds to the same total price of an edge in both games.  When
+        false both games are evaluated at ``α = cost``.
+    """
+    if total_edge_costs is None:
+        total_edge_costs = default_alpha_grid(census.n)
+    ucg_series = FigureSeries(game="ucg", quantity=quantity)
+    bcg_series = FigureSeries(game="bcg", quantity=quantity)
+    for cost in total_edge_costs:
+        if align_per_edge_cost:
+            alpha_ucg, alpha_bcg = aligned_link_costs(cost)
+        else:
+            alpha_ucg = alpha_bcg = cost
+        ucg_series.points.append(
+            SeriesPoint(
+                alpha=alpha_ucg,
+                axis=per_edge_cost_axis(alpha_ucg, "ucg"),
+                value=_census_value(census, alpha_ucg, "ucg", quantity),
+                num_equilibria=census.equilibrium_count(alpha_ucg, "ucg"),
+            )
+        )
+        bcg_series.points.append(
+            SeriesPoint(
+                alpha=alpha_bcg,
+                axis=per_edge_cost_axis(alpha_bcg, "bcg"),
+                value=_census_value(census, alpha_bcg, "bcg", quantity),
+                num_equilibria=census.equilibrium_count(alpha_bcg, "bcg"),
+            )
+        )
+    return FigureData(
+        n=census.n,
+        quantity=quantity,
+        ucg=ucg_series,
+        bcg=bcg_series,
+        description=(
+            f"exhaustive census of all connected topologies on {census.n} vertices"
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sample-based series (for player counts beyond exhaustive reach)
+# --------------------------------------------------------------------------- #
+
+
+def sampled_figure_series(
+    n: int,
+    quantity: str,
+    equilibria_by_cost: Dict[float, Dict[str, List[Graph]]],
+) -> FigureData:
+    """Build a Figure 2/3-style dataset from pre-sampled equilibrium networks.
+
+    ``equilibria_by_cost[cost][game]`` must hold the sampled equilibrium
+    graphs of ``game`` at total per-edge cost ``cost`` (the per-game α split
+    is applied here, mirroring :func:`census_figure_series`).
+    """
+    ucg_series = FigureSeries(game="ucg", quantity=quantity)
+    bcg_series = FigureSeries(game="bcg", quantity=quantity)
+    for cost in sorted(equilibria_by_cost):
+        alpha_ucg, alpha_bcg = aligned_link_costs(cost)
+        by_game = equilibria_by_cost[cost]
+        for game, alpha, series in (
+            ("ucg", alpha_ucg, ucg_series),
+            ("bcg", alpha_bcg, bcg_series),
+        ):
+            graphs = by_game.get(game, [])
+            if quantity == "average_poa":
+                value = average_price_of_anarchy(graphs, alpha, game)
+            elif quantity == "worst_poa":
+                value = worst_case_price_of_anarchy(graphs, alpha, game)
+            elif quantity == "average_links":
+                value = (
+                    sum(g.num_edges for g in graphs) / len(graphs)
+                    if graphs
+                    else float("nan")
+                )
+            else:
+                raise ValueError(f"unknown quantity {quantity!r}")
+            series.points.append(
+                SeriesPoint(
+                    alpha=alpha,
+                    axis=per_edge_cost_axis(alpha, game),
+                    value=value,
+                    num_equilibria=len(graphs),
+                )
+            )
+    return FigureData(
+        n=n,
+        quantity=quantity,
+        ucg=ucg_series,
+        bcg=bcg_series,
+        description=f"dynamics-sampled equilibria on {n} vertices",
+    )

@@ -1,0 +1,235 @@
+"""Improvement dynamics over the full space of labelled networks.
+
+Section 6 of the paper points to *dynamic, on-going network formation* as the
+natural next step, and footnote 22 cites the stochastic-stability literature
+(Tercieux & Vannetelbosch).  This module provides that machinery for small
+player counts:
+
+* the **improvement graph**: one node per labelled network on ``n`` players,
+  with a directed edge for every myopic single-link move allowed by the BCG
+  rules (add a missing link when it weakly benefits both endpoints and
+  strictly benefits at least one; sever an existing link when either endpoint
+  strictly benefits);
+* its **sinks**, which coincide with the pairwise-stable networks of
+  Definition 3 (verified by the ``ext_dynamics`` experiment and the tests);
+* a **perturbed best-response Markov chain** — each step a uniformly random
+  pair is selected and plays the myopic rule with probability ``1 - ε`` and
+  mutates (toggles the link) with probability ``ε`` — whose stationary
+  distribution identifies the *stochastically stable* networks: those that
+  retain probability mass as ``ε → 0``.
+
+The state space has ``2^(n(n-1)/2)`` labelled networks, so this is meant for
+``n ≤ 5`` (1024 states) or ``n = 6`` (32768 states, slower); that is enough to
+see which of the many pairwise-stable topologies the noisy decentralised
+process actually selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.stability_intervals import distance_delta
+from ..graphs import Graph, bfs_distances, canonical_form
+
+Edge = Tuple[int, int]
+
+
+def _pairs(n: int) -> List[Edge]:
+    return [(u, v) for u in range(n) for v in range(u + 1, n)]
+
+
+def graph_to_mask(graph: Graph, pairs: Sequence[Edge] = None) -> int:
+    """Encode a labelled graph as a bitmask over the vertex pairs."""
+    pairs = pairs if pairs is not None else _pairs(graph.n)
+    mask = 0
+    for index, (u, v) in enumerate(pairs):
+        if graph.has_edge(u, v):
+            mask |= 1 << index
+    return mask
+
+
+def mask_to_graph(n: int, mask: int, pairs: Sequence[Edge] = None) -> Graph:
+    """Decode a pair bitmask back into a labelled graph on ``n`` vertices."""
+    pairs = pairs if pairs is not None else _pairs(n)
+    edges = [pairs[index] for index in range(len(pairs)) if mask >> index & 1]
+    return Graph(n, edges)
+
+
+def _pair_deltas(graph: Graph, u: int, v: int) -> Tuple[float, float]:
+    """Per-endpoint cost deltas (excluding ``α``) of toggling the pair ``(u, v)``.
+
+    Returns the *distance* change of ``u`` and ``v`` when the link is toggled;
+    the caller combines them with the ``±α`` link-cost terms.
+    """
+    toggled = graph.toggle_edge(u, v)
+    delta_u = distance_delta(
+        sum(bfs_distances(toggled, u)), sum(bfs_distances(graph, u))
+    )
+    delta_v = distance_delta(
+        sum(bfs_distances(toggled, v)), sum(bfs_distances(graph, v))
+    )
+    return delta_u, delta_v
+
+
+def myopic_move(graph: Graph, u: int, v: int, alpha: float) -> Graph:
+    """Apply the BCG myopic rule to pair ``(u, v)`` and return the next network.
+
+    * If the link exists, it is severed when either endpoint strictly gains.
+    * If the link is missing, it is added when one endpoint strictly gains and
+      the other at least weakly gains.
+    * Otherwise the network is unchanged.
+    """
+    delta_u, delta_v = _pair_deltas(graph, u, v)
+    if graph.has_edge(u, v):
+        gain_u = alpha - delta_u  # severing saves α and costs the distance increase
+        gain_v = alpha - delta_v
+        if gain_u > 1e-12 or gain_v > 1e-12:
+            return graph.remove_edge(u, v)
+        return graph
+    gain_u = -delta_u - alpha  # adding saves distance (delta is negative) and costs α
+    gain_v = -delta_v - alpha
+    if (gain_u > 1e-12 and gain_v >= -1e-12) or (gain_v > 1e-12 and gain_u >= -1e-12):
+        return graph.add_edge(u, v)
+    return graph
+
+
+@dataclass
+class ImprovementGraph:
+    """The myopic single-link improvement dynamics over all labelled networks."""
+
+    n: int
+    alpha: float
+    pairs: List[Edge]
+    successors: Dict[int, List[int]]
+
+    @property
+    def num_states(self) -> int:
+        """Number of labelled networks (``2^(n(n-1)/2)``)."""
+        return 1 << len(self.pairs)
+
+    def sinks(self) -> List[int]:
+        """States with no outgoing improving move (the dynamics' fixed points)."""
+        return [state for state, succ in self.successors.items() if not succ]
+
+    def sink_graphs(self) -> List[Graph]:
+        """The fixed-point networks as :class:`Graph` objects."""
+        return [mask_to_graph(self.n, state, self.pairs) for state in self.sinks()]
+
+    def is_sink(self, graph: Graph) -> bool:
+        """Whether ``graph`` is a fixed point of the improvement dynamics."""
+        return not self.successors[graph_to_mask(graph, self.pairs)]
+
+
+def build_improvement_graph(n: int, alpha: float) -> ImprovementGraph:
+    """Enumerate every labelled network and its improving single-link moves."""
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    pairs = _pairs(n)
+    successors: Dict[int, List[int]] = {}
+    for state in range(1 << len(pairs)):
+        graph = mask_to_graph(n, state, pairs)
+        moves = []
+        for (u, v) in pairs:
+            nxt = myopic_move(graph, u, v, alpha)
+            if nxt is not graph and nxt != graph:
+                moves.append(graph_to_mask(nxt, pairs))
+        successors[state] = moves
+    return ImprovementGraph(n=n, alpha=alpha, pairs=pairs, successors=successors)
+
+
+# --------------------------------------------------------------------------- #
+# Perturbed dynamics and stochastic stability
+# --------------------------------------------------------------------------- #
+
+
+def perturbed_transition_matrix(
+    improvement: ImprovementGraph, epsilon: float
+):
+    """Transition matrix of the ε-perturbed myopic pair dynamics.
+
+    Each step selects a vertex pair uniformly at random.  With probability
+    ``1 - ε`` the pair plays the myopic BCG rule; with probability ``ε`` the
+    link is toggled regardless (a mutation).  Returns a dense numpy array of
+    shape ``(num_states, num_states)``.
+    """
+    import numpy
+
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie strictly between 0 and 1")
+    pairs = improvement.pairs
+    n_states = improvement.num_states
+    matrix = numpy.zeros((n_states, n_states))
+    pair_probability = 1.0 / len(pairs)
+    for state in range(n_states):
+        graph = mask_to_graph(improvement.n, state, pairs)
+        for index, (u, v) in enumerate(pairs):
+            intended = graph_to_mask(myopic_move(graph, u, v, improvement.alpha), pairs)
+            mutated = state ^ (1 << index)
+            matrix[state, intended] += pair_probability * (1.0 - epsilon)
+            matrix[state, mutated] += pair_probability * epsilon
+    return matrix
+
+
+def stationary_distribution(matrix) -> "numpy.ndarray":
+    """Stationary distribution of an irreducible finite Markov chain.
+
+    Solves ``πP = π`` with the normalisation ``Σπ = 1`` as a linear system.
+    """
+    import numpy
+
+    n_states = matrix.shape[0]
+    system = numpy.vstack([matrix.T - numpy.eye(n_states), numpy.ones((1, n_states))])
+    rhs = numpy.zeros(n_states + 1)
+    rhs[-1] = 1.0
+    solution, *_ = numpy.linalg.lstsq(system, rhs, rcond=None)
+    solution = numpy.clip(solution, 0.0, None)
+    return solution / solution.sum()
+
+
+@dataclass
+class StochasticStabilityResult:
+    """Summary of the ε-perturbed dynamics at one link cost."""
+
+    n: int
+    alpha: float
+    epsilon: float
+    mass_on_sinks: float
+    mass_by_canonical_class: Dict[Tuple[int, int], float]
+    modal_graph: Graph
+
+    def modal_class_mass(self) -> float:
+        """Stationary mass of the most likely isomorphism class."""
+        return max(self.mass_by_canonical_class.values())
+
+
+def stochastic_stability_analysis(
+    n: int, alpha: float, epsilon: float = 0.02
+) -> StochasticStabilityResult:
+    """Run the full perturbed-dynamics analysis at one link cost.
+
+    Builds the improvement graph, the perturbed chain and its stationary
+    distribution, and aggregates the probability mass by isomorphism class so
+    the result is readable ("most of the time the process sits on a star").
+    """
+    improvement = build_improvement_graph(n, alpha)
+    matrix = perturbed_transition_matrix(improvement, epsilon)
+    pi = stationary_distribution(matrix)
+
+    sink_states = set(improvement.sinks())
+    mass_on_sinks = float(sum(pi[state] for state in sink_states))
+
+    mass_by_class: Dict[Tuple[int, int], float] = {}
+    best_state = int(pi.argmax())
+    for state in range(improvement.num_states):
+        graph = mask_to_graph(n, state, improvement.pairs)
+        key = canonical_form(graph)
+        mass_by_class[key] = mass_by_class.get(key, 0.0) + float(pi[state])
+    return StochasticStabilityResult(
+        n=n,
+        alpha=alpha,
+        epsilon=epsilon,
+        mass_on_sinks=mass_on_sinks,
+        mass_by_canonical_class=mass_by_class,
+        modal_graph=mask_to_graph(n, best_state, improvement.pairs),
+    )

@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment results.
+
+The harness is headless (no plotting dependency), so every figure and table is
+reproduced as a text table: the same rows and series the paper's plots show,
+printable from the CLI, the examples and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .figure_series import FigureData
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)),
+        "  ".join("-" * widths[k] for k in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData, title: Optional[str] = None) -> str:
+    """Render a :class:`FigureData` (Figure 2/3-style) as a text table.
+
+    One row per grid point: the total per-edge cost axis, the per-game link
+    costs, the per-game values and the per-game equilibrium counts.
+    """
+    headers = [
+        "log(edge cost)",
+        "alpha_ucg",
+        f"ucg {figure.quantity}",
+        "#eq_ucg",
+        "alpha_bcg",
+        f"bcg {figure.quantity}",
+        "#eq_bcg",
+    ]
+    rows = []
+    for ucg_point, bcg_point in zip(figure.ucg.points, figure.bcg.points):
+        rows.append(
+            [
+                ucg_point.axis,
+                ucg_point.alpha,
+                ucg_point.value,
+                ucg_point.num_equilibria,
+                bcg_point.alpha,
+                bcg_point.value,
+                bcg_point.num_equilibria,
+            ]
+        )
+    table = format_table(headers, rows)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"population: {figure.description}")
+    crossover = figure.crossover_cost()
+    if figure.quantity == "average_poa":
+        if crossover is None:
+            lines.append("no UCG/BCG crossover on this grid")
+        else:
+            lines.append(
+                f"BCG average PoA becomes worse than UCG near total edge cost "
+                f"{crossover:.3g}"
+            )
+    lines.append(table)
+    return "\n".join(lines)
+
+
+def format_ascii_series(
+    values: Sequence[float], width: int = 40, label: str = ""
+) -> str:
+    """A crude ASCII sparkline of a series (for quick terminal inspection)."""
+    finite = [v for v in values if v == v and v not in (float("inf"), float("-inf"))]
+    if not finite:
+        return f"{label} (no finite data)"
+    lo, hi = min(finite), max(finite)
+    span = hi - lo or 1.0
+    blocks = " .:-=+*#%@"
+    chars = []
+    for v in values:
+        if v != v or v in (float("inf"), float("-inf")):
+            chars.append("?")
+        else:
+            level = int((v - lo) / span * (len(blocks) - 1))
+            chars.append(blocks[level])
+    return f"{label}[{''.join(chars[:width])}]  min={lo:.3g} max={hi:.3g}"

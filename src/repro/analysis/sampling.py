@@ -1,0 +1,92 @@
+"""Dynamics-based sampling of equilibrium networks for larger player counts.
+
+The paper's empirical study uses ten agents, which is out of reach for an
+exhaustive pure-Python census (there are ~11.7 million connected topologies on
+ten vertices).  As documented in DESIGN.md we substitute a *sampled* census:
+run the decentralised dynamics of :mod:`repro.core.dynamics` from many random
+starting networks and collect the converged equilibria.  Duplicates (up to
+isomorphism) are removed so the averages are over distinct topologies, like
+the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.dynamics import sample_nash_networks_ucg, sample_stable_networks_bcg
+from ..core.equilibria import is_nash_graph_ucg, is_pairwise_stable
+from ..graphs import Graph, canonical_form
+from .sweeps import aligned_link_costs
+
+
+def deduplicate_up_to_isomorphism(graphs: Sequence[Graph]) -> List[Graph]:
+    """Keep one representative per isomorphism class, preserving first-seen order."""
+    seen = set()
+    unique: List[Graph] = []
+    for graph in graphs:
+        key = canonical_form(graph)
+        if key not in seen:
+            seen.add(key)
+            unique.append(graph)
+    return unique
+
+
+@dataclass
+class SampledEquilibria:
+    """Sampled equilibrium networks of both games at one total per-edge cost."""
+
+    n: int
+    total_edge_cost: float
+    alpha_ucg: float
+    alpha_bcg: float
+    ucg: List[Graph]
+    bcg: List[Graph]
+
+
+def sample_equilibria_at_cost(
+    n: int,
+    total_edge_cost: float,
+    num_samples: int = 20,
+    seed: int = 0,
+    verify: bool = False,
+) -> SampledEquilibria:
+    """Sample UCG Nash networks and BCG pairwise-stable networks at one cost.
+
+    ``verify=True`` re-checks every sampled network with the exact
+    equilibrium tests (slower; used by the integration tests).
+    """
+    alpha_ucg, alpha_bcg = aligned_link_costs(total_edge_cost)
+    ucg_samples = deduplicate_up_to_isomorphism(
+        sample_nash_networks_ucg(n, alpha_ucg, num_samples, seed=seed)
+    )
+    bcg_samples = deduplicate_up_to_isomorphism(
+        sample_stable_networks_bcg(n, alpha_bcg, num_samples, seed=seed + 1)
+    )
+    if verify:
+        ucg_samples = [g for g in ucg_samples if is_nash_graph_ucg(g, alpha_ucg)]
+        bcg_samples = [g for g in bcg_samples if is_pairwise_stable(g, alpha_bcg)]
+    return SampledEquilibria(
+        n=n,
+        total_edge_cost=total_edge_cost,
+        alpha_ucg=alpha_ucg,
+        alpha_bcg=alpha_bcg,
+        ucg=ucg_samples,
+        bcg=bcg_samples,
+    )
+
+
+def sample_equilibria_over_grid(
+    n: int,
+    total_edge_costs: Sequence[float],
+    num_samples: int = 20,
+    seed: int = 0,
+) -> Dict[float, Dict[str, List[Graph]]]:
+    """Sampled equilibria for every cost on a grid, keyed for the figure builders."""
+    result: Dict[float, Dict[str, List[Graph]]] = {}
+    for index, cost in enumerate(total_edge_costs):
+        sampled = sample_equilibria_at_cost(
+            n, cost, num_samples=num_samples, seed=seed + 997 * index
+        )
+        result[cost] = {"ucg": sampled.ucg, "bcg": sampled.bcg}
+    return result

@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m repro.cli <experiment> [...]``.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.cli --list
+
+Reproduce Figure 2 and Lemma 6::
+
+    python -m repro.cli figure2 lemma6
+
+Run everything (slow — builds the exhaustive censuses)::
+
+    python -m repro.cli --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the experiments CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures and results of Corbo & Parkes (PODC 2005), "
+            "'The Price of Selfish Behavior in Bilateral Network Formation'."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiment ids and exit",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="run every registered experiment",
+    )
+    parser.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the one-line pass/fail summaries",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in available_experiments():
+            print(experiment_id)
+        return 0
+
+    ids = list(args.experiments)
+    if args.all:
+        ids = available_experiments()
+    if not ids:
+        parser.print_help()
+        return 2
+
+    exit_code = 0
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        if args.summary_only:
+            print(result.summary())
+        else:
+            print(result.render())
+            print()
+        if not result.all_passed:
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

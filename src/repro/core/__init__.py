@@ -1,0 +1,196 @@
+"""Core library: the connection games, their solution concepts and the PoA.
+
+This package implements the paper's primary contribution (the bilateral
+connection game and its pairwise-stability analysis) together with the
+unilateral baseline game it is compared against.
+"""
+
+from .anarchy import (
+    PoAComparison,
+    average_price_of_anarchy,
+    best_case_price_of_anarchy,
+    compare_price_of_anarchy,
+    poa_series,
+    price_of_anarchy,
+    worst_case_price_of_anarchy,
+)
+from .bilateral import (
+    best_deviation_delta_bcg,
+    is_nash_profile_bcg,
+    is_pairwise_nash,
+    is_pairwise_stable,
+    pairwise_nash_graphs,
+    pairwise_stability_violations,
+    pairwise_stable_graphs,
+)
+from .convexity import (
+    cost_convexity_violations,
+    is_cost_convex,
+    is_cost_convex_for_player,
+    is_link_convex,
+    link_convexity_gap,
+)
+from .costs import (
+    all_player_costs_bcg,
+    all_player_costs_ucg,
+    distance_cost,
+    player_cost_bcg,
+    player_cost_graph,
+    player_cost_ucg,
+    social_cost_bcg,
+    social_cost_lower_bound_bcg,
+    social_cost_profile_bcg,
+    social_cost_profile_ucg,
+    social_cost_ucg,
+)
+from .dynamics import (
+    DynamicsResult,
+    best_response_dynamics_ucg,
+    pairwise_dynamics_bcg,
+    sample_nash_networks_ucg,
+    sample_stable_networks_bcg,
+)
+from .efficiency import (
+    complete_graph_social_cost,
+    efficiency_threshold,
+    efficient_graph,
+    efficient_social_cost,
+    exhaustive_social_optimum,
+    is_efficient,
+    social_cost,
+    star_social_cost,
+)
+from .games import BilateralConnectionGame, ConnectionGame, UnilateralConnectionGame
+from .proper import (
+    ProperEquilibriumCertificate,
+    is_certified_proper_equilibrium,
+    proper_equilibrium_certificate,
+    proposition2_alpha_window,
+    proposition2_holds_for,
+)
+from .stability_intervals import (
+    AlphaInterval,
+    AlphaIntervalSet,
+    FULL_ALPHA_RANGE,
+    PairwiseStabilityProfile,
+    distance_delta,
+    has_stabilizing_alpha,
+    pairwise_stability_interval,
+    pairwise_stability_profile,
+)
+from .strategies import (
+    StrategyProfile,
+    edge_strategy_matrix,
+    empty_profile,
+    profile_from_graph_bcg,
+    profile_from_ownership_ucg,
+)
+from . import theory
+from .transfers import (
+    TransferStabilityProfile,
+    is_pairwise_stable_with_transfers,
+    transfer_stability_interval,
+    transfer_stability_profile,
+    transfer_stable_graphs,
+)
+from .unilateral import (
+    best_response_ucg,
+    is_nash_graph_ucg,
+    is_nash_profile_ucg,
+    nash_graphs_ucg,
+    nash_supporting_ownership,
+    ownership_best_response_interval,
+    ucg_nash_alpha_set,
+)
+
+__all__ = [
+    # games
+    "ConnectionGame",
+    "BilateralConnectionGame",
+    "UnilateralConnectionGame",
+    # strategies
+    "StrategyProfile",
+    "edge_strategy_matrix",
+    "empty_profile",
+    "profile_from_graph_bcg",
+    "profile_from_ownership_ucg",
+    # costs
+    "distance_cost",
+    "player_cost_graph",
+    "player_cost_bcg",
+    "player_cost_ucg",
+    "all_player_costs_bcg",
+    "all_player_costs_ucg",
+    "social_cost_bcg",
+    "social_cost_ucg",
+    "social_cost_profile_bcg",
+    "social_cost_profile_ucg",
+    "social_cost_lower_bound_bcg",
+    # efficiency
+    "social_cost",
+    "efficient_graph",
+    "efficient_social_cost",
+    "efficiency_threshold",
+    "complete_graph_social_cost",
+    "star_social_cost",
+    "is_efficient",
+    "exhaustive_social_optimum",
+    # equilibrium concepts
+    "is_pairwise_stable",
+    "pairwise_stability_violations",
+    "is_pairwise_nash",
+    "is_nash_profile_bcg",
+    "best_deviation_delta_bcg",
+    "pairwise_stable_graphs",
+    "pairwise_nash_graphs",
+    "best_response_ucg",
+    "is_nash_profile_ucg",
+    "is_nash_graph_ucg",
+    "ucg_nash_alpha_set",
+    "ownership_best_response_interval",
+    "nash_supporting_ownership",
+    "nash_graphs_ucg",
+    # stability intervals
+    "AlphaInterval",
+    "AlphaIntervalSet",
+    "FULL_ALPHA_RANGE",
+    "PairwiseStabilityProfile",
+    "pairwise_stability_profile",
+    "pairwise_stability_interval",
+    "has_stabilizing_alpha",
+    "distance_delta",
+    # convexity
+    "is_cost_convex",
+    "is_cost_convex_for_player",
+    "cost_convexity_violations",
+    "is_link_convex",
+    "link_convexity_gap",
+    # price of anarchy
+    "price_of_anarchy",
+    "worst_case_price_of_anarchy",
+    "average_price_of_anarchy",
+    "best_case_price_of_anarchy",
+    "compare_price_of_anarchy",
+    "PoAComparison",
+    "poa_series",
+    # dynamics
+    "DynamicsResult",
+    "best_response_dynamics_ucg",
+    "pairwise_dynamics_bcg",
+    "sample_stable_networks_bcg",
+    "sample_nash_networks_ucg",
+    # transfers extension (Section 6 future work)
+    "TransferStabilityProfile",
+    "transfer_stability_profile",
+    "transfer_stability_interval",
+    "is_pairwise_stable_with_transfers",
+    "transfer_stable_graphs",
+    # proper equilibrium (Definition 5 / Lemma 3 / Proposition 2)
+    "ProperEquilibriumCertificate",
+    "proper_equilibrium_certificate",
+    "is_certified_proper_equilibrium",
+    "proposition2_alpha_window",
+    "proposition2_holds_for",
+    # theory oracle
+    "theory",
+]

@@ -1,0 +1,117 @@
+"""Price of anarchy computations (Section 4 of the paper).
+
+The price of anarchy of a network ``G`` is ``ρ(G) = C(G) / C(G*)`` where
+``G*`` is the efficient network on the same players; the price of anarchy of
+a game at link cost ``α`` is the worst ``ρ`` over its equilibrium networks.
+The paper also reports the *average* price of anarchy over equilibrium
+networks (Figures 2 and 3), which the :mod:`repro.analysis` package computes
+from censuses built on top of the functions here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..graphs import Graph
+from .efficiency import efficient_social_cost, social_cost
+
+
+def price_of_anarchy(graph: Graph, alpha: float, game: str = "bcg") -> float:
+    """``ρ(G)``: the social cost of ``graph`` relative to the efficient network.
+
+    Returns ``inf`` for disconnected graphs (their social cost is infinite).
+    """
+    optimum = efficient_social_cost(graph.n, alpha, game)
+    if optimum == 0:
+        return 1.0
+    return social_cost(graph, alpha, game) / optimum
+
+
+def worst_case_price_of_anarchy(
+    graphs: Iterable[Graph], alpha: float, game: str = "bcg"
+) -> float:
+    """Maximum ``ρ(G)`` over an explicit set of (equilibrium) graphs.
+
+    This is the game's price of anarchy when ``graphs`` is the full set of
+    equilibrium networks at ``alpha`` (eq. (6) of the paper).  Returns ``nan``
+    for an empty collection.
+    """
+    values = [price_of_anarchy(g, alpha, game) for g in graphs]
+    return max(values) if values else float("nan")
+
+
+def average_price_of_anarchy(
+    graphs: Iterable[Graph], alpha: float, game: str = "bcg"
+) -> float:
+    """Mean ``ρ(G)`` over an explicit set of (equilibrium) graphs.
+
+    The quantity plotted in Figure 2 of the paper.  Returns ``nan`` for an
+    empty collection.
+    """
+    values = [price_of_anarchy(g, alpha, game) for g in graphs]
+    return sum(values) / len(values) if values else float("nan")
+
+
+def best_case_price_of_anarchy(
+    graphs: Iterable[Graph], alpha: float, game: str = "bcg"
+) -> float:
+    """Minimum ``ρ(G)`` over an explicit set of graphs (the price of stability)."""
+    values = [price_of_anarchy(g, alpha, game) for g in graphs]
+    return min(values) if values else float("nan")
+
+
+@dataclass(frozen=True)
+class PoAComparison:
+    """Side-by-side price of anarchy of one graph under the two games.
+
+    Footnote 6 of the paper shows ``ρ_UCG(G) ≤ 2·ρ_BCG(G)`` for every graph
+    ``G`` and link cost ``α > 1`` (with the appropriate optimum in each game's
+    denominator); instances of this class make that check explicit.
+    """
+
+    graph: Graph
+    alpha: float
+    rho_ucg: float
+    rho_bcg: float
+
+    @property
+    def satisfies_footnote6(self) -> bool:
+        """Whether ``ρ_UCG(G) ≤ 2·ρ_BCG(G)`` holds (with a small tolerance)."""
+        if self.rho_bcg == float("inf"):
+            return True
+        return self.rho_ucg <= 2.0 * self.rho_bcg + 1e-9
+
+
+def compare_price_of_anarchy(graph: Graph, alpha: float) -> PoAComparison:
+    """Compute ``ρ_UCG`` and ``ρ_BCG`` of the same graph at the same link cost."""
+    return PoAComparison(
+        graph=graph,
+        alpha=alpha,
+        rho_ucg=price_of_anarchy(graph, alpha, "ucg"),
+        rho_bcg=price_of_anarchy(graph, alpha, "bcg"),
+    )
+
+
+def poa_series(
+    graphs_by_alpha: Sequence[Sequence[Graph]],
+    alphas: Sequence[float],
+    game: str = "bcg",
+    aggregate: str = "average",
+) -> List[float]:
+    """Aggregate PoA per α for a pre-filtered family of equilibrium sets.
+
+    ``graphs_by_alpha[k]`` must contain the equilibrium graphs at
+    ``alphas[k]``; ``aggregate`` is ``"average"``, ``"worst"`` or ``"best"``.
+    """
+    if len(graphs_by_alpha) != len(alphas):
+        raise ValueError("graphs_by_alpha and alphas must have the same length")
+    if aggregate == "average":
+        fn = average_price_of_anarchy
+    elif aggregate == "worst":
+        fn = worst_case_price_of_anarchy
+    elif aggregate == "best":
+        fn = best_case_price_of_anarchy
+    else:
+        raise ValueError("aggregate must be 'average', 'worst' or 'best'")
+    return [fn(graphs, alpha, game) for graphs, alpha in zip(graphs_by_alpha, alphas)]

@@ -1,0 +1,177 @@
+"""Equilibrium concepts of the bilateral connection game (BCG).
+
+Implements, directly from the definitions in Section 3 of the paper:
+
+* Nash equilibrium of a BCG strategy profile (Definition 1);
+* pairwise Nash equilibrium of a graph (Definition 2) — a supporting Nash
+  profile plus no mutually-improving missing link;
+* pairwise stability of a graph (Definition 3) — no unilateral profitable
+  link severance, no bilateral profitable link addition.
+
+Proposition 1 states that pairwise stability and pairwise Nash coincide in
+the BCG; the implementations here are *independent* of each other (pairwise
+Nash checks whole-subset deletions, pairwise stability only single links), so
+the test suite can verify the proposition computationally.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, List, Tuple
+
+from ..graphs import Graph, distance_sum
+from .stability_intervals import distance_delta, pairwise_stability_profile
+from .strategies import StrategyProfile, profile_from_graph_bcg
+
+Edge = Tuple[int, int]
+
+
+# --------------------------------------------------------------------------- #
+# Pairwise stability (Definition 3)
+# --------------------------------------------------------------------------- #
+
+
+def is_pairwise_stable(graph: Graph, alpha: float) -> bool:
+    """Exact pairwise stability of ``graph`` at link cost ``alpha``.
+
+    A graph is pairwise stable when (a) no endpoint of an existing edge
+    strictly gains by severing it unilaterally and (b) no missing link would
+    be added — i.e. there is no non-edge whose addition strictly helps one
+    endpoint without strictly hurting the other.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    return pairwise_stability_profile(graph).is_stable_at(alpha)
+
+
+def pairwise_stability_violations(graph: Graph, alpha: float) -> List[str]:
+    """Human-readable list of pairwise-stability violations at ``alpha``."""
+    return pairwise_stability_profile(graph).violations_at(alpha)
+
+
+# --------------------------------------------------------------------------- #
+# Nash equilibrium of a profile (Definition 1, BCG linking rule)
+# --------------------------------------------------------------------------- #
+
+
+def _subsets(items: Iterable[int]) -> Iterable[Tuple[int, ...]]:
+    items = list(items)
+    return chain.from_iterable(combinations(items, r) for r in range(len(items) + 1))
+
+
+def _cost_delta(
+    profile: StrategyProfile,
+    player: int,
+    new_requests: Iterable[int],
+    alpha: float,
+) -> float:
+    """Change in ``player``'s cost from unilaterally deviating to ``new_requests``.
+
+    Costs are compared via *deltas* so that the ``∞`` distance convention is
+    handled uniformly across the whole library: if the player's distance cost
+    is infinite both before and after the deviation, the distance term
+    contributes 0 to the delta and only the link-provisioning term ``α·|s_i|``
+    matters.  (This is the same convention used by
+    :mod:`repro.core.stability_intervals` and keeps pairwise stability and
+    pairwise Nash mutually consistent on disconnected graphs.)
+    """
+    new_requests = set(new_requests)
+    before_graph = profile.bilateral_graph()
+    after_graph = profile.with_player_strategy(player, new_requests).bilateral_graph()
+    before_distance = distance_sum(before_graph, player)
+    after_distance = distance_sum(after_graph, player)
+    increase = distance_delta(after_distance, before_distance)
+    link_delta = alpha * (len(new_requests) - profile.num_requests(player))
+    return increase + link_delta
+
+
+def best_deviation_delta_bcg(profile: StrategyProfile, player: int, alpha: float) -> float:
+    """The most negative cost change ``player`` can achieve unilaterally.
+
+    In the BCG a unilateral deviation cannot *create* edges (the other side
+    has not consented), so a request towards a non-consenting player is pure
+    cost and the only useful deviations keep a subset of the currently
+    *reciprocated* requests.  We enumerate those subsets exactly, so the
+    returned value is the exact best-response improvement (0 or negative
+    means the player is already best-responding, up to dropping wasted
+    requests which is handled by the caller).
+    """
+    reciprocated = [
+        j for j in profile.requests_of(player) if profile.seeks(j, player)
+    ]
+    best = 0.0
+    for kept in _subsets(reciprocated):
+        delta = _cost_delta(profile, player, kept, alpha)
+        if delta < best:
+            best = delta
+    return best
+
+
+def is_nash_profile_bcg(profile: StrategyProfile, alpha: float) -> bool:
+    """Whether ``profile`` is a (pure) Nash equilibrium of the BCG.
+
+    A player with an unreciprocated request can always drop it and save ``α``,
+    so such profiles are never Nash; otherwise the player's exact best
+    response keeps some subset of its reciprocated links, which is enumerated
+    exhaustively.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    for player in range(profile.n):
+        wasted = [
+            j for j in profile.requests_of(player) if not profile.seeks(j, player)
+        ]
+        if wasted:
+            return False
+        if best_deviation_delta_bcg(profile, player, alpha) < -1e-12:
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Pairwise Nash equilibrium (Definition 2)
+# --------------------------------------------------------------------------- #
+
+
+def is_pairwise_nash(graph: Graph, alpha: float) -> bool:
+    """Whether ``graph`` is a pairwise Nash equilibrium network of the BCG.
+
+    Uses the natural supporting profile in which exactly the edges of the
+    graph are mutually requested; the graph is pairwise Nash when that profile
+    is a Nash equilibrium (no player gains by dropping *any subset* of its
+    links) and no missing link is mutually (weakly/strictly) beneficial.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    profile = profile_from_graph_bcg(graph)
+    if not is_nash_profile_bcg(profile, alpha):
+        return False
+    return not _has_mutually_improving_link(graph, alpha)
+
+
+def _has_mutually_improving_link(graph: Graph, alpha: float) -> bool:
+    """Whether some missing link strictly helps one endpoint and weakly helps the other."""
+    base = [distance_sum(graph, v) for v in range(graph.n)]
+    for (u, v) in graph.non_edges():
+        augmented = graph.add_edge(u, v)
+        delta_u = distance_delta(base[u], distance_sum(augmented, u))
+        delta_v = distance_delta(base[v], distance_sum(augmented, v))
+        save_u = delta_u - alpha
+        save_v = delta_v - alpha
+        # Definition 2: violated when c_u decreases strictly while c_v does
+        # not increase (or vice versa).
+        if (save_u > 1e-12 and save_v >= -1e-12) or (
+            save_v > 1e-12 and save_u >= -1e-12
+        ):
+            return True
+    return False
+
+
+def pairwise_nash_graphs(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+    """Filter an iterable of graphs down to the pairwise Nash networks at ``alpha``."""
+    return [g for g in graphs if is_pairwise_nash(g, alpha)]
+
+
+def pairwise_stable_graphs(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+    """Filter an iterable of graphs down to the pairwise stable networks at ``alpha``."""
+    return [g for g in graphs if is_pairwise_stable(g, alpha)]

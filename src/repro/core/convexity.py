@@ -1,0 +1,118 @@
+"""Convexity notions used in Section 3 of the paper.
+
+Two different notions appear:
+
+* **Cost convexity** (Definition 4, established for the BCG by Lemma 1): for
+  any subset ``B`` of a player's links, the cost change from dropping the
+  whole subset is at least the sum of the cost changes from dropping each
+  link individually.  Lemma 1 is what makes pairwise stability equivalent to
+  pairwise Nash (Proposition 1): if no single-link severance pays off, no
+  multi-link severance does either.
+
+* **Link convexity** (Definition 6): the largest distance saving any endpoint
+  of a *missing* link could get from adding it is strictly smaller than the
+  smallest distance increase any endpoint of an *existing* link would suffer
+  from severing it.  By Lemma 2 this is a sufficient condition for the graph
+  to be pairwise stable at some link cost, and by Proposition 2 such graphs
+  are achievable as proper equilibria.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, List, Tuple
+
+from ..graphs import Graph, distance_sum
+from .stability_intervals import distance_delta, pairwise_stability_profile
+
+Edge = Tuple[int, int]
+
+
+def _non_empty_subsets(items: List[Edge], max_size: int = None) -> Iterable[Tuple[Edge, ...]]:
+    limit = len(items) if max_size is None else min(max_size, len(items))
+    return chain.from_iterable(combinations(items, r) for r in range(1, limit + 1))
+
+
+def cost_convexity_violations(
+    graph: Graph, player: int, max_subset_size: int = None
+) -> List[Tuple[Edge, ...]]:
+    """Subsets of ``player``'s links that violate Definition 4 on ``graph``.
+
+    For every subset ``B`` of the player's incident edges the check is
+
+        ``[c_i(s - Λ_B) - c_i(s)]  >=  Σ_{e in B} [c_i(s - Λ_e) - c_i(s)]``
+
+    which, after the ``α`` terms cancel, reduces to the same inequality on
+    distance costs.  Lemma 1 asserts the list is always empty; the function
+    returns the offending subsets so the property-based tests can report
+    counterexamples meaningfully if the implementation ever regressed.
+    ``max_subset_size`` truncates the enumeration for high-degree vertices.
+    """
+    incident = [
+        (min(player, j), max(player, j)) for j in sorted(graph.neighbors(player))
+    ]
+    base = distance_sum(graph, player)
+    single_delta = {}
+    for edge in incident:
+        single_delta[edge] = distance_delta(
+            distance_sum(graph.remove_edge(*edge), player), base
+        )
+    violations: List[Tuple[Edge, ...]] = []
+    for subset in _non_empty_subsets(incident, max_subset_size):
+        joint = distance_delta(
+            distance_sum(graph.remove_edges(subset), player), base
+        )
+        separate = sum(single_delta[edge] for edge in subset)
+        if joint < separate - 1e-9:
+            violations.append(subset)
+    return violations
+
+
+def is_cost_convex_for_player(
+    graph: Graph, player: int, max_subset_size: int = None
+) -> bool:
+    """Whether Definition 4 holds for ``player`` on ``graph`` (Lemma 1 says yes)."""
+    return not cost_convexity_violations(graph, player, max_subset_size)
+
+
+def is_cost_convex(graph: Graph, max_subset_size: int = None) -> bool:
+    """Whether Definition 4 holds for every player on ``graph``."""
+    return all(
+        is_cost_convex_for_player(graph, player, max_subset_size)
+        for player in range(graph.n)
+    )
+
+
+def is_link_convex(graph: Graph) -> bool:
+    """Definition 6: link convexity of ``graph``.
+
+    For every (ordered) non-edge ``(i, k)`` and every (ordered) edge
+    ``(l, m)``, the distance saving to ``i`` from adding ``(i, k)`` must be
+    strictly smaller than the distance increase to ``l`` from removing
+    ``(l, m)``.  Equivalently: the *largest* addition saving is strictly below
+    the *smallest* removal increase.  Disconnected graphs are never link
+    convex (a reconnecting link has infinite saving).
+    """
+    profile = pairwise_stability_profile(graph)
+    if profile.addition_saving:
+        max_saving = max(profile.addition_saving.values())
+    else:
+        max_saving = float("-inf")
+    if profile.removal_increase:
+        min_increase = min(profile.removal_increase.values())
+    else:
+        min_increase = float("inf")
+    return max_saving < min_increase
+
+
+def link_convexity_gap(graph: Graph) -> Tuple[float, float]:
+    """The pair ``(max addition saving, min removal increase)`` of Definition 6.
+
+    The graph is link convex exactly when the first number is strictly less
+    than the second; by Lemma 2 the interval between them then contains link
+    costs at which the graph is pairwise stable.
+    """
+    profile = pairwise_stability_profile(graph)
+    max_saving = max(profile.addition_saving.values(), default=float("-inf"))
+    min_increase = min(profile.removal_increase.values(), default=float("inf"))
+    return max_saving, min_increase

@@ -1,0 +1,106 @@
+"""Player costs and social costs of the connection games.
+
+Equation (1) of the paper: the cost to player ``i`` under profile ``s`` is
+
+    ``c_i(s) = α·|s_i| + Σ_j d_(i,j)(G(s))``
+
+where ``|s_i|`` is the number of links player ``i`` establishes *or wishes to
+establish* and ``d`` is the hop distance in the resulting graph (``∞`` when
+disconnected).  Equation (4): the social cost of a BCG graph is
+``C(G) = 2α|A| + Σ_{i,j} d_(i,j)(G)`` because both endpoints pay for every
+edge; in the UCG each edge is paid for once, so ``C(G) = α|A| + Σ d``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graphs import Graph, distance_sum, total_distance
+from .strategies import StrategyProfile
+
+
+def distance_cost(graph: Graph, player: int) -> float:
+    """``Σ_j d_(i,j)(G)``: player ``i``'s distance cost in ``graph``.
+
+    Returns ``inf`` when some player is unreachable, matching the paper's
+    convention ``d = ∞`` for disconnected pairs.
+    """
+    return distance_sum(graph, player)
+
+
+def player_cost_graph(graph: Graph, player: int, alpha: float, links_paid: int = None) -> float:
+    """Player cost evaluated on a *graph* (rather than a profile).
+
+    ``links_paid`` is the number of links player ``i`` pays for.  In the BCG
+    in equilibrium this is the player's degree (each endpoint pays for each
+    incident edge), which is the default.  In the UCG it is the number of
+    edges the player *bought*, which depends on the edge ownership and must be
+    passed explicitly.
+    """
+    if links_paid is None:
+        links_paid = graph.degree(player)
+    return alpha * links_paid + distance_sum(graph, player)
+
+
+def player_cost_bcg(profile: StrategyProfile, player: int, alpha: float) -> float:
+    """Cost of ``player`` in the BCG under an arbitrary profile.
+
+    Note that provisioned-but-unreciprocated requests still cost ``α`` each
+    (the paper points out this never happens in equilibrium, but the cost
+    function itself charges them).
+    """
+    graph = profile.bilateral_graph()
+    return alpha * profile.num_requests(player) + distance_sum(graph, player)
+
+
+def player_cost_ucg(profile: StrategyProfile, player: int, alpha: float) -> float:
+    """Cost of ``player`` in the UCG under an arbitrary profile."""
+    graph = profile.unilateral_graph()
+    return alpha * profile.num_requests(player) + distance_sum(graph, player)
+
+
+def all_player_costs_bcg(profile: StrategyProfile, alpha: float) -> List[float]:
+    """Vector of BCG player costs (shares one graph construction)."""
+    graph = profile.bilateral_graph()
+    return [
+        alpha * profile.num_requests(i) + distance_sum(graph, i)
+        for i in range(profile.n)
+    ]
+
+
+def all_player_costs_ucg(profile: StrategyProfile, alpha: float) -> List[float]:
+    """Vector of UCG player costs (shares one graph construction)."""
+    graph = profile.unilateral_graph()
+    return [
+        alpha * profile.num_requests(i) + distance_sum(graph, i)
+        for i in range(profile.n)
+    ]
+
+
+def social_cost_bcg(graph: Graph, alpha: float) -> float:
+    """Social cost of a BCG network (paper eq. (4)): ``2α|A| + Σ_{i,j} d``."""
+    return 2.0 * alpha * graph.num_edges + total_distance(graph)
+
+
+def social_cost_ucg(graph: Graph, alpha: float) -> float:
+    """Social cost of a UCG network: ``α|A| + Σ_{i,j} d`` (each edge bought once)."""
+    return alpha * graph.num_edges + total_distance(graph)
+
+
+def social_cost_profile_bcg(profile: StrategyProfile, alpha: float) -> float:
+    """Sum of all BCG player costs (includes unreciprocated-request charges)."""
+    return sum(all_player_costs_bcg(profile, alpha))
+
+
+def social_cost_profile_ucg(profile: StrategyProfile, alpha: float) -> float:
+    """Sum of all UCG player costs (includes doubly-bought-edge charges)."""
+    return sum(all_player_costs_ucg(profile, alpha))
+
+
+def social_cost_lower_bound_bcg(n: int, num_edges: int, alpha: float) -> float:
+    """The diameter-two lower bound of eq. (5): ``2n(n-1) + 2(α-1)|A|``.
+
+    Any BCG graph with ``|A|`` edges costs at least this much; the bound is
+    met exactly by graphs of diameter two (and by the complete graph).
+    """
+    return 2.0 * n * (n - 1) + 2.0 * (alpha - 1.0) * num_edges

@@ -1,0 +1,277 @@
+"""Decentralised dynamics that converge to the games' stable networks.
+
+The exhaustive censuses of Section 5 are only feasible for small player
+counts, so to reproduce the paper's ten-agent setting we also provide the
+natural local dynamics:
+
+* **UCG best-response dynamics** — players take turns replacing their whole
+  purchase set by an exact best response;
+* **BCG pairwise dynamics** — pairs of players are examined in (random or
+  round-robin) order; a missing link is added when it weakly benefits both
+  and strictly benefits at least one endpoint, an existing link is severed
+  when either endpoint strictly benefits from dropping it.
+
+Fixed points of the first process are Nash networks of the UCG and fixed
+points of the second are pairwise-stable networks of the BCG, which the test
+suite verifies.  Neither process is guaranteed to converge from every state,
+so both report whether they did.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graphs import (
+    Graph,
+    bfs_distances_with_extra_edge,
+    bfs_distances_with_forbidden_edge,
+    distance_sum,
+)
+from .stability_intervals import distance_delta
+from .strategies import StrategyProfile, profile_from_graph_bcg
+from .unilateral import best_response_ucg
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of a dynamics run.
+
+    Attributes
+    ----------
+    graph:
+        The final network.
+    converged:
+        Whether a full pass with no change occurred before the iteration
+        budget ran out.
+    rounds:
+        Number of full passes executed.
+    profile:
+        The final strategy profile (UCG runs carry edge ownership here; BCG
+        runs use the canonical mutual-consent profile).
+    history:
+        Edge counts after each pass, useful for diagnostics and tests.
+    """
+
+    graph: Graph
+    converged: bool
+    rounds: int
+    profile: Optional[StrategyProfile] = None
+    history: List[int] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# UCG best-response dynamics
+# --------------------------------------------------------------------------- #
+
+
+def best_response_dynamics_ucg(
+    n: int,
+    alpha: float,
+    initial: Optional[StrategyProfile] = None,
+    max_rounds: int = 200,
+    rng: Optional[random.Random] = None,
+    randomize_order: bool = True,
+) -> DynamicsResult:
+    """Run round-based exact best-response dynamics for the UCG.
+
+    Each round every player (in random or index order) recomputes an exact
+    best response to the current purchases of the others.  The process stops
+    after a full round with no strategy change, or after ``max_rounds``.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    rng = rng or random.Random()
+    profile = initial if initial is not None else StrategyProfile(n)
+    if profile.n != n:
+        raise ValueError("initial profile has the wrong number of players")
+
+    history: List[int] = []
+    for round_index in range(max_rounds):
+        order = list(range(n))
+        if randomize_order:
+            rng.shuffle(order)
+        changed = False
+        for player in order:
+            others = profile.with_player_strategy(player, ()).unilateral_graph()
+            _, best_set = best_response_ucg(others, player, alpha)
+            if best_set != profile.requests_of(player):
+                current_cost = alpha * profile.num_requests(player) + distance_sum(
+                    profile.unilateral_graph(), player
+                )
+                candidate = profile.with_player_strategy(player, best_set)
+                candidate_cost = alpha * len(best_set) + distance_sum(
+                    candidate.unilateral_graph(), player
+                )
+                # Only move on strict improvement so fixed points are exactly
+                # the profiles where nobody can strictly gain.
+                if candidate_cost < current_cost - 1e-12 or (
+                    current_cost == float("inf") and candidate_cost == float("inf")
+                    and len(best_set) < profile.num_requests(player)
+                ):
+                    profile = candidate
+                    changed = True
+        history.append(profile.unilateral_graph().num_edges)
+        if not changed:
+            return DynamicsResult(
+                graph=profile.unilateral_graph(),
+                converged=True,
+                rounds=round_index + 1,
+                profile=profile,
+                history=history,
+            )
+    return DynamicsResult(
+        graph=profile.unilateral_graph(),
+        converged=False,
+        rounds=max_rounds,
+        profile=profile,
+        history=history,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# BCG pairwise dynamics
+# --------------------------------------------------------------------------- #
+
+
+def _severance_benefit(graph: Graph, edge: Edge, endpoint: int, alpha: float) -> float:
+    """Cost decrease for ``endpoint`` from severing ``edge`` (positive = wants to sever)."""
+    increase = distance_delta(
+        sum(bfs_distances_with_forbidden_edge(graph, endpoint, edge)),
+        distance_sum(graph, endpoint),
+    )
+    return alpha - increase
+
+
+def _addition_benefit(graph: Graph, edge: Edge, endpoint: int, alpha: float) -> float:
+    """Cost decrease for ``endpoint`` from adding missing ``edge`` (positive = gains)."""
+    saving = distance_delta(
+        distance_sum(graph, endpoint),
+        sum(bfs_distances_with_extra_edge(graph, endpoint, edge)),
+    )
+    return saving - alpha
+
+
+def pairwise_dynamics_bcg(
+    n: int,
+    alpha: float,
+    initial: Optional[Graph] = None,
+    max_rounds: int = 200,
+    rng: Optional[random.Random] = None,
+    randomize_order: bool = True,
+) -> DynamicsResult:
+    """Run myopic pairwise add/sever dynamics for the BCG.
+
+    Each round scans all vertex pairs (in random or lexicographic order).  A
+    missing link is created when one endpoint strictly gains and the other at
+    least weakly gains (the Definition 3 addition rule); an existing link is
+    severed when either endpoint strictly gains from dropping it.  Fixed
+    points are exactly the pairwise-stable networks at ``alpha``.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    rng = rng or random.Random()
+    graph = initial if initial is not None else Graph(n)
+    if graph.n != n:
+        raise ValueError("initial graph has the wrong number of vertices")
+
+    history: List[int] = []
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    for round_index in range(max_rounds):
+        if randomize_order:
+            rng.shuffle(pairs)
+        changed = False
+        for (u, v) in pairs:
+            if graph.has_edge(u, v):
+                if (
+                    _severance_benefit(graph, (u, v), u, alpha) > 1e-12
+                    or _severance_benefit(graph, (u, v), v, alpha) > 1e-12
+                ):
+                    graph = graph.remove_edge(u, v)
+                    changed = True
+            else:
+                gain_u = _addition_benefit(graph, (u, v), u, alpha)
+                gain_v = _addition_benefit(graph, (u, v), v, alpha)
+                if (gain_u > 1e-12 and gain_v >= -1e-12) or (
+                    gain_v > 1e-12 and gain_u >= -1e-12
+                ):
+                    graph = graph.add_edge(u, v)
+                    changed = True
+        history.append(graph.num_edges)
+        if not changed:
+            return DynamicsResult(
+                graph=graph,
+                converged=True,
+                rounds=round_index + 1,
+                profile=profile_from_graph_bcg(graph),
+                history=history,
+            )
+    return DynamicsResult(
+        graph=graph,
+        converged=False,
+        rounds=max_rounds,
+        profile=profile_from_graph_bcg(graph),
+        history=history,
+    )
+
+
+def sample_stable_networks_bcg(
+    n: int,
+    alpha: float,
+    num_samples: int,
+    seed: int = 0,
+    edge_probability: float = 0.3,
+    max_rounds: int = 200,
+) -> List[Graph]:
+    """Sample pairwise-stable networks by running the dynamics from random starts.
+
+    Used by the sampled (large-``n``) variant of the Figure 2/3 experiments.
+    Starting networks are random *connected* graphs: pairwise dynamics only
+    adds a missing link when it strictly helps, and from a fragmented network
+    a single link cannot reduce an infinite distance cost, so disconnected
+    starts would freeze immediately (the empty network is itself pairwise
+    stable — the mutual-blocking phenomenon the paper discusses).  Only
+    converged runs contribute a network; the same stable topology may be
+    reached from several starts, which mimics a crude basin-of-attraction
+    weighting.
+    """
+    from ..graphs import random_connected_graph
+
+    results: List[Graph] = []
+    for index in range(num_samples):
+        rng = random.Random(seed * 100003 + index)
+        start = random_connected_graph(n, edge_probability, rng)
+        outcome = pairwise_dynamics_bcg(
+            n, alpha, initial=start, max_rounds=max_rounds, rng=rng
+        )
+        if outcome.converged:
+            results.append(outcome.graph)
+    return results
+
+
+def sample_nash_networks_ucg(
+    n: int,
+    alpha: float,
+    num_samples: int,
+    seed: int = 0,
+    max_rounds: int = 200,
+) -> List[Graph]:
+    """Sample UCG Nash networks by best-response dynamics from random starts."""
+    results: List[Graph] = []
+    for index in range(num_samples):
+        rng = random.Random(seed * 100003 + index)
+        requests: List[List[int]] = []
+        for player in range(n):
+            others = [j for j in range(n) if j != player]
+            count = rng.randint(0, min(3, n - 1))
+            requests.append(rng.sample(others, count))
+        start = StrategyProfile(n, requests)
+        outcome = best_response_dynamics_ucg(
+            n, alpha, initial=start, max_rounds=max_rounds, rng=rng
+        )
+        if outcome.converged:
+            results.append(outcome.graph)
+    return results

@@ -1,0 +1,113 @@
+"""Efficient (socially optimal) networks of the connection games.
+
+Lemma 4 and Lemma 5 of the paper characterise the BCG optimum: the complete
+graph for ``α < 1`` and the star for ``α > 1`` (both are optimal at ``α = 1``).
+The analogous thresholds for the UCG (Fabrikant et al.) are at ``α = 2``
+because an edge is paid for only once.  This module provides closed-form
+optimal costs, the optimal graphs themselves, and an exhaustive verifier used
+by tests and the ``lemma4`` / ``lemma5`` experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..graphs import Graph, complete_graph, star_graph
+from .costs import social_cost_bcg, social_cost_ucg
+
+
+def _check_game(game: str) -> str:
+    game = game.lower()
+    if game not in ("bcg", "ucg"):
+        raise ValueError(f"game must be 'bcg' or 'ucg', got {game!r}")
+    return game
+
+
+def social_cost(graph: Graph, alpha: float, game: str = "bcg") -> float:
+    """Social cost of ``graph`` under the given game's accounting."""
+    game = _check_game(game)
+    if game == "bcg":
+        return social_cost_bcg(graph, alpha)
+    return social_cost_ucg(graph, alpha)
+
+
+def complete_graph_social_cost(n: int, alpha: float, game: str = "bcg") -> float:
+    """Closed-form social cost of ``K_n``."""
+    game = _check_game(game)
+    num_edges = n * (n - 1) // 2
+    distance_total = n * (n - 1)  # every ordered pair at distance 1
+    per_edge = 2.0 if game == "bcg" else 1.0
+    return per_edge * alpha * num_edges + distance_total
+
+
+def star_social_cost(n: int, alpha: float, game: str = "bcg") -> float:
+    """Closed-form social cost of the star ``K_{1,n-1}``."""
+    game = _check_game(game)
+    if n < 2:
+        return 0.0
+    num_edges = n - 1
+    # Ordered pairs: 2(n-1) centre-leaf pairs at distance 1, (n-1)(n-2)
+    # ordered leaf-leaf pairs at distance 2.
+    distance_total = 2 * (n - 1) + 2 * (n - 1) * (n - 2)
+    per_edge = 2.0 if game == "bcg" else 1.0
+    return per_edge * alpha * num_edges + distance_total
+
+
+def efficiency_threshold(game: str = "bcg") -> float:
+    """The link cost at which the optimum switches from complete graph to star.
+
+    ``α = 1`` in the BCG (Lemmas 4 and 5) and ``α = 2`` in the UCG.
+    """
+    game = _check_game(game)
+    return 1.0 if game == "bcg" else 2.0
+
+
+def efficient_social_cost(n: int, alpha: float, game: str = "bcg") -> float:
+    """Social cost of the efficient network on ``n`` players.
+
+    The optimum is the complete graph below the game's threshold and the star
+    above it (they coincide at the threshold and for ``n <= 2``).
+    """
+    game = _check_game(game)
+    if n < 2:
+        return 0.0
+    threshold = efficiency_threshold(game)
+    if alpha <= threshold:
+        return complete_graph_social_cost(n, alpha, game)
+    return star_social_cost(n, alpha, game)
+
+
+def efficient_graph(n: int, alpha: float, game: str = "bcg") -> Graph:
+    """An efficient network on ``n`` players (complete graph or star)."""
+    game = _check_game(game)
+    if n < 2:
+        return Graph(n)
+    if alpha <= efficiency_threshold(game):
+        return complete_graph(n)
+    return star_graph(n)
+
+
+def is_efficient(graph: Graph, alpha: float, game: str = "bcg", tol: float = 1e-9) -> bool:
+    """Whether ``graph`` attains the optimal social cost for its size."""
+    return social_cost(graph, alpha, game) <= efficient_social_cost(graph.n, alpha, game) + tol
+
+
+def exhaustive_social_optimum(
+    graphs: Iterable[Graph], alpha: float, game: str = "bcg"
+) -> Tuple[float, List[Graph]]:
+    """Brute-force optimum over an explicit collection of graphs.
+
+    Returns the minimum social cost and *all* graphs in the collection that
+    attain it (used to verify the uniqueness claims of Lemmas 4 and 5 on
+    exhaustive enumerations of small graphs).
+    """
+    best = float("inf")
+    argmin: List[Graph] = []
+    for graph in graphs:
+        cost = social_cost(graph, alpha, game)
+        if cost < best - 1e-9:
+            best = cost
+            argmin = [graph]
+        elif abs(cost - best) <= 1e-9:
+            argmin.append(graph)
+    return best, argmin

@@ -1,0 +1,46 @@
+"""Unified façade over the equilibrium concepts of both connection games.
+
+The concrete implementations live in :mod:`repro.core.bilateral` (pairwise
+stability, pairwise Nash, BCG Nash profiles) and
+:mod:`repro.core.unilateral` (UCG best responses, Nash profiles, Nash
+networks).  This module re-exports them under one roof so user code and the
+experiments can import every solution concept from a single place.
+"""
+
+from .bilateral import (
+    best_deviation_delta_bcg,
+    is_nash_profile_bcg,
+    is_pairwise_nash,
+    is_pairwise_stable,
+    pairwise_nash_graphs,
+    pairwise_stability_violations,
+    pairwise_stable_graphs,
+)
+from .unilateral import (
+    best_response_ucg,
+    is_nash_graph_ucg,
+    is_nash_profile_ucg,
+    nash_graphs_ucg,
+    nash_supporting_ownership,
+    ownership_best_response_interval,
+    ucg_nash_alpha_set,
+)
+
+__all__ = [
+    # BCG
+    "is_pairwise_stable",
+    "pairwise_stability_violations",
+    "is_pairwise_nash",
+    "is_nash_profile_bcg",
+    "best_deviation_delta_bcg",
+    "pairwise_stable_graphs",
+    "pairwise_nash_graphs",
+    # UCG
+    "best_response_ucg",
+    "is_nash_profile_ucg",
+    "is_nash_graph_ucg",
+    "ucg_nash_alpha_set",
+    "ownership_best_response_interval",
+    "nash_supporting_ownership",
+    "nash_graphs_ucg",
+]

@@ -1,0 +1,193 @@
+"""High-level game objects for the two connection games.
+
+:class:`BilateralConnectionGame` and :class:`UnilateralConnectionGame` bundle
+the number of players and the link cost ``α`` with the linking rule, cost
+functions, equilibrium tests and efficiency quantities, providing the main
+object-oriented entry point of the library (the underlying functions are all
+available in their own modules for functional use).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional
+
+from ..graphs import Graph
+from .anarchy import average_price_of_anarchy, price_of_anarchy, worst_case_price_of_anarchy
+from .bilateral import (
+    is_nash_profile_bcg,
+    is_pairwise_nash,
+    is_pairwise_stable,
+    pairwise_stability_violations,
+)
+from .costs import (
+    player_cost_bcg,
+    player_cost_ucg,
+    social_cost_bcg,
+    social_cost_ucg,
+)
+from .efficiency import efficient_graph, efficient_social_cost
+from .stability_intervals import pairwise_stability_interval
+from .strategies import StrategyProfile
+from .unilateral import (
+    is_nash_graph_ucg,
+    is_nash_profile_ucg,
+    nash_supporting_ownership,
+    ucg_nash_alpha_set,
+)
+
+
+class ConnectionGame(ABC):
+    """Common interface of the two connection games.
+
+    Parameters
+    ----------
+    n:
+        Number of players.
+    alpha:
+        Link cost ``α > 0``.
+    """
+
+    #: Short name used by reports ("bcg" or "ucg").
+    name: str = "connection-game"
+
+    def __init__(self, n: int, alpha: float) -> None:
+        if n < 1:
+            raise ValueError("a connection game needs at least one player")
+        if alpha <= 0:
+            raise ValueError("the paper assumes a strictly positive link cost α")
+        self.n = n
+        self.alpha = alpha
+
+    # -- linking rule and costs ------------------------------------------- #
+
+    @abstractmethod
+    def resulting_graph(self, profile: StrategyProfile) -> Graph:
+        """The network formed by ``profile`` under this game's linking rule."""
+
+    @abstractmethod
+    def player_cost(self, profile: StrategyProfile, player: int) -> float:
+        """Cost (eq. (1)) of ``player`` under ``profile``."""
+
+    @abstractmethod
+    def social_cost(self, graph: Graph) -> float:
+        """Social cost of an equilibrium-style network of this game."""
+
+    # -- equilibrium tests -------------------------------------------------- #
+
+    @abstractmethod
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        """Whether ``profile`` is a pure Nash equilibrium (Definition 1)."""
+
+    @abstractmethod
+    def is_equilibrium_network(self, graph: Graph) -> bool:
+        """Whether ``graph`` is a stable outcome under this game's solution concept.
+
+        Nash network for the UCG, pairwise-stable network for the BCG — the
+        solution concepts the paper uses when comparing the two games.
+        """
+
+    # -- efficiency and price of anarchy ------------------------------------ #
+
+    def efficient_graph(self) -> Graph:
+        """The efficient (social-cost-minimising) network."""
+        return efficient_graph(self.n, self.alpha, self.name)
+
+    def efficient_social_cost(self) -> float:
+        """Social cost of the efficient network."""
+        return efficient_social_cost(self.n, self.alpha, self.name)
+
+    def price_of_anarchy(self, graph: Graph) -> float:
+        """``ρ(G)`` of one network."""
+        return price_of_anarchy(graph, self.alpha, self.name)
+
+    def worst_case_price_of_anarchy(self, equilibria: Iterable[Graph]) -> float:
+        """The game's price of anarchy over an explicit equilibrium set."""
+        return worst_case_price_of_anarchy(equilibria, self.alpha, self.name)
+
+    def average_price_of_anarchy(self, equilibria: Iterable[Graph]) -> float:
+        """The Figure 2 quantity over an explicit equilibrium set."""
+        return average_price_of_anarchy(equilibria, self.alpha, self.name)
+
+    def equilibrium_networks(self, graphs: Iterable[Graph]) -> List[Graph]:
+        """Filter ``graphs`` down to this game's equilibrium networks."""
+        return [g for g in graphs if self.is_equilibrium_network(g)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, alpha={self.alpha})"
+
+
+class BilateralConnectionGame(ConnectionGame):
+    """The paper's bilateral connection game (consent + two-sided link costs)."""
+
+    name = "bcg"
+
+    def resulting_graph(self, profile: StrategyProfile) -> Graph:
+        return profile.bilateral_graph()
+
+    def player_cost(self, profile: StrategyProfile, player: int) -> float:
+        return player_cost_bcg(profile, player, self.alpha)
+
+    def social_cost(self, graph: Graph) -> float:
+        return social_cost_bcg(graph, self.alpha)
+
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        return is_nash_profile_bcg(profile, self.alpha)
+
+    def is_equilibrium_network(self, graph: Graph) -> bool:
+        return self.is_pairwise_stable(graph)
+
+    # -- BCG-specific notions ----------------------------------------------- #
+
+    def is_pairwise_stable(self, graph: Graph) -> bool:
+        """Definition 3 at this game's link cost."""
+        return is_pairwise_stable(graph, self.alpha)
+
+    def is_pairwise_nash(self, graph: Graph) -> bool:
+        """Definition 2 at this game's link cost."""
+        return is_pairwise_nash(graph, self.alpha)
+
+    def stability_violations(self, graph: Graph) -> List[str]:
+        """Human-readable pairwise-stability violations at this link cost."""
+        return pairwise_stability_violations(graph, self.alpha)
+
+    @staticmethod
+    def stability_interval(graph: Graph):
+        """The Lemma 2 interval ``(α_min, α_max]`` of a graph (α-independent)."""
+        return pairwise_stability_interval(graph)
+
+
+class UnilateralConnectionGame(ConnectionGame):
+    """The Fabrikant et al. unilateral connection game used as the baseline."""
+
+    name = "ucg"
+
+    def resulting_graph(self, profile: StrategyProfile) -> Graph:
+        return profile.unilateral_graph()
+
+    def player_cost(self, profile: StrategyProfile, player: int) -> float:
+        return player_cost_ucg(profile, player, self.alpha)
+
+    def social_cost(self, graph: Graph) -> float:
+        return social_cost_ucg(graph, self.alpha)
+
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        return is_nash_profile_ucg(profile, self.alpha)
+
+    def is_equilibrium_network(self, graph: Graph) -> bool:
+        return self.is_nash_network(graph)
+
+    # -- UCG-specific notions ------------------------------------------------ #
+
+    def is_nash_network(self, graph: Graph) -> bool:
+        """Whether some edge-ownership assignment makes ``graph`` a Nash outcome."""
+        return is_nash_graph_ucg(graph, self.alpha)
+
+    def nash_supporting_ownership(self, graph: Graph) -> Optional[dict]:
+        """An edge-ownership witness for Nash-supportability, or ``None``."""
+        return nash_supporting_ownership(graph, self.alpha)
+
+    @staticmethod
+    def nash_alpha_set(graph: Graph):
+        """All link costs at which ``graph`` is Nash-supportable (α-independent)."""
+        return ucg_nash_alpha_set(graph)

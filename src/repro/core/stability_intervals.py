@@ -1,0 +1,264 @@
+"""Link-deviation analysis and α-intervals for network stability.
+
+Pairwise stability (Definition 3 of the paper) is an edge-by-edge condition,
+so for a fixed graph the set of link costs ``α`` at which the graph is stable
+can be derived from two families of numbers:
+
+* for every edge ``(i, j)`` and endpoint ``i``: the *removal increase*
+  ``Σ_k d_(i,k)(G - ij) - Σ_k d_(i,k)(G)`` (how much worse ``i``'s distance
+  cost gets when the edge is severed);
+* for every non-edge ``(i, j)`` and endpoint ``i``: the *addition saving*
+  ``Σ_k d_(i,k)(G) - Σ_k d_(i,k)(G + ij)`` (how much better ``i``'s distance
+  cost gets when the edge is created).
+
+The proof of Lemma 2 expresses stability via ``α_min`` (the largest saving of
+any *least-interested* endpoint of a missing link) and ``α_max`` (the smallest
+removal increase over present links): the graph is pairwise stable for
+``α ∈ (α_min, α_max]``.  :class:`PairwiseStabilityProfile` stores the raw
+deviation numbers so that exact stability can be decided for *any* α in
+``O(n²)`` comparisons without re-running BFS, which is what makes the
+exhaustive censuses of Section 5 affordable.
+
+The same style of precomputation is used for the UCG: a graph is
+Nash-supportable at the link costs in a finite union of closed intervals
+(:class:`AlphaIntervalSet`), computed once per graph by
+:func:`repro.core.unilateral.ucg_nash_alpha_set`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs import (
+    Graph,
+    INFINITY,
+    bfs_distances,
+    bfs_distances_with_extra_edge,
+    bfs_distances_with_forbidden_edge,
+)
+
+Edge = Tuple[int, int]
+EndpointKey = Tuple[Edge, int]
+
+
+# --------------------------------------------------------------------------- #
+# Closed-interval arithmetic (used by the UCG Nash α-set computation)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AlphaInterval:
+    """A closed interval ``[lo, hi]`` of link costs (possibly unbounded above)."""
+
+    lo: float
+    hi: float
+
+    def is_empty(self) -> bool:
+        """Whether the interval contains no link cost."""
+        return self.lo > self.hi
+
+    def contains(self, alpha: float, tol: float = 1e-9) -> bool:
+        """Whether ``alpha`` lies in the interval (with tolerance)."""
+        return self.lo - tol <= alpha <= self.hi + tol
+
+    def intersect(self, other: "AlphaInterval") -> "AlphaInterval":
+        """Intersection of two closed intervals."""
+        return AlphaInterval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+
+#: The full range of admissible link costs (the paper assumes ``α > 0``).
+FULL_ALPHA_RANGE = AlphaInterval(0.0, INFINITY)
+
+
+class AlphaIntervalSet:
+    """A finite union of closed α-intervals, kept merged and sorted."""
+
+    def __init__(self, intervals: Sequence[AlphaInterval] = ()) -> None:
+        self._intervals: List[AlphaInterval] = _merge_intervals(
+            [iv for iv in intervals if not iv.is_empty()]
+        )
+
+    @property
+    def intervals(self) -> List[AlphaInterval]:
+        """The merged, sorted component intervals."""
+        return list(self._intervals)
+
+    def is_empty(self) -> bool:
+        """Whether no link cost is in the set."""
+        return not self._intervals
+
+    def contains(self, alpha: float, tol: float = 1e-9) -> bool:
+        """Whether ``alpha`` is in the union (with tolerance)."""
+        return any(iv.contains(alpha, tol) for iv in self._intervals)
+
+    def add(self, interval: AlphaInterval) -> None:
+        """Add an interval to the union (re-merging)."""
+        if interval.is_empty():
+            return
+        self._intervals = _merge_intervals(self._intervals + [interval])
+
+    def min_alpha(self) -> Optional[float]:
+        """Smallest link cost in the set, or ``None`` when empty."""
+        return self._intervals[0].lo if self._intervals else None
+
+    def max_alpha(self) -> Optional[float]:
+        """Largest link cost in the set (possibly ``inf``), or ``None`` when empty."""
+        return self._intervals[-1].hi if self._intervals else None
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{iv.lo:g}, {iv.hi:g}]" for iv in self._intervals)
+        return f"AlphaIntervalSet({parts})"
+
+
+def _merge_intervals(intervals: Sequence[AlphaInterval]) -> List[AlphaInterval]:
+    """Merge overlapping or touching closed intervals."""
+    ordered = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: List[AlphaInterval] = []
+    for interval in ordered:
+        if merged and interval.lo <= merged[-1].hi + 1e-12:
+            last = merged[-1]
+            merged[-1] = AlphaInterval(last.lo, max(last.hi, interval.hi))
+        else:
+            merged.append(interval)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Pairwise stability (BCG)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PairwiseStabilityProfile:
+    """All single-link deviation payoffs of a graph in the BCG.
+
+    Attributes
+    ----------
+    graph:
+        The analysed graph.
+    removal_increase:
+        ``removal_increase[((u, v), w)]`` is the increase in vertex ``w``'s
+        distance cost when edge ``(u, v)`` is severed (``w`` an endpoint).
+    addition_saving:
+        ``addition_saving[((u, v), w)]`` is the decrease in vertex ``w``'s
+        distance cost when non-edge ``(u, v)`` is created (``w`` an endpoint).
+    """
+
+    graph: Graph
+    removal_increase: Dict[EndpointKey, float] = field(default_factory=dict)
+    addition_saving: Dict[EndpointKey, float] = field(default_factory=dict)
+
+    # -- Lemma 2 interval -------------------------------------------------- #
+
+    @property
+    def alpha_max(self) -> float:
+        """``α_max``: smallest removal increase over all (edge, endpoint) pairs.
+
+        For any ``α`` above this value some player strictly prefers to sever a
+        link unilaterally.  Equals ``inf`` for graphs with no edges.
+        """
+        if not self.removal_increase:
+            return INFINITY
+        return min(self.removal_increase.values())
+
+    @property
+    def alpha_min(self) -> float:
+        """``α_min``: largest saving of a least-interested endpoint of a non-edge.
+
+        For any ``α`` strictly below this value some missing link would be
+        added bilaterally.  Equals ``0`` for complete graphs, ``inf`` for
+        disconnected graphs (a cross-component link always pays off).
+        """
+        best = 0.0
+        for (u, v) in self.graph.non_edges():
+            save_u = self.addition_saving[((u, v), u)]
+            save_v = self.addition_saving[((u, v), v)]
+            best = max(best, min(save_u, save_v))
+        return best
+
+    def stability_interval(self) -> Tuple[float, float]:
+        """The Lemma 2 interval ``(α_min, α_max]`` as a tuple."""
+        return (self.alpha_min, self.alpha_max)
+
+    # -- Exact Definition 3 checks ----------------------------------------- #
+
+    def is_stable_at(self, alpha: float) -> bool:
+        """Exact pairwise stability (Definition 3) at link cost ``alpha``."""
+        return not self.violations_at(alpha)
+
+    def violations_at(self, alpha: float) -> List[str]:
+        """Human-readable list of Definition 3 violations at ``alpha``."""
+        violations: List[str] = []
+        for (u, v) in self.graph.sorted_edges():
+            for endpoint in (u, v):
+                if self.removal_increase[((u, v), endpoint)] < alpha - 1e-12:
+                    violations.append(
+                        f"player {endpoint} strictly gains by severing edge ({u}, {v})"
+                    )
+        for (u, v) in self.graph.non_edges():
+            save_u = self.addition_saving[((u, v), u)]
+            save_v = self.addition_saving[((u, v), v)]
+            lo, hi = min(save_u, save_v), max(save_u, save_v)
+            # Violation of Definition 3: one endpoint strictly gains and the
+            # other at least weakly gains from adding the missing link.
+            if hi > alpha + 1e-12 and lo >= alpha - 1e-12:
+                violations.append(
+                    f"players {u} and {v} would bilaterally add missing edge ({u}, {v})"
+                )
+        return violations
+
+
+def distance_delta(after: float, before: float) -> float:
+    """``after - before`` with the paper's ``∞`` conventions made explicit.
+
+    When both quantities are infinite the player cost does not change (an
+    unreachable player stays unreachable), so the delta is 0; mixed cases
+    propagate the sign of the infinite term.  This keeps the exact
+    Definition 2/3 checks meaningful on disconnected graphs.
+    """
+    if after == INFINITY and before == INFINITY:
+        return 0.0
+    return after - before
+
+
+def pairwise_stability_profile(graph: Graph) -> PairwiseStabilityProfile:
+    """Compute all single-link deviation payoffs of ``graph`` (BCG view).
+
+    Runs ``O(n + m·2 + (n² - m)·2)`` BFS traversals; every subsequent
+    stability query at any ``α`` is then a cheap comparison pass.
+    """
+    profile = PairwiseStabilityProfile(graph=graph)
+    base_sums = [sum(bfs_distances(graph, v)) for v in range(graph.n)]
+
+    for (u, v) in graph.sorted_edges():
+        for endpoint in (u, v):
+            without = sum(bfs_distances_with_forbidden_edge(graph, endpoint, (u, v)))
+            profile.removal_increase[((u, v), endpoint)] = distance_delta(
+                without, base_sums[endpoint]
+            )
+
+    for (u, v) in graph.non_edges():
+        for endpoint in (u, v):
+            with_edge = sum(bfs_distances_with_extra_edge(graph, endpoint, (u, v)))
+            profile.addition_saving[((u, v), endpoint)] = distance_delta(
+                base_sums[endpoint], with_edge
+            )
+
+    return profile
+
+
+def pairwise_stability_interval(graph: Graph) -> Tuple[float, float]:
+    """The Lemma 2 interval ``(α_min, α_max]`` for ``graph``.
+
+    The graph is pairwise stable for every ``α`` strictly above ``α_min`` and
+    at most ``α_max``; the interval is empty (``α_min >= α_max``) when no link
+    cost stabilises the graph.
+    """
+    return pairwise_stability_profile(graph).stability_interval()
+
+
+def has_stabilizing_alpha(graph: Graph) -> bool:
+    """Whether some link cost ``α > 0`` makes ``graph`` pairwise stable."""
+    alpha_min, alpha_max = pairwise_stability_interval(graph)
+    return alpha_min < alpha_max

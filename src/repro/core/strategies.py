@@ -1,0 +1,237 @@
+"""Strategy profiles and strategy matrices for the connection games.
+
+Section 2 of the paper: the strategy of player ``i`` is the 0/1 vector
+``s_i = (s_ij)_{j != i}`` where ``s_ij = 1`` means "player i seeks contact
+with player j".  A full profile is the ``n x n`` matrix ``s`` (diagonal
+ignored).  The *linking rule* of the game turns a profile into an undirected
+graph:
+
+* UCG:  edge ``{i, j}`` forms when ``s_ij = 1`` **or** ``s_ji = 1``;
+* BCG:  edge ``{i, j}`` forms when ``s_ij = 1`` **and** ``s_ji = 1``.
+
+The paper also works with strategy matrices ``Λ_(i,j)`` (all zero except the
+entries that create link ``(i, j)``), which we expose as
+:func:`edge_strategy_matrix` plus profile addition/subtraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs import Graph
+
+Edge = Tuple[int, int]
+
+
+class StrategyProfile:
+    """An immutable strategy profile for an ``n``-player connection game.
+
+    Parameters
+    ----------
+    n:
+        Number of players.
+    requests:
+        ``requests[i]`` is the set of players that player ``i`` seeks contact
+        with (``s_ij = 1``).  Self-requests are rejected.
+    """
+
+    __slots__ = ("_n", "_requests")
+
+    def __init__(self, n: int, requests: Optional[Sequence[Iterable[int]]] = None) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._n = n
+        rows: List[FrozenSet[int]] = []
+        requests = requests if requests is not None else [()] * n
+        if len(requests) != n:
+            raise ValueError("requests must have one entry per player")
+        for i, row in enumerate(requests):
+            row_set = frozenset(int(j) for j in row)
+            if i in row_set:
+                raise ValueError(f"player {i} cannot request a link to itself")
+            if any(j < 0 or j >= n for j in row_set):
+                raise ValueError(f"player {i} requests an out-of-range player")
+            rows.append(row_set)
+        self._requests: Tuple[FrozenSet[int], ...] = tuple(rows)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of players."""
+        return self._n
+
+    def requests_of(self, player: int) -> FrozenSet[int]:
+        """The set of players that ``player`` seeks contact with."""
+        return self._requests[player]
+
+    def seeks(self, i: int, j: int) -> bool:
+        """Whether ``s_ij = 1``."""
+        return j in self._requests[i]
+
+    def num_requests(self, player: int) -> int:
+        """``|s_i|``: the number of links player ``i`` provisions for."""
+        return len(self._requests[player])
+
+    def as_matrix(self) -> List[List[int]]:
+        """The dense 0/1 strategy matrix (diagonal entries are 0)."""
+        matrix = [[0] * self._n for _ in range(self._n)]
+        for i, row in enumerate(self._requests):
+            for j in row:
+                matrix[i][j] = 1
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Linking rules
+    # ------------------------------------------------------------------ #
+
+    def unilateral_graph(self) -> Graph:
+        """The graph formed under the UCG linking rule (``s_ij ∨ s_ji``)."""
+        edges = set()
+        for i, row in enumerate(self._requests):
+            for j in row:
+                edges.add((min(i, j), max(i, j)))
+        return Graph(self._n, edges)
+
+    def bilateral_graph(self) -> Graph:
+        """The graph formed under the BCG linking rule (``s_ij ∧ s_ji``)."""
+        edges = [
+            (i, j)
+            for i, row in enumerate(self._requests)
+            for j in row
+            if j > i and i in self._requests[j]
+        ]
+        return Graph(self._n, edges)
+
+    # ------------------------------------------------------------------ #
+    # Profile algebra (the paper's ``s + Λ_B`` / ``s - Λ_B``)
+    # ------------------------------------------------------------------ #
+
+    def with_request(self, i: int, j: int) -> "StrategyProfile":
+        """A copy with ``s_ij`` set to 1."""
+        rows = [set(r) for r in self._requests]
+        rows[i].add(j)
+        return StrategyProfile(self._n, rows)
+
+    def without_request(self, i: int, j: int) -> "StrategyProfile":
+        """A copy with ``s_ij`` set to 0."""
+        rows = [set(r) for r in self._requests]
+        rows[i].discard(j)
+        return StrategyProfile(self._n, rows)
+
+    def with_player_strategy(self, i: int, requests: Iterable[int]) -> "StrategyProfile":
+        """A copy in which player ``i`` unilaterally deviates to ``requests``."""
+        rows = [set(r) for r in self._requests]
+        rows[i] = set(requests)
+        return StrategyProfile(self._n, rows)
+
+    def add_bilateral_link(self, i: int, j: int) -> "StrategyProfile":
+        """``s + Λ_(i,j)`` in the BCG: both ``s_ij`` and ``s_ji`` set to 1."""
+        rows = [set(r) for r in self._requests]
+        rows[i].add(j)
+        rows[j].add(i)
+        return StrategyProfile(self._n, rows)
+
+    def remove_bilateral_link(self, i: int, j: int) -> "StrategyProfile":
+        """``s - Λ_(i,j)`` in the BCG: both ``s_ij`` and ``s_ji`` set to 0."""
+        rows = [set(r) for r in self._requests]
+        rows[i].discard(j)
+        rows[j].discard(i)
+        return StrategyProfile(self._n, rows)
+
+    def add_links(self, edges: Iterable[Edge], bilateral: bool = True) -> "StrategyProfile":
+        """``s + Λ_B`` for an edge set ``B``."""
+        rows = [set(r) for r in self._requests]
+        for i, j in edges:
+            rows[i].add(j)
+            if bilateral:
+                rows[j].add(i)
+        return StrategyProfile(self._n, rows)
+
+    def remove_links(self, edges: Iterable[Edge], bilateral: bool = True) -> "StrategyProfile":
+        """``s - Λ_B`` for an edge set ``B``."""
+        rows = [set(r) for r in self._requests]
+        for i, j in edges:
+            rows[i].discard(j)
+            if bilateral:
+                rows[j].discard(i)
+        return StrategyProfile(self._n, rows)
+
+    # ------------------------------------------------------------------ #
+    # Equality / repr
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategyProfile):
+            return NotImplemented
+        return self._n == other._n and self._requests == other._requests
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._requests))
+
+    def __repr__(self) -> str:
+        total = sum(len(r) for r in self._requests)
+        return f"StrategyProfile(n={self._n}, requests={total})"
+
+
+def edge_strategy_matrix(n: int, i: int, j: int, bilateral: bool = True) -> StrategyProfile:
+    """The paper's ``Λ_(i,j)`` as a standalone profile.
+
+    In the BCG, ``Λ_(i,j)`` has ``λ_ij = λ_ji = 1``; in the UCG only
+    ``λ_ij = 1``.
+    """
+    rows: List[set] = [set() for _ in range(n)]
+    rows[i].add(j)
+    if bilateral:
+        rows[j].add(i)
+    return StrategyProfile(n, rows)
+
+
+def profile_from_graph_bcg(graph: Graph) -> StrategyProfile:
+    """The natural profile supporting ``graph`` in the BCG.
+
+    Every edge is requested by both endpoints and nothing else is requested;
+    this is the minimal-cost profile whose bilateral graph is ``graph``.
+    """
+    rows: List[set] = [set() for _ in range(graph.n)]
+    for u, v in graph.edges:
+        rows[u].add(v)
+        rows[v].add(u)
+    return StrategyProfile(graph.n, rows)
+
+
+def profile_from_ownership_ucg(graph: Graph, owner: Dict[Edge, int]) -> StrategyProfile:
+    """A UCG profile in which each edge is requested only by its ``owner``.
+
+    Parameters
+    ----------
+    graph:
+        The target graph.
+    owner:
+        Maps each edge ``(u, v)`` with ``u < v`` to the endpoint that buys it.
+
+    Raises
+    ------
+    ValueError
+        If an edge has no owner or the owner is not an endpoint.
+    """
+    rows: List[set] = [set() for _ in range(graph.n)]
+    for edge in graph.sorted_edges():
+        if edge not in owner:
+            raise ValueError(f"edge {edge} has no owner")
+        u, v = edge
+        buyer = owner[edge]
+        if buyer == u:
+            rows[u].add(v)
+        elif buyer == v:
+            rows[v].add(u)
+        else:
+            raise ValueError(f"owner of edge {edge} must be one of its endpoints")
+    return StrategyProfile(graph.n, rows)
+
+
+def empty_profile(n: int) -> StrategyProfile:
+    """The all-zero profile (every player requests nothing)."""
+    return StrategyProfile(n)

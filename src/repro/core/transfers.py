@@ -1,0 +1,133 @@
+"""Pairwise stability with transfers (the paper's Section 6 extension).
+
+The conclusion of the paper raises the question of whether *bilateral
+transfers between players can mediate the price of anarchy* of the connection
+game.  The standard formalisation (Jackson & Wolinsky's "pairwise stability
+with transfers", also called pairwise stability with side payments) changes
+the link-level test from individual rationality to *joint* rationality:
+
+* an existing link ``(i, j)`` is kept only if severing it does not lower the
+  endpoints' **combined** cost (one endpoint may compensate the other for
+  keeping a privately unattractive link);
+* a missing link ``(i, j)`` is added whenever doing so lowers the endpoints'
+  combined cost (the gainer can pay the loser).
+
+Because decisions are made on the sum of the two endpoints' costs, transfers
+internalise the *local* externality of a link; the global externality (other
+players also getting closer) is still ignored, so stable-with-transfers
+networks need not be efficient — quantifying how much of the price of anarchy
+transfers recover is exactly the experiment ``ext_transfers`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..graphs import (
+    Graph,
+    bfs_distances,
+    bfs_distances_with_extra_edge,
+    bfs_distances_with_forbidden_edge,
+)
+from .stability_intervals import distance_delta
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class TransferStabilityProfile:
+    """Joint (two-endpoint) deviation payoffs of a graph under transfers.
+
+    Attributes
+    ----------
+    graph:
+        The analysed graph.
+    joint_removal_increase:
+        For each edge, the increase in the *sum* of both endpoints' distance
+        costs when the edge is severed.
+    joint_addition_saving:
+        For each non-edge, the decrease in the *sum* of both endpoints'
+        distance costs when the edge is created.
+    """
+
+    graph: Graph
+    joint_removal_increase: dict
+    joint_addition_saving: dict
+
+    @property
+    def alpha_max(self) -> float:
+        """Largest link cost at which no edge is jointly worth severing.
+
+        Severing edge ``(i, j)`` saves the pair ``2α`` in link costs (each
+        endpoint stops paying ``α``) and costs them the joint distance
+        increase, so the edge survives exactly when ``2α`` is at most that
+        increase.
+        """
+        if not self.joint_removal_increase:
+            return float("inf")
+        return min(self.joint_removal_increase.values()) / 2.0
+
+    @property
+    def alpha_min(self) -> float:
+        """Smallest link cost at which no missing edge is jointly worth adding."""
+        if not self.joint_addition_saving:
+            return 0.0
+        return max(self.joint_addition_saving.values()) / 2.0
+
+    def stability_interval(self) -> Tuple[float, float]:
+        """The window ``(α_min, α_max]`` of link costs with transfer-stability."""
+        return (self.alpha_min, self.alpha_max)
+
+    def is_stable_at(self, alpha: float) -> bool:
+        """Exact pairwise stability with transfers at link cost ``alpha``."""
+        for increase in self.joint_removal_increase.values():
+            # Joint gain from severing = 2α - increase; strict gain is a violation.
+            if 2.0 * alpha > increase + 1e-12:
+                return False
+        for saving in self.joint_addition_saving.values():
+            # Joint gain from adding = saving - 2α; strict gain is a violation.
+            if saving > 2.0 * alpha + 1e-12:
+                return False
+        return True
+
+
+def transfer_stability_profile(graph: Graph) -> TransferStabilityProfile:
+    """Compute the joint deviation payoffs of every single-link change."""
+    base = [sum(bfs_distances(graph, v)) for v in range(graph.n)]
+    removal = {}
+    for (u, v) in graph.sorted_edges():
+        increase = 0.0
+        for endpoint in (u, v):
+            without = sum(bfs_distances_with_forbidden_edge(graph, endpoint, (u, v)))
+            increase += distance_delta(without, base[endpoint])
+        removal[(u, v)] = increase
+    addition = {}
+    for (u, v) in graph.non_edges():
+        saving = 0.0
+        for endpoint in (u, v):
+            with_edge = sum(bfs_distances_with_extra_edge(graph, endpoint, (u, v)))
+            saving += distance_delta(base[endpoint], with_edge)
+        addition[(u, v)] = saving
+    return TransferStabilityProfile(
+        graph=graph,
+        joint_removal_increase=removal,
+        joint_addition_saving=addition,
+    )
+
+
+def is_pairwise_stable_with_transfers(graph: Graph, alpha: float) -> bool:
+    """Whether ``graph`` is pairwise stable with transfers at link cost ``alpha``."""
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    return transfer_stability_profile(graph).is_stable_at(alpha)
+
+
+def transfer_stability_interval(graph: Graph) -> Tuple[float, float]:
+    """The ``(α_min, α_max]`` window of link costs with transfer-stability."""
+    return transfer_stability_profile(graph).stability_interval()
+
+
+def transfer_stable_graphs(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+    """Filter a collection down to the transfer-stable networks at ``alpha``."""
+    return [g for g in graphs if is_pairwise_stable_with_transfers(g, alpha)]

@@ -1,0 +1,325 @@
+"""Equilibrium machinery for the unilateral connection game (UCG).
+
+The UCG is the network creation game of Fabrikant et al. (PODC 2003): a
+player unilaterally buys links at cost ``α`` each and pays its total hop
+distance to all other players.  The paper compares its Nash equilibria with
+the pairwise-stable networks of the BCG, so we need three things:
+
+* exact best responses (player-level optimisation by subset enumeration);
+* a Nash test for explicit strategy profiles (Definition 1);
+* a Nash test for *graphs*: a graph is a Nash (equilibrium) network when some
+  assignment of each edge to a buying endpoint makes every player's purchase
+  set a best response.  Deciding this is NP-hard in general; for the small
+  graphs of the empirical study we use exact search, made affordable by two
+  observations:
+
+  1. for a fixed player and a fixed set of owned edges, the set of link costs
+     ``α`` at which that ownership is a best response is a closed interval
+     (every Nash constraint is linear in ``α``);
+  2. ownership assignments can be enumerated by backtracking over vertices,
+     intersecting the per-player intervals and pruning as soon as the
+     intersection becomes empty.
+
+The result of the search is an :class:`~repro.core.stability_intervals.AlphaIntervalSet`
+describing *all* link costs at which the graph is Nash-supportable, so a
+census over many values of ``α`` pays the search cost only once per graph.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs import Graph, INFINITY, distance_sum
+from .stability_intervals import (
+    AlphaInterval,
+    AlphaIntervalSet,
+    FULL_ALPHA_RANGE,
+    distance_delta,
+)
+from .strategies import StrategyProfile
+
+Edge = Tuple[int, int]
+
+#: Interval returned when an ownership set is never a best response.
+_EMPTY_INTERVAL = AlphaInterval(1.0, 0.0)
+
+
+def _subsets(items: Sequence[int]) -> Iterable[Tuple[int, ...]]:
+    return chain.from_iterable(combinations(items, r) for r in range(len(items) + 1))
+
+
+def _source_distance_sum_with_extras(
+    others_graph: Graph, source: int, extra_neighbors: Sequence[int]
+) -> float:
+    """Distance sum from ``source`` after adding edges from ``source`` to ``extra_neighbors``.
+
+    The candidate purchases of a UCG player are all incident to the player, so
+    instead of materialising a new :class:`Graph` per purchase set we run a
+    BFS whose source simply has the extra neighbours grafted on.  This is the
+    hot loop of every best-response computation (``2^(n-1)`` purchase sets per
+    player), so avoiding the graph construction matters.
+    """
+    from collections import deque
+
+    adj = others_graph.adjacency_sets()
+    n = others_graph.n
+    dist = [INFINITY] * n
+    dist[source] = 0
+    queue = deque()
+    for j in set(adj[source]) | set(extra_neighbors):
+        if dist[j] == INFINITY:
+            dist[j] = 1
+            queue.append(j)
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in adj[u]:
+            if dist[v] == INFINITY:
+                dist[v] = du + 1
+                queue.append(v)
+    return sum(dist)
+
+
+# --------------------------------------------------------------------------- #
+# Best responses
+# --------------------------------------------------------------------------- #
+
+
+def best_response_ucg(
+    others_graph: Graph, player: int, alpha: float
+) -> Tuple[float, FrozenSet[int]]:
+    """Exact best response of ``player`` given the links bought by the others.
+
+    Parameters
+    ----------
+    others_graph:
+        The graph formed by every edge bought by players other than
+        ``player`` (including edges others bought towards ``player``).
+    player:
+        The optimising player.
+    alpha:
+        Link cost.
+
+    Returns
+    -------
+    (cost, targets):
+        The minimum achievable cost ``α·|S| + Σ_j d`` and one optimal purchase
+        set ``S`` (ties broken towards fewer, lexicographically smaller
+        purchases for determinism).
+    """
+    candidates = [
+        j
+        for j in range(others_graph.n)
+        if j != player and not others_graph.has_edge(player, j)
+    ]
+    best_cost = INFINITY
+    best_set: FrozenSet[int] = frozenset()
+    for subset in _subsets(candidates):
+        cost = alpha * len(subset) + _source_distance_sum_with_extras(
+            others_graph, player, subset
+        )
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best_set = frozenset(subset)
+    return best_cost, best_set
+
+
+def is_nash_profile_ucg(profile: StrategyProfile, alpha: float) -> bool:
+    """Whether ``profile`` is a (pure) Nash equilibrium of the UCG.
+
+    Every player's purchase set is compared against its exact best response.
+    Cost comparisons are made through deltas with the ``∞ - ∞ = 0``
+    convention, consistently with the rest of the library.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    full_graph = profile.unilateral_graph()
+    for player in range(profile.n):
+        others = profile.with_player_strategy(player, ()).unilateral_graph()
+        current_distance = distance_sum(full_graph, player)
+        current_links = profile.num_requests(player)
+        candidates = [
+            j
+            for j in range(profile.n)
+            if j != player and not others.has_edge(player, j)
+        ]
+        for subset in _subsets(candidates):
+            candidate_distance = _source_distance_sum_with_extras(
+                others, player, subset
+            )
+            delta = distance_delta(
+                candidate_distance, current_distance
+            ) + alpha * (len(subset) - current_links)
+            if delta < -1e-12:
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Nash-supportability of a graph: per-player α-intervals + orientation search
+# --------------------------------------------------------------------------- #
+
+
+def ownership_best_response_interval(
+    graph: Graph, player: int, owned: FrozenSet[Edge]
+) -> AlphaInterval:
+    """Link costs at which owning exactly ``owned`` is a best response.
+
+    ``owned`` must be a subset of the edges incident to ``player`` in
+    ``graph``.  The opponents' edges are the remaining edges of the graph;
+    the player may deviate to buying any set of links towards players it is
+    not already connected to by an opponent-bought edge.  Every Nash
+    constraint ``c_i(owned) <= c_i(S)`` is linear in ``α``, so the feasible
+    region is a closed interval (possibly empty).
+    """
+    for (u, v) in owned:
+        if player not in (u, v):
+            raise ValueError(f"edge {(u, v)} is not incident to player {player}")
+        if not graph.has_edge(u, v):
+            raise ValueError(f"edge {(u, v)} is not in the graph")
+
+    base_distance = distance_sum(graph, player)
+    owned_count = len(owned)
+    others_graph = graph.remove_edges(owned)
+    candidates = [
+        j
+        for j in range(graph.n)
+        if j != player and not others_graph.has_edge(player, j)
+    ]
+    lo, hi = 0.0, INFINITY
+    for subset in _subsets(candidates):
+        size = len(subset)
+        candidate_distance = _source_distance_sum_with_extras(
+            others_graph, player, subset
+        )
+        delta = distance_delta(candidate_distance, base_distance)
+        if size == owned_count:
+            if delta < -1e-12:
+                return _EMPTY_INTERVAL
+        elif size > owned_count:
+            # Buying (size - owned_count) more links must not pay off:
+            # α >= -delta / (size - owned_count).
+            lo = max(lo, -delta / (size - owned_count))
+        else:
+            # Dropping (owned_count - size) links must not pay off:
+            # α <= delta / (owned_count - size).
+            hi = min(hi, delta / (owned_count - size))
+        if lo > hi:
+            return _EMPTY_INTERVAL
+    return AlphaInterval(lo, hi)
+
+
+def ucg_nash_alpha_set(graph: Graph) -> AlphaIntervalSet:
+    """All link costs at which ``graph`` is a Nash network of the UCG.
+
+    Searches over assignments of each edge to a buying endpoint
+    (backtracking vertex by vertex), intersecting the per-player
+    best-response intervals computed by
+    :func:`ownership_best_response_interval` and pruning empty
+    intersections.  The union of the surviving intersections is returned.
+    """
+    n = graph.n
+    edges_at: List[List[Edge]] = [[] for _ in range(n)]
+    for (u, v) in graph.sorted_edges():
+        edges_at[u].append((u, v))
+
+    interval_cache: Dict[Tuple[int, FrozenSet[Edge]], AlphaInterval] = {}
+
+    def player_interval(player: int, owned: FrozenSet[Edge]) -> AlphaInterval:
+        key = (player, owned)
+        if key not in interval_cache:
+            interval_cache[key] = ownership_best_response_interval(graph, player, owned)
+        return interval_cache[key]
+
+    result = AlphaIntervalSet()
+    assigned_to: List[List[Edge]] = [[] for _ in range(n)]
+
+    def backtrack(player: int, running: AlphaInterval) -> None:
+        if running.is_empty():
+            return
+        if player == n:
+            result.add(running)
+            return
+        local_edges = edges_at[player]
+        for take in _subsets(range(len(local_edges))):
+            taken = [local_edges[k] for k in take]
+            owned = frozenset(assigned_to[player] + taken)
+            interval = player_interval(player, owned)
+            narrowed = running.intersect(interval)
+            if narrowed.is_empty():
+                continue
+            passed_on = [edge for edge in local_edges if edge not in taken]
+            for (_, other) in passed_on:
+                assigned_to[other].append((min(player, other), max(player, other)))
+            backtrack(player + 1, narrowed)
+            for (_, other) in passed_on:
+                assigned_to[other].pop()
+
+    backtrack(0, FULL_ALPHA_RANGE)
+    return result
+
+
+def is_nash_graph_ucg(graph: Graph, alpha: float) -> bool:
+    """Whether ``graph`` is achievable as a Nash network of the UCG at ``alpha``."""
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    return ucg_nash_alpha_set(graph).contains(alpha)
+
+
+def nash_graphs_ucg(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+    """Filter an iterable of graphs down to the UCG Nash networks at ``alpha``."""
+    return [g for g in graphs if is_nash_graph_ucg(g, alpha)]
+
+
+def nash_supporting_ownership(
+    graph: Graph, alpha: float
+) -> Optional[Dict[Edge, int]]:
+    """An edge-ownership assignment witnessing that ``graph`` is Nash at ``alpha``.
+
+    Returns ``None`` when no assignment works.  Useful for constructing an
+    explicit supporting :class:`~repro.core.strategies.StrategyProfile`.
+    """
+    if alpha <= 0:
+        raise ValueError("the paper assumes a strictly positive link cost α")
+    n = graph.n
+    edges_at: List[List[Edge]] = [[] for _ in range(n)]
+    for (u, v) in graph.sorted_edges():
+        edges_at[u].append((u, v))
+
+    interval_cache: Dict[Tuple[int, FrozenSet[Edge]], AlphaInterval] = {}
+
+    def player_interval(player: int, owned: FrozenSet[Edge]) -> AlphaInterval:
+        key = (player, owned)
+        if key not in interval_cache:
+            interval_cache[key] = ownership_best_response_interval(graph, player, owned)
+        return interval_cache[key]
+
+    assigned_to: List[List[Edge]] = [[] for _ in range(n)]
+    ownership: Dict[Edge, int] = {}
+
+    def backtrack(player: int) -> bool:
+        if player == n:
+            return True
+        local_edges = edges_at[player]
+        for take in _subsets(range(len(local_edges))):
+            taken = [local_edges[k] for k in take]
+            owned = frozenset(assigned_to[player] + taken)
+            if not player_interval(player, owned).contains(alpha):
+                continue
+            passed_on = [edge for edge in local_edges if edge not in taken]
+            for edge in taken:
+                ownership[edge] = player
+            for edge in passed_on:
+                _, other = edge
+                ownership[edge] = other
+                assigned_to[other].append(edge)
+            if backtrack(player + 1):
+                return True
+            for edge in passed_on:
+                assigned_to[edge[1]].pop()
+        return False
+
+    if backtrack(0):
+        return dict(ownership)
+    return None

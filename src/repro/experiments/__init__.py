@@ -1,0 +1,13 @@
+"""One module per paper artefact (figure / lemma / proposition) plus a runner."""
+
+from .base import ClaimCheck, ExperimentResult
+from .runner import EXPERIMENTS, available_experiments, run_all, run_experiment
+
+__all__ = [
+    "ClaimCheck",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "available_experiments",
+    "run_experiment",
+    "run_all",
+]

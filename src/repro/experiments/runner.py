@@ -1,0 +1,60 @@
+"""Registry and runner for every reproduction experiment.
+
+Each entry maps an experiment id (as used in DESIGN.md and EXPERIMENTS.md) to
+a zero-argument callable returning an
+:class:`~repro.experiments.base.ExperimentResult`.  The CLI, the examples and
+the benchmark harness all go through this registry so there is exactly one
+code path that regenerates each figure or result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import dynamics_extension, extensions, figure1, figure2, figure3, lemmas, propositions
+from .base import ExperimentResult
+
+ExperimentFn = Callable[[], ExperimentResult]
+
+#: Registry of experiment id -> callable.
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "lemma4": lemmas.run_lemma4,
+    "lemma5": lemmas.run_lemma5,
+    "lemma6": lemmas.run_lemma6,
+    "prop1": propositions.run_proposition1,
+    "prop2": extensions.run_proposition2,
+    "prop3": propositions.run_proposition3,
+    "prop4": propositions.run_proposition4,
+    "prop5": propositions.run_proposition5,
+    "ext_transfers": extensions.run_transfers,
+    "ext_stability": extensions.run_price_of_stability,
+    "ext_dynamics": dynamics_extension.run,
+}
+
+
+def available_experiments() -> List[str]:
+    """All registered experiment ids, in a stable order."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Raises
+    ------
+    KeyError
+        If the id is not registered.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
+        )
+    return EXPERIMENTS[experiment_id]()
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every registered experiment (in id order)."""
+    return [run_experiment(eid) for eid in available_experiments()]

@@ -1,0 +1,99 @@
+"""Conversions between :class:`repro.graphs.Graph` and external formats.
+
+The library itself never depends on these (the substrate is self-contained),
+but the test suite uses networkx as an oracle and users may want to move
+graphs in and out of the standard graph6 interchange format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .graph import Graph
+
+
+def to_networkx(graph: Graph) -> Any:
+    """Convert to a ``networkx.Graph`` (requires networkx to be installed)."""
+    import networkx as nx
+
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.n))
+    nx_graph.add_edges_from(graph.edges)
+    return nx_graph
+
+
+def from_networkx(nx_graph: Any) -> Graph:
+    """Convert a ``networkx.Graph`` with arbitrary hashable nodes.
+
+    Nodes are relabelled ``0 .. n-1`` in sorted order when sortable, otherwise
+    in insertion order.
+    """
+    nodes = list(nx_graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+    return Graph(len(nodes), edges)
+
+
+def to_edge_list_string(graph: Graph) -> str:
+    """Serialise as ``"n; u-v u-v ..."`` (human-readable, deterministic)."""
+    edges = " ".join(f"{u}-{v}" for u, v in graph.sorted_edges())
+    return f"{graph.n}; {edges}".rstrip()
+
+
+def from_edge_list_string(text: str) -> Graph:
+    """Parse the format produced by :func:`to_edge_list_string`."""
+    head, _, tail = text.partition(";")
+    n = int(head.strip())
+    edges = []
+    for token in tail.split():
+        u_text, _, v_text = token.partition("-")
+        edges.append((int(u_text), int(v_text)))
+    return Graph(n, edges)
+
+
+def to_graph6(graph: Graph) -> str:
+    """Encode in graph6 format (for graphs with at most 62 vertices)."""
+    n = graph.n
+    if n > 62:
+        raise ValueError("only graphs with at most 62 vertices are supported")
+    bits: List[int] = []
+    for v in range(1, n):
+        for u in range(v):
+            bits.append(1 if graph.has_edge(u, v) else 0)
+    while len(bits) % 6 != 0:
+        bits.append(0)
+    chars = [chr(63 + n)]
+    for i in range(0, len(bits), 6):
+        value = 0
+        for bit in bits[i:i + 6]:
+            value = (value << 1) | bit
+        chars.append(chr(63 + value))
+    return "".join(chars)
+
+
+def from_graph6(text: str) -> Graph:
+    """Decode a graph6 string (single graph, at most 62 vertices)."""
+    text = text.strip()
+    if not text:
+        raise ValueError("empty graph6 string")
+    n = ord(text[0]) - 63
+    if n < 0 or n > 62:
+        raise ValueError("only graphs with at most 62 vertices are supported")
+    bits: List[int] = []
+    for ch in text[1:]:
+        value = ord(ch) - 63
+        if value < 0 or value > 63:
+            raise ValueError(f"invalid graph6 character: {ch!r}")
+        bits.extend((value >> shift) & 1 for shift in range(5, -1, -1))
+    edges = []
+    k = 0
+    for v in range(1, n):
+        for u in range(v):
+            if k < len(bits) and bits[k]:
+                edges.append((u, v))
+            k += 1
+    return Graph(n, edges)

@@ -1,0 +1,177 @@
+"""Breadth-first-search distances and distance-derived quantities.
+
+The connection-game cost function (Corbo & Parkes, eq. (1)) charges every
+player the sum of its hop distances to every other player, so single-source
+and all-pairs BFS are the workhorse primitives of the whole library.  All
+distances are in *vertex hops*; unreachable pairs have distance
+:data:`INFINITY` (a float ``inf`` sentinel, so sums propagate naturally).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+#: Distance reported between vertices in different components.
+INFINITY = float("inf")
+
+
+def bfs_distances(graph: Graph, source: int) -> List[float]:
+    """Single-source shortest-path (hop) distances from ``source``.
+
+    Returns a list ``dist`` of length ``graph.n`` with ``dist[v]`` equal to the
+    number of edges on a shortest path from ``source`` to ``v``, or
+    :data:`INFINITY` if ``v`` is unreachable.
+    """
+    n = graph.n
+    dist = [INFINITY] * n
+    dist[source] = 0
+    queue = deque([source])
+    adj = graph.adjacency_sets()
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in adj[u]:
+            if dist[v] == INFINITY:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_distances_with_forbidden_edge(
+    graph: Graph, source: int, forbidden: Tuple[int, int]
+) -> List[float]:
+    """Single-source distances ignoring one edge, without copying the graph.
+
+    Equivalent to ``bfs_distances(graph.remove_edge(*forbidden), source)`` but
+    avoids building a new :class:`Graph`, which matters inside the stability
+    checks that probe every edge removal.
+    """
+    a, b = forbidden
+    n = graph.n
+    dist = [INFINITY] * n
+    dist[source] = 0
+    queue = deque([source])
+    adj = graph.adjacency_sets()
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v in adj[u]:
+            if (u == a and v == b) or (u == b and v == a):
+                continue
+            if dist[v] == INFINITY:
+                dist[v] = du + 1
+                queue.append(v)
+    return dist
+
+
+def bfs_distances_with_extra_edge(
+    graph: Graph, source: int, extra: Tuple[int, int]
+) -> List[float]:
+    """Single-source distances with one extra edge, without copying the graph."""
+    a, b = extra
+    n = graph.n
+    dist = [INFINITY] * n
+    dist[source] = 0
+    queue = deque([source])
+    adj = graph.adjacency_sets()
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        neighbors = adj[u]
+        for v in neighbors:
+            if dist[v] == INFINITY:
+                dist[v] = du + 1
+                queue.append(v)
+        if u == a and dist[b] == INFINITY:
+            dist[b] = du + 1
+            queue.append(b)
+        elif u == b and dist[a] == INFINITY:
+            dist[a] = du + 1
+            queue.append(a)
+    return dist
+
+
+def all_pairs_distances(graph: Graph) -> List[List[float]]:
+    """All-pairs hop distances as a dense ``n x n`` matrix."""
+    return [bfs_distances(graph, s) for s in range(graph.n)]
+
+
+def distance_sum(graph: Graph, source: int) -> float:
+    """Sum of distances from ``source`` to every other vertex.
+
+    This is exactly the distance-cost term of the connection-game player cost.
+    Returns :data:`INFINITY` if any vertex is unreachable.
+    """
+    return sum(bfs_distances(graph, source)) if graph.n else 0.0
+
+
+def total_distance(graph: Graph) -> float:
+    """Sum of distances over all *ordered* vertex pairs.
+
+    This is the distance term of the social cost, eq. (4) of the paper.
+    """
+    return sum(distance_sum(graph, s) for s in range(graph.n))
+
+
+def eccentricity(graph: Graph, source: int) -> float:
+    """Maximum distance from ``source`` to any vertex."""
+    dist = bfs_distances(graph, source)
+    return max(dist) if dist else 0.0
+
+
+def diameter(graph: Graph) -> float:
+    """Largest eccentricity; :data:`INFINITY` if the graph is disconnected."""
+    if graph.n == 0:
+        return 0.0
+    return max(eccentricity(graph, s) for s in range(graph.n))
+
+
+def radius(graph: Graph) -> float:
+    """Smallest eccentricity; :data:`INFINITY` if the graph is disconnected."""
+    if graph.n == 0:
+        return 0.0
+    return min(eccentricity(graph, s) for s in range(graph.n))
+
+
+def average_distance(graph: Graph) -> float:
+    """Average distance over ordered pairs of distinct vertices."""
+    n = graph.n
+    if n < 2:
+        return 0.0
+    return total_distance(graph) / (n * (n - 1))
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target``, or ``None`` if disconnected."""
+    if source == target:
+        return [source]
+    prev: Dict[int, int] = {source: source}
+    queue = deque([source])
+    adj = graph.adjacency_sets()
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in prev:
+                prev[v] = u
+                if v == target:
+                    path = [v]
+                    while path[-1] != source:
+                        path.append(prev[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(v)
+    return None
+
+
+def distance_vector_sums(graph: Graph) -> List[float]:
+    """Per-vertex distance sums (``[distance_sum(g, v) for v in g]``)."""
+    return [distance_sum(graph, s) for s in range(graph.n)]
+
+
+def is_distance_matrix_symmetric(matrix: Sequence[Sequence[float]]) -> bool:
+    """Check symmetry of a distance matrix (testing helper)."""
+    n = len(matrix)
+    return all(matrix[i][j] == matrix[j][i] for i in range(n) for j in range(n))

@@ -1,0 +1,236 @@
+"""Parametric graph generators.
+
+Families used by the paper's analysis (stars, cycles, complete graphs,
+regular-ish constructions) plus generic generators (random graphs, random
+trees, grids, hypercubes) used by the test suite and the sampled censuses.
+All generators return :class:`repro.graphs.Graph` instances on vertex set
+``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+
+def empty_graph(n: int) -> Graph:
+    """The graph on ``n`` vertices with no edges."""
+    return Graph(n)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` (``n - 1`` edges)."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle requires at least 3 vertices")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int, center: int = 0) -> Graph:
+    """The star ``K_{1,n-1}`` on ``n`` vertices with the given ``center``.
+
+    The star is the unique efficient graph of both connection games for
+    sufficiently large link cost (Lemma 5 of the paper for the BCG).
+    """
+    if n < 1:
+        raise ValueError("a star requires at least 1 vertex")
+    if not 0 <= center < n:
+        raise ValueError("center out of range")
+    return Graph(n, [(center, v) for v in range(n) if v != center])
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """The complete bipartite graph ``K_{a,b}`` with parts ``0..a-1`` and ``a..a+b-1``."""
+    return Graph(a + b, [(u, a + v) for u in range(a) for v in range(b)])
+
+
+def complete_multipartite_graph(part_sizes: Sequence[int]) -> Graph:
+    """The complete multipartite graph with the given part sizes."""
+    offsets = []
+    total = 0
+    for size in part_sizes:
+        offsets.append((total, total + size))
+        total += size
+    edges = []
+    for i, (lo_i, hi_i) in enumerate(offsets):
+        for lo_j, hi_j in offsets[i + 1:]:
+            for u in range(lo_i, hi_i):
+                for v in range(lo_j, hi_j):
+                    edges.append((u, v))
+    return Graph(total, edges)
+
+
+def wheel_graph(n: int) -> Graph:
+    """The wheel ``W_n``: a cycle on ``n - 1`` vertices plus a hub (vertex ``n-1``)."""
+    if n < 4:
+        raise ValueError("a wheel requires at least 4 vertices")
+    rim = n - 1
+    edges = [(i, (i + 1) % rim) for i in range(rim)]
+    edges += [(i, rim) for i in range(rim)]
+    return Graph(n, edges)
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube ``Q_d`` on ``2**dimension`` vertices."""
+    n = 1 << dimension
+    edges = []
+    for u in range(n):
+        for bit in range(dimension):
+            v = u ^ (1 << bit)
+            if u < v:
+                edges.append((u, v))
+    return Graph(n, edges)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid graph, vertices numbered row-major."""
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def circulant_graph(n: int, offsets: Sequence[int]) -> Graph:
+    """The circulant graph ``C_n(offsets)``: ``i ~ i +/- k (mod n)`` for each offset ``k``."""
+    edges = []
+    for i in range(n):
+        for k in offsets:
+            j = (i + k) % n
+            if i != j:
+                edges.append((i, j))
+    return Graph(n, edges)
+
+
+def lcf_graph(n: int, shifts: Sequence[int], repeats: int) -> Graph:
+    """A cubic graph from LCF notation ``[shifts]^repeats`` on ``n`` vertices.
+
+    LCF (Lederberg–Coxeter–Frucht) notation describes cubic Hamiltonian
+    graphs: start with the Hamiltonian cycle ``0-1-...-n-1-0`` and add, for
+    vertex ``i``, a chord to ``i + shift[i mod len(shifts)] (mod n)``.  Several
+    of the paper's Figure 1 graphs (McGee, Desargues, dodecahedral,
+    Tutte–Coxeter, Heawood, Pappus) have compact LCF descriptions.
+    """
+    if len(shifts) * repeats != n:
+        raise ValueError(
+            f"LCF notation [shifts]^{repeats} describes {len(shifts) * repeats} "
+            f"vertices, not {n}"
+        )
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    for i in range(n):
+        shift = shifts[i % len(shifts)]
+        j = (i + shift) % n
+        edges.append((min(i, j), max(i, j)))
+    return Graph(n, edges)
+
+
+def random_graph(n: int, p: float, rng: Optional[random.Random] = None) -> Graph:
+    """An Erdős–Rényi ``G(n, p)`` random graph."""
+    rng = rng or random.Random()
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(n, edges)
+
+
+def random_connected_graph(
+    n: int, p: float, rng: Optional[random.Random] = None
+) -> Graph:
+    """A connected random graph: a random spanning tree plus ``G(n, p)`` edges."""
+    rng = rng or random.Random()
+    tree = random_tree(n, rng)
+    extra = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return tree.add_edges(extra)
+
+
+def random_tree(n: int, rng: Optional[random.Random] = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` vertices (via Prüfer sequences)."""
+    rng = rng or random.Random()
+    if n <= 1:
+        return Graph(n)
+    if n == 2:
+        return Graph(2, [(0, 1)])
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return tree_from_prufer(prufer)
+
+
+def tree_from_prufer(prufer: Sequence[int]) -> Graph:
+    """Decode a Prüfer sequence into the corresponding labelled tree."""
+    n = len(prufer) + 2
+    degree = [1] * n
+    for v in prufer:
+        if not 0 <= v < n:
+            raise ValueError("Prüfer sequence entries must be in range")
+        degree[v] += 1
+    edges: List[Tuple[int, int]] = []
+    remaining = list(prufer)
+    leaves = sorted(v for v in range(n) if degree[v] == 1)
+    import heapq
+
+    heapq.heapify(leaves)
+    for v in remaining:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[leaf] -= 1
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    last = [v for v in range(n) if degree[v] == 1]
+    edges.append((last[0], last[1]))
+    return Graph(n, edges)
+
+
+def random_regular_graph(
+    n: int, degree: int, rng: Optional[random.Random] = None, max_tries: int = 200
+) -> Graph:
+    """A random ``degree``-regular simple graph via the configuration model.
+
+    Retries pairings until a simple graph is produced, so it is only meant for
+    small, sparse instances (which is all the reproduction needs).
+    """
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be smaller than n")
+    rng = rng or random.Random()
+    stubs = [v for v in range(n) for _ in range(degree)]
+    for _ in range(max_tries):
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if ok:
+            return Graph(n, edges)
+    raise RuntimeError(
+        f"failed to sample a simple {degree}-regular graph on {n} vertices"
+    )

@@ -1,0 +1,294 @@
+"""A minimal, dependency-free undirected graph type.
+
+The connection games of Corbo & Parkes (PODC 2005) are played on simple
+undirected graphs whose vertices are the players ``0 .. n-1``.  The
+:class:`Graph` class below is intentionally small: vertices are a contiguous
+integer range, edges are unordered pairs, and the representation is an
+adjacency-set list.  All higher-level machinery (distances, stability checks,
+enumeration) is built on top of this type.
+
+The class is *logically immutable*: mutating operations return new graphs.
+This makes it safe to memoise derived quantities (distance matrices, girth,
+canonical forms) and to use graphs as dictionary keys via
+:meth:`Graph.edge_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` ordering of an edge.
+
+    Raises
+    ------
+    ValueError
+        If ``u == v`` (self-loops are not allowed in the connection games).
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """A simple undirected graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of vertices.  Vertices are always the integers
+        ``0, 1, ..., n_vertices - 1``.
+    edges:
+        Iterable of vertex pairs.  Orientation and duplicates are ignored;
+        self-loops raise :class:`ValueError`.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+    >>> g.n
+    4
+    >>> g.num_edges
+    3
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_n", "_adj", "_edges", "_hash")
+
+    def __init__(self, n_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if n_vertices < 0:
+            raise ValueError("n_vertices must be non-negative")
+        self._n = n_vertices
+        adj: List[set] = [set() for _ in range(n_vertices)]
+        edge_set = set()
+        for u, v in edges:
+            u, v = normalize_edge(int(u), int(v))
+            if not (0 <= u < n_vertices and 0 <= v < n_vertices):
+                raise ValueError(
+                    f"edge ({u}, {v}) out of range for {n_vertices} vertices"
+                )
+            if (u, v) in edge_set:
+                continue
+            edge_set.add((u, v))
+            adj[u].add(v)
+            adj[v].add(u)
+        self._adj: Tuple[FrozenSet[int], ...] = tuple(frozenset(s) for s in adj)
+        self._edges: FrozenSet[Edge] = frozenset(edge_set)
+        self._hash = hash((self._n, self._edges))
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (alias of :attr:`n`)."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    @property
+    def vertices(self) -> range:
+        """The vertex set as a ``range`` object."""
+        return range(self._n)
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """The edge set as a frozenset of ``(u, v)`` with ``u < v``."""
+        return self._edges
+
+    def sorted_edges(self) -> List[Edge]:
+        """Edges in lexicographic order (deterministic iteration order)."""
+        return sorted(self._edges)
+
+    def neighbors(self, v: int) -> FrozenSet[int]:
+        """The neighbour set of vertex ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return len(self._adj[v])
+
+    def degree_sequence(self) -> Tuple[int, ...]:
+        """Degrees sorted in non-increasing order."""
+        return tuple(sorted((len(a) for a in self._adj), reverse=True))
+
+    def degrees(self) -> Tuple[int, ...]:
+        """Degrees indexed by vertex."""
+        return tuple(len(a) for a in self._adj)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        if u == v:
+            return False
+        return normalize_edge(u, v) in self._edges
+
+    def non_edges(self) -> List[Edge]:
+        """All vertex pairs that are *not* edges, in lexicographic order."""
+        out = []
+        for u in range(self._n):
+            for v in range(u + 1, self._n):
+                if v not in self._adj[u]:
+                    out.append((u, v))
+        return out
+
+    def adjacency_sets(self) -> Tuple[FrozenSet[int], ...]:
+        """The internal adjacency representation (read-only)."""
+        return self._adj
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs (the class is immutable: these return new graphs)
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, u: int, v: int) -> "Graph":
+        """Return a copy of the graph with edge ``{u, v}`` added."""
+        e = normalize_edge(u, v)
+        if e in self._edges:
+            return self
+        return Graph(self._n, list(self._edges) + [e])
+
+    def remove_edge(self, u: int, v: int) -> "Graph":
+        """Return a copy of the graph with edge ``{u, v}`` removed."""
+        e = normalize_edge(u, v)
+        if e not in self._edges:
+            return self
+        return Graph(self._n, [f for f in self._edges if f != e])
+
+    def add_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return a copy with all ``edges`` added."""
+        return Graph(self._n, list(self._edges) + [normalize_edge(u, v) for u, v in edges])
+
+    def remove_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return a copy with all ``edges`` removed."""
+        drop = {normalize_edge(u, v) for u, v in edges}
+        return Graph(self._n, [e for e in self._edges if e not in drop])
+
+    def toggle_edge(self, u: int, v: int) -> "Graph":
+        """Return a copy with edge ``{u, v}`` added if absent, removed if present."""
+        if self.has_edge(u, v):
+            return self.remove_edge(u, v)
+        return self.add_edge(u, v)
+
+    def relabel(self, permutation: Sequence[int]) -> "Graph":
+        """Return the graph with vertex ``v`` renamed ``permutation[v]``.
+
+        ``permutation`` must be a permutation of ``0 .. n-1``.
+        """
+        if sorted(permutation) != list(range(self._n)):
+            raise ValueError("permutation must be a permutation of the vertex set")
+        return Graph(
+            self._n,
+            [(permutation[u], permutation[v]) for u, v in self._edges],
+        )
+
+    def induced_subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """Return the subgraph induced by ``vertices``, relabelled ``0..k-1``.
+
+        The order of ``vertices`` determines the relabelling.
+        """
+        index: Dict[int, int] = {v: i for i, v in enumerate(vertices)}
+        if len(index) != len(vertices):
+            raise ValueError("vertices must be distinct")
+        keep = set(vertices)
+        edges = [
+            (index[u], index[v])
+            for u, v in self._edges
+            if u in keep and v in keep
+        ]
+        return Graph(len(vertices), edges)
+
+    def complement(self) -> "Graph":
+        """Return the complement graph."""
+        return Graph(self._n, self.non_edges())
+
+    def add_vertex(self, neighbors: Iterable[int] = ()) -> "Graph":
+        """Return a graph with one extra vertex ``n`` adjacent to ``neighbors``."""
+        new = self._n
+        extra = [(u, new) for u in neighbors]
+        return Graph(self._n + 1, list(self._edges) + extra)
+
+    # ------------------------------------------------------------------ #
+    # Keys, equality, representation
+    # ------------------------------------------------------------------ #
+
+    def edge_key(self) -> Tuple[int, Tuple[Edge, ...]]:
+        """A hashable, deterministic key identifying this *labelled* graph."""
+        return (self._n, tuple(sorted(self._edges)))
+
+    def adjacency_bitstring(self) -> int:
+        """Upper-triangular adjacency encoded as an integer bitmask.
+
+        Bit ``k`` corresponds to the k-th pair in lexicographic order
+        ``(0,1), (0,2), ..., (0,n-1), (1,2), ...``.  Used by the canonical
+        labelling code to compare labelled graphs cheaply.
+        """
+        bits = 0
+        k = 0
+        for u in range(self._n):
+            adj_u = self._adj[u]
+            for v in range(u + 1, self._n):
+                if v in adj_u:
+                    bits |= 1 << k
+                k += 1
+        return bits
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[Edge], n_vertices: int = None) -> "Graph":
+        """Build a graph from an edge list, inferring ``n`` when not given."""
+        edges = [normalize_edge(u, v) for u, v in edges]
+        if n_vertices is None:
+            n_vertices = 1 + max((max(e) for e in edges), default=-1)
+        return cls(n_vertices, edges)
+
+    @classmethod
+    def from_adjacency_matrix(cls, matrix: Sequence[Sequence[int]]) -> "Graph":
+        """Build a graph from a square 0/1 adjacency matrix."""
+        n = len(matrix)
+        edges = []
+        for u in range(n):
+            if len(matrix[u]) != n:
+                raise ValueError("adjacency matrix must be square")
+            for v in range(u + 1, n):
+                if matrix[u][v]:
+                    edges.append((u, v))
+        return cls(n, edges)
+
+    def to_adjacency_matrix(self) -> List[List[int]]:
+        """Return the dense 0/1 adjacency matrix as nested lists."""
+        matrix = [[0] * self._n for _ in range(self._n)]
+        for u, v in self._edges:
+            matrix[u][v] = 1
+            matrix[v][u] = 1
+        return matrix

@@ -1,0 +1,119 @@
+"""Moore bound, cage and extremal-graph helpers.
+
+Proposition 3 of the paper lower-bounds the price of anarchy of the BCG by
+exhibiting pairwise-stable regular graphs whose order is a constant factor of
+the Moore bound.  This module provides the bound itself, the girth-based dual
+bound, and classification helpers for Moore graphs and cages used by the
+``prop3`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .distances import diameter
+from .graph import Graph
+from .properties import girth, is_connected, is_regular, regular_degree
+
+
+def moore_bound(degree: int, diameter_value: int) -> int:
+    """Maximum number of vertices of a ``degree``-regular graph of given diameter.
+
+    ``M(k, D) = 1 + k * sum_{i=0}^{D-1} (k - 1)^i``.  For ``k = 2`` this is the
+    odd cycle bound ``2D + 1``.
+    """
+    if degree < 1 or diameter_value < 0:
+        raise ValueError("degree must be >= 1 and diameter >= 0")
+    if diameter_value == 0:
+        return 1
+    if degree == 1:
+        return 2
+    if degree == 2:
+        return 2 * diameter_value + 1
+    return 1 + degree * ((degree - 1) ** diameter_value - 1) // (degree - 2)
+
+
+def moore_bound_girth(degree: int, girth_value: int) -> int:
+    """Minimum number of vertices of a ``degree``-regular graph of given girth.
+
+    For odd girth ``g = 2D + 1`` this equals ``moore_bound(degree, D)``; for
+    even girth ``g = 2D`` it is ``2 * sum_{i=0}^{D-1} (k - 1)^i``.
+    """
+    if degree < 2 or girth_value < 3:
+        raise ValueError("degree must be >= 2 and girth >= 3")
+    k = degree
+    if girth_value % 2 == 1:
+        d = (girth_value - 1) // 2
+        return moore_bound(k, d)
+    d = girth_value // 2
+    if k == 2:
+        return 2 * d
+    return 2 * ((k - 1) ** d - 1) // (k - 2)
+
+
+@dataclass(frozen=True)
+class RegularGraphProfile:
+    """Summary of a regular graph's extremal character (used by ``prop3``)."""
+
+    n: int
+    degree: int
+    diameter: int
+    girth: float
+    moore_bound_diameter: int
+    moore_bound_girth: Optional[int]
+
+    @property
+    def moore_ratio(self) -> float:
+        """``n`` divided by the Moore (diameter) bound — 1.0 for Moore graphs."""
+        return self.n / self.moore_bound_diameter
+
+    @property
+    def is_moore_graph(self) -> bool:
+        """Whether the graph attains the Moore (diameter) bound exactly."""
+        return self.n == self.moore_bound_diameter
+
+    @property
+    def is_cage_candidate(self) -> bool:
+        """Whether the graph attains the girth-based Moore bound exactly."""
+        return (
+            self.moore_bound_girth is not None
+            and self.n == self.moore_bound_girth
+        )
+
+
+def regular_graph_profile(graph: Graph) -> RegularGraphProfile:
+    """Compute the :class:`RegularGraphProfile` of a connected regular graph.
+
+    Raises
+    ------
+    ValueError
+        If the graph is not connected and regular.
+    """
+    if not is_connected(graph):
+        raise ValueError("graph must be connected")
+    if not is_regular(graph):
+        raise ValueError("graph must be regular")
+    k = regular_degree(graph)
+    assert k is not None
+    d = int(diameter(graph))
+    g = girth(graph)
+    girth_bound = None
+    if g != float("inf") and k >= 2:
+        girth_bound = moore_bound_girth(k, int(g))
+    return RegularGraphProfile(
+        n=graph.n,
+        degree=k,
+        diameter=d,
+        girth=g,
+        moore_bound_diameter=moore_bound(k, d),
+        moore_bound_girth=girth_bound,
+    )
+
+
+def is_moore_graph(graph: Graph) -> bool:
+    """Whether the graph is a Moore graph (attains the Moore diameter bound)."""
+    try:
+        return regular_graph_profile(graph).is_moore_graph
+    except ValueError:
+        return False

@@ -1,0 +1,184 @@
+"""Named graphs appearing in the paper (Figure 1 and Section 4).
+
+Figure 1 of Corbo & Parkes lists pairwise-stable graphs in the bilateral
+connection game: the Petersen graph, the McGee graph, the octahedral graph,
+the Clebsch graph, the Hoffman–Singleton graph and the star on 8 vertices.
+Section 4.1 also discusses the Desargues and dodecahedral graphs, cage graphs
+in general (Heawood, Tutte–Coxeter) and Moore graphs.  This module constructs
+each of them from first principles.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, List
+
+from .generators import (
+    complete_multipartite_graph,
+    lcf_graph,
+    star_graph,
+)
+from .graph import Graph
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph: unique (3,5)-cage, Moore graph, SRG(10, 3, 0, 1).
+
+    Built as the Kneser graph ``K(5, 2)``: vertices are the 2-element subsets
+    of ``{0..4}``, adjacent exactly when disjoint.
+    """
+    subsets = list(combinations(range(5), 2))
+    index = {s: i for i, s in enumerate(subsets)}
+    edges = [
+        (index[a], index[b])
+        for a, b in combinations(subsets, 2)
+        if not set(a) & set(b)
+    ]
+    return Graph(len(subsets), edges)
+
+
+def mcgee_graph() -> Graph:
+    """The McGee graph: the (3,7)-cage on 24 vertices (LCF ``[12, 7, -7]^8``)."""
+    return lcf_graph(24, [12, 7, -7], 8)
+
+
+def heawood_graph() -> Graph:
+    """The Heawood graph: the (3,6)-cage on 14 vertices (LCF ``[5, -5]^7``)."""
+    return lcf_graph(14, [5, -5], 7)
+
+
+def tutte_coxeter_graph() -> Graph:
+    """The Tutte–Coxeter (Levi) graph: the (3,8)-cage on 30 vertices."""
+    return lcf_graph(30, [-13, -9, 7, -7, 9, 13], 5)
+
+
+def desargues_graph() -> Graph:
+    """The Desargues graph: symmetric cubic graph on 20 vertices (LCF ``[5,-5,9,-9]^5``).
+
+    The paper notes this graph is link convex (hence pairwise stable for some
+    link cost) while the dodecahedral graph is not.
+    """
+    return lcf_graph(20, [5, -5, 9, -9], 5)
+
+
+def dodecahedral_graph() -> Graph:
+    """The dodecahedral graph: cubic planar graph on 20 vertices.
+
+    Mentioned in Section 4.1 as a symmetric graph that is *not* link convex.
+    """
+    return lcf_graph(20, [10, 7, 4, -4, -7, 10, -4, 7, -7, 4], 2)
+
+
+def pappus_graph() -> Graph:
+    """The Pappus graph: cubic distance-regular graph on 18 vertices, girth 6.
+
+    Built as the incidence graph of the Pappus configuration, realised as the
+    nine points of the affine plane ``AG(2, 3)`` and the nine non-vertical
+    lines ``y = m·x + b``: point ``(x, y)`` (vertex ``3x + y``) is adjacent to
+    line ``(m, b)`` (vertex ``9 + 3m + b``) exactly when ``y = m·x + b (mod 3)``.
+    """
+    edges = []
+    for m in range(3):
+        for b in range(3):
+            for x in range(3):
+                y = (m * x + b) % 3
+                edges.append((3 * x + y, 9 + 3 * m + b))
+    return Graph(18, edges)
+
+
+def octahedral_graph() -> Graph:
+    """The octahedral graph ``K_{2,2,2}``: SRG(6, 4, 2, 4)."""
+    return complete_multipartite_graph([2, 2, 2])
+
+
+def clebsch_graph() -> Graph:
+    """The Clebsch graph: SRG(16, 5, 0, 2), the folded 5-cube.
+
+    Vertices are the 4-bit strings; two vertices are adjacent when their XOR
+    has weight 1 or weight 4.
+    """
+    def weight(x: int) -> int:
+        return bin(x).count("1")
+
+    n = 16
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if weight(u ^ v) in (1, 4)
+    ]
+    return Graph(n, edges)
+
+
+def hoffman_singleton_graph() -> Graph:
+    """The Hoffman–Singleton graph: the unique (7,5)-cage, SRG(50, 7, 0, 1).
+
+    Robertson's pentagon/pentagram construction: five pentagons ``P_h`` with
+    edges ``j ~ j±1 (mod 5)``, five pentagrams ``Q_i`` with edges
+    ``j ~ j±2 (mod 5)``, and vertex ``j`` of ``P_h`` joined to vertex
+    ``h·i + j (mod 5)`` of ``Q_i``.
+    """
+    def p_vertex(h: int, j: int) -> int:
+        return 5 * h + j
+
+    def q_vertex(i: int, j: int) -> int:
+        return 25 + 5 * i + j
+
+    edges = []
+    for h in range(5):
+        for j in range(5):
+            edges.append((p_vertex(h, j), p_vertex(h, (j + 1) % 5)))
+    for i in range(5):
+        for j in range(5):
+            edges.append((q_vertex(i, j), q_vertex(i, (j + 2) % 5)))
+    for h in range(5):
+        for i in range(5):
+            for j in range(5):
+                edges.append((p_vertex(h, j), q_vertex(i, (h * i + j) % 5)))
+    return Graph(50, edges)
+
+
+def star_8() -> Graph:
+    """The star on 8 vertices shown in Figure 1 (panel 6)."""
+    return star_graph(8)
+
+
+#: Registry of the Figure 1 graphs keyed by the label the paper uses.
+FIGURE1_GRAPHS: Dict[str, Callable[[], Graph]] = {
+    "petersen": petersen_graph,
+    "mcgee": mcgee_graph,
+    "octahedral": octahedral_graph,
+    "clebsch": clebsch_graph,
+    "hoffman_singleton": hoffman_singleton_graph,
+    "star_8": star_8,
+}
+
+#: Additional graphs discussed in Section 4 (cages, link-convexity examples).
+SECTION4_GRAPHS: Dict[str, Callable[[], Graph]] = {
+    "heawood": heawood_graph,
+    "tutte_coxeter": tutte_coxeter_graph,
+    "desargues": desargues_graph,
+    "dodecahedral": dodecahedral_graph,
+    "pappus": pappus_graph,
+}
+
+
+def named_graph(name: str) -> Graph:
+    """Construct a named graph by its registry key.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known graph.
+    """
+    registry = {**FIGURE1_GRAPHS, **SECTION4_GRAPHS}
+    if name not in registry:
+        raise KeyError(
+            f"unknown named graph {name!r}; known: {sorted(registry)}"
+        )
+    return registry[name]()
+
+
+def all_named_graphs() -> List[str]:
+    """All registry keys, sorted."""
+    return sorted({**FIGURE1_GRAPHS, **SECTION4_GRAPHS})

@@ -1,0 +1,216 @@
+"""Structural graph properties used throughout the reproduction.
+
+Connectivity, components, regularity, girth, trees, bipartiteness and a few
+convenience predicates.  Everything is exact and works on the
+:class:`repro.graphs.Graph` type.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set, Tuple
+
+from .distances import INFINITY, bfs_distances
+from .graph import Graph
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Connected components as sorted vertex lists, ordered by smallest vertex."""
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    adj = graph.adjacency_sets()
+    for start in range(graph.n):
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        component = [start]
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    component.append(v)
+                    queue.append(v)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has a single connected component.
+
+    The empty graph (0 vertices) and the single-vertex graph count as
+    connected.
+    """
+    if graph.n <= 1:
+        return True
+    return all(d != INFINITY for d in bfs_distances(graph, 0))
+
+
+def is_tree(graph: Graph) -> bool:
+    """Whether the graph is a tree (connected and ``m = n - 1``)."""
+    if graph.n == 0:
+        return False
+    return graph.num_edges == graph.n - 1 and is_connected(graph)
+
+
+def is_forest(graph: Graph) -> bool:
+    """Whether the graph is acyclic."""
+    return graph.num_edges == graph.n - len(connected_components(graph))
+
+
+def is_regular(graph: Graph) -> bool:
+    """Whether every vertex has the same degree."""
+    degrees = graph.degrees()
+    return len(set(degrees)) <= 1
+
+
+def regular_degree(graph: Graph) -> Optional[int]:
+    """The common degree if the graph is regular, otherwise ``None``."""
+    degrees = set(graph.degrees())
+    if len(degrees) == 1:
+        return next(iter(degrees))
+    return None
+
+
+def is_complete(graph: Graph) -> bool:
+    """Whether the graph is the complete graph on its vertex set."""
+    n = graph.n
+    return graph.num_edges == n * (n - 1) // 2
+
+
+def is_empty(graph: Graph) -> bool:
+    """Whether the graph has no edges."""
+    return graph.num_edges == 0
+
+
+def is_star(graph: Graph) -> bool:
+    """Whether the graph is a star ``K_{1,n-1}`` (``n >= 2``)."""
+    n = graph.n
+    if n < 2 or graph.num_edges != n - 1:
+        return False
+    degs = sorted(graph.degrees())
+    return degs[-1] == n - 1 and all(d == 1 for d in degs[:-1])
+
+
+def is_cycle_graph(graph: Graph) -> bool:
+    """Whether the graph is a single cycle ``C_n`` (``n >= 3``)."""
+    n = graph.n
+    if n < 3 or graph.num_edges != n:
+        return False
+    return is_connected(graph) and all(d == 2 for d in graph.degrees())
+
+
+def is_path_graph(graph: Graph) -> bool:
+    """Whether the graph is a simple path ``P_n``."""
+    n = graph.n
+    if n == 0:
+        return False
+    if n == 1:
+        return True
+    if graph.num_edges != n - 1 or not is_connected(graph):
+        return False
+    degs = sorted(graph.degrees())
+    return degs[0] == 1 and degs[1] == 1 and all(d == 2 for d in degs[2:])
+
+
+def girth(graph: Graph) -> float:
+    """Length of the shortest cycle, or :data:`INFINITY` for forests.
+
+    Uses a BFS from every vertex; when a cross or back edge closes a cycle
+    through the BFS root, its length is ``dist[u] + dist[v] + 1``.  This is the
+    standard O(n·m) exact girth algorithm for unweighted graphs.
+    """
+    best = INFINITY
+    adj = graph.adjacency_sets()
+    n = graph.n
+    for root in range(n):
+        dist = [INFINITY] * n
+        parent = [-1] * n
+        dist[root] = 0
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            if 2 * dist[u] >= best:
+                # No shorter cycle through `root` can be found deeper.
+                continue
+            for v in adj[u]:
+                if dist[v] == INFINITY:
+                    dist[v] = dist[u] + 1
+                    parent[v] = u
+                    queue.append(v)
+                elif parent[u] != v and parent[v] != u:
+                    cycle_len = dist[u] + dist[v] + 1
+                    if cycle_len < best:
+                        best = cycle_len
+    return best
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """Whether the graph is 2-colourable."""
+    color = [-1] * graph.n
+    adj = graph.adjacency_sets()
+    for start in range(graph.n):
+        if color[start] != -1:
+            continue
+        color[start] = 0
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                if color[v] == -1:
+                    color[v] = 1 - color[u]
+                    queue.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def num_common_neighbors(graph: Graph, u: int, v: int) -> int:
+    """Number of vertices adjacent to both ``u`` and ``v``."""
+    return len(graph.neighbors(u) & graph.neighbors(v))
+
+
+def bridges(graph: Graph) -> List[Tuple[int, int]]:
+    """All bridge edges (edges whose removal disconnects their component).
+
+    Iterative Tarjan low-link computation (no recursion so that it works for
+    graphs larger than the Python recursion limit).
+    """
+    n = graph.n
+    adj = [sorted(graph.neighbors(v)) for v in range(n)]
+    visited = [False] * n
+    disc = [0] * n
+    low = [0] * n
+    result: List[Tuple[int, int]] = []
+    timer = 0
+    for start in range(n):
+        if visited[start]:
+            continue
+        stack: List[Tuple[int, int, int]] = [(start, -1, 0)]
+        while stack:
+            node, parent, child_index = stack.pop()
+            if child_index == 0:
+                visited[node] = True
+                disc[node] = low[node] = timer
+                timer += 1
+            if child_index < len(adj[node]):
+                stack.append((node, parent, child_index + 1))
+                child = adj[node][child_index]
+                if child == parent:
+                    continue
+                if visited[child]:
+                    low[node] = min(low[node], disc[child])
+                else:
+                    stack.append((child, node, 0))
+            else:
+                if parent != -1:
+                    low[parent] = min(low[parent], low[node])
+                    if low[node] > disc[parent]:
+                        result.append((min(parent, node), max(parent, node)))
+    return sorted(result)
+
+
+def edge_connectivity_at_least_two(graph: Graph) -> bool:
+    """Whether the graph is connected and bridge-less (2-edge-connected)."""
+    return is_connected(graph) and not bridges(graph) and graph.n >= 2

@@ -1,0 +1,89 @@
+"""Strongly regular graph detection.
+
+Section 4 of the paper states that all strongly regular graphs with
+``λ > 0`` common neighbours between adjacent vertices, and ``μ > 1`` common
+neighbours between non-adjacent vertices, are pairwise stable in the BCG and
+have price of anarchy ``O(1)``.  This module computes the SRG parameters of a
+graph so the experiments can identify which Figure 1 graphs fall in that
+class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .graph import Graph
+from .properties import is_regular, num_common_neighbors, regular_degree
+
+
+@dataclass(frozen=True)
+class SRGParameters:
+    """The parameter tuple ``(n, k, lambda, mu)`` of a strongly regular graph."""
+
+    n: int
+    k: int
+    lam: int
+    mu: int
+
+    def as_tuple(self) -> tuple:
+        """Return ``(n, k, lambda, mu)``."""
+        return (self.n, self.k, self.lam, self.mu)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"srg({self.n}, {self.k}, {self.lam}, {self.mu})"
+
+
+def strongly_regular_parameters(graph: Graph) -> Optional[SRGParameters]:
+    """Return the SRG parameters of ``graph`` or ``None`` if it is not an SRG.
+
+    A graph is strongly regular with parameters ``(n, k, λ, μ)`` when it is
+    ``k``-regular, every pair of adjacent vertices has exactly ``λ`` common
+    neighbours and every pair of distinct non-adjacent vertices has exactly
+    ``μ`` common neighbours.  Following the usual convention, the complete
+    graph and the empty graph are excluded (they leave one of λ, μ
+    undefined).
+    """
+    n = graph.n
+    if n < 3 or not is_regular(graph):
+        return None
+    k = regular_degree(graph)
+    if k is None or k == 0 or k == n - 1:
+        return None
+
+    lam: Optional[int] = None
+    mu: Optional[int] = None
+    for u in range(n):
+        for v in range(u + 1, n):
+            common = num_common_neighbors(graph, u, v)
+            if graph.has_edge(u, v):
+                if lam is None:
+                    lam = common
+                elif lam != common:
+                    return None
+            else:
+                if mu is None:
+                    mu = common
+                elif mu != common:
+                    return None
+    if lam is None or mu is None:
+        return None
+    return SRGParameters(n=n, k=k, lam=lam, mu=mu)
+
+
+def is_strongly_regular(graph: Graph) -> bool:
+    """Whether ``graph`` is strongly regular (excluding complete/empty graphs)."""
+    return strongly_regular_parameters(graph) is not None
+
+
+def satisfies_paper_srg_condition(graph: Graph) -> bool:
+    """Whether the graph is an SRG with ``λ > 0`` and ``μ > 1``.
+
+    This is the sufficient condition mentioned after Lemma 6 for pairwise
+    stability with constant price of anarchy.  (Note that the Petersen,
+    Clebsch and Hoffman–Singleton graphs have ``λ = 0`` and therefore do *not*
+    satisfy it — they are covered instead by the Moore-bound argument of
+    Proposition 3.)
+    """
+    params = strongly_regular_parameters(graph)
+    return params is not None and params.lam > 0 and params.mu > 1

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The triangle K_3."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def p4() -> Graph:
+    """The path on four vertices."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def star6() -> Graph:
+    """The star on six vertices."""
+    return star_graph(6)
+
+
+@pytest.fixture
+def c6() -> Graph:
+    """The cycle on six vertices."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def petersen() -> Graph:
+    """The Petersen graph."""
+    return petersen_graph()
+
+
+@pytest.fixture
+def small_random_graphs():
+    """A deterministic batch of small connected random graphs."""
+    rng = random.Random(20050717)  # the PODC'05 dates, for flavour
+    return [
+        random_connected_graph(n, p, rng)
+        for n in (4, 5, 6, 7)
+        for p in (0.2, 0.5)
+    ]

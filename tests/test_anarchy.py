@@ -1,0 +1,89 @@
+"""Unit tests for price-of-anarchy computations."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    PoAComparison,
+    average_price_of_anarchy,
+    best_case_price_of_anarchy,
+    compare_price_of_anarchy,
+    poa_series,
+    price_of_anarchy,
+    worst_case_price_of_anarchy,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestPriceOfAnarchy:
+    def test_efficient_graph_has_poa_one(self):
+        assert price_of_anarchy(star_graph(6), 3.0, "bcg") == pytest.approx(1.0)
+        assert price_of_anarchy(complete_graph(6), 0.5, "bcg") == pytest.approx(1.0)
+
+    def test_poa_at_least_one(self):
+        for graph in (cycle_graph(6), path_graph(6), complete_graph(6)):
+            for alpha in (0.5, 2.0, 8.0):
+                assert price_of_anarchy(graph, alpha, "bcg") >= 1.0 - 1e-12
+
+    def test_disconnected_graph_has_infinite_poa(self):
+        assert price_of_anarchy(Graph(4, [(0, 1)]), 2.0, "bcg") == float("inf")
+
+    def test_single_player_degenerate_case(self):
+        assert price_of_anarchy(Graph(1), 2.0, "bcg") == 1.0
+
+    def test_ucg_and_bcg_denominators_differ(self):
+        cycle = cycle_graph(6)
+        assert price_of_anarchy(cycle, 1.5, "ucg") != price_of_anarchy(cycle, 1.5, "bcg")
+
+
+class TestAggregates:
+    def test_worst_average_best(self):
+        graphs = [star_graph(6), cycle_graph(6), path_graph(6)]
+        alpha = 3.0
+        values = [price_of_anarchy(g, alpha, "bcg") for g in graphs]
+        assert worst_case_price_of_anarchy(graphs, alpha, "bcg") == max(values)
+        assert best_case_price_of_anarchy(graphs, alpha, "bcg") == min(values)
+        assert average_price_of_anarchy(graphs, alpha, "bcg") == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_empty_collection_gives_nan(self):
+        assert math.isnan(worst_case_price_of_anarchy([], 2.0, "bcg"))
+        assert math.isnan(average_price_of_anarchy([], 2.0, "bcg"))
+        assert math.isnan(best_case_price_of_anarchy([], 2.0, "bcg"))
+
+    def test_poa_series(self):
+        alphas = [2.0, 3.0]
+        graph_sets = [[star_graph(5)], [star_graph(5), cycle_graph(5)]]
+        series = poa_series(graph_sets, alphas, "bcg", aggregate="average")
+        assert len(series) == 2
+        assert series[0] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            poa_series(graph_sets, [2.0], "bcg")
+        with pytest.raises(ValueError):
+            poa_series(graph_sets, alphas, "bcg", aggregate="median")
+
+
+class TestFootnote6:
+    def test_comparison_dataclass(self):
+        comparison = compare_price_of_anarchy(cycle_graph(6), 3.0)
+        assert isinstance(comparison, PoAComparison)
+        assert comparison.rho_ucg >= 1.0
+        assert comparison.rho_bcg >= 1.0
+        assert comparison.satisfies_footnote6
+
+    def test_footnote6_holds_on_many_graphs(self, small_random_graphs):
+        for graph in small_random_graphs:
+            for alpha in (1.5, 3.0, 10.0):
+                assert compare_price_of_anarchy(graph, alpha).satisfies_footnote6
+
+    def test_disconnected_graph_trivially_satisfies_footnote6(self):
+        comparison = compare_price_of_anarchy(Graph(3, [(0, 1)]), 2.0)
+        assert comparison.satisfies_footnote6

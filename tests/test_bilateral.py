@@ -1,0 +1,137 @@
+"""Unit tests for the BCG solution concepts (Definitions 1-3, Lemmas 4-6)."""
+
+import pytest
+
+from repro.core import (
+    best_deviation_delta_bcg,
+    is_nash_profile_bcg,
+    is_pairwise_nash,
+    is_pairwise_stable,
+    pairwise_nash_graphs,
+    pairwise_stability_violations,
+    pairwise_stable_graphs,
+    profile_from_graph_bcg,
+)
+from repro.core import StrategyProfile, empty_profile
+from repro.core.theory import cycle_stability_window
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    enumerate_connected_graphs,
+    is_complete,
+    is_star,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestPairwiseStability:
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            is_pairwise_stable(star_graph(4), 0.0)
+
+    def test_lemma4_complete_graph_unique_for_cheap_links(self):
+        graphs = enumerate_connected_graphs(5)
+        stable = pairwise_stable_graphs(graphs, 0.5)
+        assert len(stable) == 1
+        assert is_complete(stable[0])
+
+    def test_lemma5_star_stable_but_not_unique_for_alpha_above_one(self):
+        graphs = enumerate_connected_graphs(5)
+        stable = pairwise_stable_graphs(graphs, 1.5)
+        assert any(is_star(g) for g in stable)
+        assert len(stable) > 1
+
+    def test_star_stable_for_every_alpha_above_one(self):
+        for alpha in (1.01, 2.0, 10.0, 100.0):
+            assert is_pairwise_stable(star_graph(8), alpha)
+
+    def test_star_not_stable_below_one(self):
+        assert not is_pairwise_stable(star_graph(8), 0.5)
+
+    def test_complete_graph_stable_only_below_one(self):
+        assert is_pairwise_stable(complete_graph(6), 0.5)
+        assert is_pairwise_stable(complete_graph(6), 1.0)
+        assert not is_pairwise_stable(complete_graph(6), 1.5)
+
+    def test_cycle_stable_inside_lemma6_window(self):
+        for n in (6, 8, 10, 12):
+            lo, hi = cycle_stability_window(n)
+            alpha = (lo + hi) / 2.0
+            assert is_pairwise_stable(cycle_graph(n), alpha)
+            assert not is_pairwise_stable(cycle_graph(n), hi + 1.0)
+
+    def test_petersen_stable_in_its_window(self):
+        assert is_pairwise_stable(petersen_graph(), 3.0)
+        assert not is_pairwise_stable(petersen_graph(), 0.5)
+        assert not is_pairwise_stable(petersen_graph(), 10.0)
+
+    def test_path_unstable_for_small_alpha(self):
+        assert not is_pairwise_stable(path_graph(5), 1.0)
+        assert is_pairwise_stable(path_graph(5), 10.0)
+
+    def test_violation_messages(self):
+        messages = pairwise_stability_violations(path_graph(4), 1.0)
+        assert messages and all(isinstance(m, str) for m in messages)
+        assert pairwise_stability_violations(star_graph(5), 2.0) == []
+
+
+class TestNashProfilesBCG:
+    def test_empty_network_is_nash(self):
+        # The coordination failure the paper highlights: with mutual consent,
+        # "nobody proposes anything" is always a Nash equilibrium.
+        assert is_nash_profile_bcg(empty_profile(5), alpha=2.0)
+
+    def test_wasted_request_is_never_nash(self):
+        profile = StrategyProfile(3, [[1], [], []])
+        assert not is_nash_profile_bcg(profile, alpha=2.0)
+
+    def test_star_profile_is_nash_for_alpha_above_one(self):
+        profile = profile_from_graph_bcg(star_graph(5))
+        assert is_nash_profile_bcg(profile, alpha=2.0)
+
+    def test_complete_graph_profile_not_nash_for_large_alpha(self):
+        profile = profile_from_graph_bcg(complete_graph(5))
+        assert not is_nash_profile_bcg(profile, alpha=3.0)
+        assert is_nash_profile_bcg(profile, alpha=0.5)
+
+    def test_best_deviation_delta_sign(self):
+        profile = profile_from_graph_bcg(complete_graph(4))
+        # With expensive links each player wants to drop edges: negative delta.
+        assert best_deviation_delta_bcg(profile, 0, alpha=5.0) < 0
+        # With cheap links the complete graph is a best response: no improvement.
+        assert best_deviation_delta_bcg(profile, 0, alpha=0.5) == 0.0
+
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            is_nash_profile_bcg(empty_profile(3), 0.0)
+
+
+class TestPairwiseNash:
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            is_pairwise_nash(star_graph(4), -1.0)
+
+    def test_star_is_pairwise_nash_above_one(self):
+        assert is_pairwise_nash(star_graph(6), 2.0)
+        assert not is_pairwise_nash(star_graph(6), 0.5)
+
+    def test_empty_network_is_not_pairwise_nash(self):
+        # Unlike plain Nash, pairwise Nash rules out the mutual-blocking
+        # equilibria: two players would jointly add a link.
+        from repro.graphs import Graph
+
+        assert not is_pairwise_nash(Graph(2), 0.5)
+
+    def test_proposition1_on_exhaustive_census(self):
+        """Pairwise stable ⟺ pairwise Nash on every connected 5-vertex graph."""
+        graphs = enumerate_connected_graphs(5)
+        for alpha in (0.5, 1.0, 1.7, 3.0, 6.0, 12.0):
+            stable = {g.edge_key() for g in pairwise_stable_graphs(graphs, alpha)}
+            nash = {g.edge_key() for g in pairwise_nash_graphs(graphs, alpha)}
+            assert stable == nash
+
+    def test_proposition1_on_named_graphs(self):
+        for graph, alpha in ((petersen_graph(), 3.0), (cycle_graph(8), 7.0), (star_graph(7), 4.0)):
+            assert is_pairwise_stable(graph, alpha) == is_pairwise_nash(graph, alpha)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_option(capsys):
+    assert main(["--list"]) == 0
+    output = capsys.readouterr().out
+    assert "figure1" in output and "prop5" in output
+
+
+def test_no_arguments_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_unknown_experiment(capsys):
+    assert main(["nonexistent"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_experiment_summary_only(capsys):
+    exit_code = main(["lemma4", "--summary-only"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "lemma4" in output
+    assert "claims reproduced" in output
+
+
+def test_run_single_experiment_full_render(capsys):
+    exit_code = main(["prop1"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Proposition 1" in output
+    assert "[PASS]" in output
+
+
+def test_parser_has_expected_flags():
+    parser = build_parser()
+    args = parser.parse_args(["--all", "--summary-only"])
+    assert args.all and args.summary_only and args.experiments == []

@@ -1,0 +1,84 @@
+"""Unit tests for graph format conversions."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    are_isomorphic,
+    complete_graph,
+    from_edge_list_string,
+    from_graph6,
+    from_networkx,
+    petersen_graph,
+    star_graph,
+    to_edge_list_string,
+    to_graph6,
+    to_networkx,
+)
+
+
+class TestEdgeListString:
+    def test_round_trip(self):
+        g = Graph(5, [(0, 1), (2, 4)])
+        assert from_edge_list_string(to_edge_list_string(g)) == g
+
+    def test_format(self):
+        assert to_edge_list_string(Graph(3, [(2, 0)])) == "3; 0-2"
+        assert to_edge_list_string(Graph(2)) == "2;"
+
+    def test_parse(self):
+        g = from_edge_list_string("4; 0-1 2-3")
+        assert g.n == 4
+        assert g.edges == {(0, 1), (2, 3)}
+
+
+class TestGraph6:
+    def test_round_trip_small_graphs(self):
+        for g in (Graph(0), Graph(1), star_graph(5), complete_graph(6), petersen_graph()):
+            assert from_graph6(to_graph6(g)) == g
+
+    def test_known_encoding(self):
+        # The path 0-1-2 has graph6 encoding "Bg" (n=2+? ...): verify against networkx.
+        networkx = pytest.importorskip("networkx")
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        expected = networkx.to_graph6_bytes(to_networkx(g), header=False).decode().strip()
+        assert to_graph6(g) == expected
+
+    def test_decode_networkx_output(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.petersen_graph()
+        text = networkx.to_graph6_bytes(nx_graph, header=False).decode().strip()
+        assert are_isomorphic(from_graph6(text), petersen_graph())
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            to_graph6(Graph(63))
+        with pytest.raises(ValueError):
+            from_graph6("")
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            from_graph6("C" + chr(200))
+
+
+class TestNetworkxConversion:
+    def test_round_trip(self):
+        pytest.importorskip("networkx")
+        g = petersen_graph()
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_from_networkx_with_arbitrary_labels(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(["c", "a", "b"])
+        nx_graph.add_edge("a", "c")
+        g = from_networkx(nx_graph)
+        assert g.n == 3
+        assert g.edges == {(0, 2)}
+
+    def test_to_networkx_preserves_isolated_vertices(self):
+        networkx = pytest.importorskip("networkx")
+        g = Graph(4, [(0, 1)])
+        nx_graph = to_networkx(g)
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 1

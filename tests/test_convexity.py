@@ -1,0 +1,94 @@
+"""Unit tests for the convexity notions (Definitions 4 and 6, Lemma 1)."""
+
+from repro.core import (
+    cost_convexity_violations,
+    is_cost_convex,
+    is_cost_convex_for_player,
+    is_link_convex,
+    link_convexity_gap,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    desargues_graph,
+    dodecahedral_graph,
+    heawood_graph,
+    mcgee_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestCostConvexity:
+    """Lemma 1: the BCG cost function is convex on every graph."""
+
+    def test_canonical_graphs_are_cost_convex(self):
+        for graph in (
+            complete_graph(5),
+            star_graph(6),
+            cycle_graph(7),
+            path_graph(6),
+            petersen_graph(),
+        ):
+            assert is_cost_convex(graph)
+
+    def test_per_player_check(self, small_random_graphs):
+        for graph in small_random_graphs:
+            for player in range(graph.n):
+                assert is_cost_convex_for_player(graph, player)
+
+    def test_violations_list_is_empty(self):
+        assert cost_convexity_violations(cycle_graph(6), 0) == []
+
+    def test_max_subset_size_limits_enumeration(self):
+        # With subsets of size at most 1 the check is trivially satisfied.
+        assert is_cost_convex_for_player(complete_graph(6), 0, max_subset_size=1)
+
+    def test_disconnected_graph_is_cost_convex_under_infinity_convention(self):
+        assert is_cost_convex(Graph(4, [(0, 1), (2, 3)]))
+
+
+class TestLinkConvexity:
+    def test_cages_are_link_convex(self):
+        for graph in (petersen_graph(), heawood_graph(), mcgee_graph()):
+            assert is_link_convex(graph)
+
+    def test_cycles_are_link_convex(self):
+        for n in (5, 6, 8, 10):
+            assert is_link_convex(cycle_graph(n))
+
+    def test_star_is_link_convex(self):
+        assert is_link_convex(star_graph(6))
+
+    def test_complete_graph_is_link_convex(self):
+        # No missing links: the max saving is -inf, trivially below the min increase.
+        assert is_link_convex(complete_graph(5))
+
+    def test_dodecahedral_graph_is_not_link_convex(self):
+        # Section 4.1 of the paper.
+        assert not is_link_convex(dodecahedral_graph())
+
+    def test_desargues_graph_measured_values(self):
+        # The paper's side remark claims the Desargues graph is link convex;
+        # exact computation disagrees (documented deviation, see EXPERIMENTS.md).
+        saving, increase = link_convexity_gap(desargues_graph())
+        assert saving == 10
+        assert increase == 8
+        assert not is_link_convex(desargues_graph())
+
+    def test_disconnected_graph_is_not_link_convex(self):
+        assert not is_link_convex(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_gap_values_for_cycle(self):
+        saving, increase = link_convexity_gap(cycle_graph(8))
+        assert saving == 5
+        assert increase == 12
+
+    def test_path_graph_not_link_convex(self):
+        # Adding a chord to a path saves more than severing a leaf edge costs... the
+        # leaf edges are bridges (infinite increase) but the chord saving is finite;
+        # the binding comparison is the chord saving (2) vs the bridge increase (inf):
+        # every removal increase is infinite, so the path *is* link convex.
+        assert is_link_convex(path_graph(5))

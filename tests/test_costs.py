@@ -1,0 +1,105 @@
+"""Unit tests for player and social costs (eqs. (1), (4), (5) of the paper)."""
+
+import pytest
+
+from repro.core import (
+    all_player_costs_bcg,
+    all_player_costs_ucg,
+    distance_cost,
+    player_cost_bcg,
+    player_cost_graph,
+    player_cost_ucg,
+    profile_from_graph_bcg,
+    social_cost_bcg,
+    social_cost_lower_bound_bcg,
+    social_cost_profile_bcg,
+    social_cost_profile_ucg,
+    social_cost_ucg,
+)
+from repro.core import StrategyProfile
+from repro.graphs import Graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestPlayerCosts:
+    def test_distance_cost_matches_bfs(self):
+        star = star_graph(5)
+        assert distance_cost(star, 0) == 4
+        assert distance_cost(star, 1) == 1 + 3 * 2
+
+    def test_player_cost_graph_default_links_is_degree(self):
+        star = star_graph(5)
+        assert player_cost_graph(star, 0, alpha=2.0) == 2.0 * 4 + 4
+        assert player_cost_graph(star, 1, alpha=2.0) == 2.0 * 1 + 7
+
+    def test_player_cost_graph_explicit_links(self):
+        star = star_graph(5)
+        assert player_cost_graph(star, 1, alpha=2.0, links_paid=0) == 7
+
+    def test_bcg_profile_cost_charges_unreciprocated_requests(self):
+        # Player 0 requests 1 and 2; only 1 reciprocates.
+        profile = StrategyProfile(3, [[1, 2], [0], []])
+        # Graph has edge (0,1) only; player 2 unreachable from 0.
+        assert player_cost_bcg(profile, 0, alpha=1.0) == float("inf")
+        connected = StrategyProfile(3, [[1, 2], [0], [0]])
+        assert player_cost_bcg(connected, 0, alpha=1.0) == 2.0 + 2
+        # The wasted request of player 1 towards 2 costs α without an edge.
+        wasteful = StrategyProfile(3, [[1, 2], [0, 2], [0]])
+        assert player_cost_bcg(wasteful, 1, alpha=1.0) == 2.0 + (1 + 2)
+
+    def test_ucg_profile_cost(self):
+        profile = StrategyProfile(3, [[1], [2], []])
+        assert player_cost_ucg(profile, 0, alpha=3.0) == 3.0 + (1 + 2)
+        assert player_cost_ucg(profile, 2, alpha=3.0) == 0.0 + (1 + 2)
+
+    def test_cost_vectors_match_scalar_costs(self):
+        profile = profile_from_graph_bcg(cycle_graph(5))
+        bcg_vector = all_player_costs_bcg(profile, 2.0)
+        assert bcg_vector == [player_cost_bcg(profile, i, 2.0) for i in range(5)]
+        ucg_vector = all_player_costs_ucg(profile, 2.0)
+        assert ucg_vector == [player_cost_ucg(profile, i, 2.0) for i in range(5)]
+
+
+class TestSocialCosts:
+    def test_bcg_social_cost_formula(self):
+        star = star_graph(5)
+        # 2α|A| + Σ d = 2α·4 + (2·4 + 2·4·3)
+        assert social_cost_bcg(star, 3.0) == 2 * 3.0 * 4 + (8 + 24)
+
+    def test_ucg_social_cost_formula(self):
+        star = star_graph(5)
+        assert social_cost_ucg(star, 3.0) == 3.0 * 4 + 32
+
+    def test_social_cost_of_disconnected_graph_is_infinite(self):
+        g = Graph(3, [(0, 1)])
+        assert social_cost_bcg(g, 1.0) == float("inf")
+
+    def test_profile_social_cost_equals_graph_cost_in_equilibrium_form(self):
+        graph = cycle_graph(6)
+        profile = profile_from_graph_bcg(graph)
+        assert social_cost_profile_bcg(profile, 2.0) == social_cost_bcg(graph, 2.0)
+
+    def test_profile_social_cost_charges_wasted_requests(self):
+        # Player 1's request towards 2 is never reciprocated, so the profile
+        # pays one extra α on top of the graph-level social cost.
+        profile = StrategyProfile(3, [[1, 2], [0, 2], [0]])
+        graph = profile.bilateral_graph()
+        assert graph.edges == {(0, 1), (0, 2)}
+        assert social_cost_profile_bcg(profile, 1.0) == social_cost_bcg(graph, 1.0) + 1.0
+
+    def test_ucg_profile_social_cost_counts_double_purchases(self):
+        both_buy = StrategyProfile(2, [[1], [0]])
+        one_buys = StrategyProfile(2, [[1], []])
+        assert (
+            social_cost_profile_ucg(both_buy, 5.0)
+            == social_cost_profile_ucg(one_buys, 5.0) + 5.0
+        )
+
+    def test_lower_bound_met_by_diameter_two_graphs(self):
+        for graph in (complete_graph(5), star_graph(6)):
+            bound = social_cost_lower_bound_bcg(graph.n, graph.num_edges, 2.0)
+            assert social_cost_bcg(graph, 2.0) == pytest.approx(bound)
+
+    def test_lower_bound_strict_for_larger_diameter(self):
+        path = path_graph(5)
+        bound = social_cost_lower_bound_bcg(path.n, path.num_edges, 2.0)
+        assert social_cost_bcg(path, 2.0) > bound

@@ -1,0 +1,113 @@
+"""Unit tests for efficient networks (Lemmas 4 and 5 closed forms)."""
+
+import pytest
+
+from repro.core import (
+    complete_graph_social_cost,
+    efficiency_threshold,
+    efficient_graph,
+    efficient_social_cost,
+    exhaustive_social_optimum,
+    is_efficient,
+    social_cost,
+    star_social_cost,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    enumerate_connected_graphs,
+    is_complete,
+    is_star,
+    star_graph,
+)
+
+
+class TestClosedForms:
+    def test_complete_graph_cost_matches_direct_computation(self):
+        for n in (3, 5, 7):
+            for alpha in (0.5, 2.0):
+                assert complete_graph_social_cost(n, alpha, "bcg") == social_cost(
+                    complete_graph(n), alpha, "bcg"
+                )
+                assert complete_graph_social_cost(n, alpha, "ucg") == social_cost(
+                    complete_graph(n), alpha, "ucg"
+                )
+
+    def test_star_cost_matches_direct_computation(self):
+        for n in (3, 5, 8):
+            for alpha in (0.5, 2.0, 10.0):
+                assert star_social_cost(n, alpha, "bcg") == social_cost(
+                    star_graph(n), alpha, "bcg"
+                )
+                assert star_social_cost(n, alpha, "ucg") == social_cost(
+                    star_graph(n), alpha, "ucg"
+                )
+
+    def test_trivial_sizes(self):
+        assert star_social_cost(1, 2.0) == 0.0
+        assert efficient_social_cost(1, 5.0) == 0.0
+        assert efficient_graph(1, 5.0).n == 1
+
+    def test_invalid_game_name(self):
+        with pytest.raises(ValueError):
+            social_cost(star_graph(3), 1.0, "xyz")
+        with pytest.raises(ValueError):
+            efficiency_threshold("xyz")
+
+
+class TestEfficientGraph:
+    def test_thresholds(self):
+        assert efficiency_threshold("bcg") == 1.0
+        assert efficiency_threshold("ucg") == 2.0
+
+    def test_bcg_optimum_switches_at_one(self):
+        assert is_complete(efficient_graph(6, 0.5, "bcg"))
+        assert is_star(efficient_graph(6, 1.5, "bcg"))
+
+    def test_ucg_optimum_switches_at_two(self):
+        assert is_complete(efficient_graph(6, 1.5, "ucg"))
+        assert is_star(efficient_graph(6, 2.5, "ucg"))
+
+    def test_costs_coincide_at_the_threshold(self):
+        n = 6
+        assert complete_graph_social_cost(n, 1.0, "bcg") == pytest.approx(
+            star_social_cost(n, 1.0, "bcg")
+        )
+        assert complete_graph_social_cost(n, 2.0, "ucg") == pytest.approx(
+            star_social_cost(n, 2.0, "ucg")
+        )
+
+    def test_is_efficient(self):
+        assert is_efficient(star_graph(6), 3.0, "bcg")
+        assert not is_efficient(cycle_graph(6), 3.0, "bcg")
+        assert is_efficient(complete_graph(6), 0.5, "bcg")
+
+
+class TestExhaustiveVerification:
+    """Lemmas 4 and 5, verified against the full enumeration on 5 vertices."""
+
+    @pytest.fixture(scope="class")
+    def graphs5(self):
+        return enumerate_connected_graphs(5)
+
+    @pytest.mark.parametrize("alpha", [0.3, 0.7, 0.95])
+    def test_complete_graph_uniquely_efficient_below_threshold(self, graphs5, alpha):
+        best, optima = exhaustive_social_optimum(graphs5, alpha, "bcg")
+        assert len(optima) == 1 and is_complete(optima[0])
+        assert best == pytest.approx(efficient_social_cost(5, alpha, "bcg"))
+
+    @pytest.mark.parametrize("alpha", [1.2, 3.0, 9.0])
+    def test_star_uniquely_efficient_above_threshold(self, graphs5, alpha):
+        best, optima = exhaustive_social_optimum(graphs5, alpha, "bcg")
+        assert len(optima) == 1 and is_star(optima[0])
+        assert best == pytest.approx(efficient_social_cost(5, alpha, "bcg"))
+
+    def test_both_optimal_exactly_at_threshold(self, graphs5):
+        _, optima = exhaustive_social_optimum(graphs5, 1.0, "bcg")
+        assert any(is_complete(g) for g in optima)
+        assert any(is_star(g) for g in optima)
+
+    @pytest.mark.parametrize("alpha", [1.0, 2.5, 6.0])
+    def test_ucg_optimum_matches_closed_form(self, graphs5, alpha):
+        best, _ = exhaustive_social_optimum(graphs5, alpha, "ucg")
+        assert best == pytest.approx(efficient_social_cost(5, alpha, "ucg"))

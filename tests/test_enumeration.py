@@ -1,0 +1,86 @@
+"""Unit tests for exhaustive graph enumeration up to isomorphism."""
+
+import pytest
+
+from repro.graphs import (
+    are_isomorphic,
+    canonical_form,
+    count_connected_graphs,
+    count_graphs,
+    count_trees,
+    enumerate_connected_graphs,
+    enumerate_graphs,
+    enumerate_graphs_with_edge_count,
+    enumerate_labeled_graphs,
+    enumerate_trees,
+    is_connected,
+    is_tree,
+)
+from repro.graphs.enumeration import clear_cache
+
+# OEIS A000088: number of graphs on n unlabelled nodes.
+GRAPH_COUNTS = {0: 1, 1: 1, 2: 2, 3: 4, 4: 11, 5: 34, 6: 156, 7: 1044}
+# OEIS A001349: number of connected graphs on n unlabelled nodes.
+CONNECTED_COUNTS = {1: 1, 2: 1, 3: 2, 4: 6, 5: 21, 6: 112, 7: 853}
+# OEIS A000055: number of trees with n unlabelled nodes.
+TREE_COUNTS = {1: 1, 2: 1, 3: 1, 4: 2, 5: 3, 6: 6, 7: 11, 8: 23, 9: 47, 10: 106}
+
+
+@pytest.mark.parametrize("n,expected", sorted(GRAPH_COUNTS.items()))
+def test_graph_counts_match_oeis(n, expected):
+    assert count_graphs(n) == expected
+
+
+@pytest.mark.parametrize("n,expected", sorted(CONNECTED_COUNTS.items()))
+def test_connected_graph_counts_match_oeis(n, expected):
+    assert count_connected_graphs(n) == expected
+
+
+@pytest.mark.parametrize("n,expected", sorted(TREE_COUNTS.items()))
+def test_tree_counts_match_oeis(n, expected):
+    assert count_trees(n) == expected
+
+
+def test_enumerated_graphs_are_pairwise_non_isomorphic():
+    graphs = enumerate_graphs(5)
+    forms = {canonical_form(g) for g in graphs}
+    assert len(forms) == len(graphs)
+
+
+def test_enumerated_connected_graphs_are_connected():
+    assert all(is_connected(g) for g in enumerate_connected_graphs(6))
+
+
+def test_enumerated_trees_are_trees():
+    assert all(is_tree(t) for t in enumerate_trees(7))
+
+
+def test_every_labeled_graph_has_a_representative():
+    representatives = enumerate_graphs(4)
+    for labelled in enumerate_labeled_graphs(4):
+        assert any(are_isomorphic(labelled, rep) for rep in representatives)
+
+
+def test_labeled_graph_count():
+    assert sum(1 for _ in enumerate_labeled_graphs(4)) == 2 ** 6
+
+
+def test_edge_count_filter():
+    # Unlabelled graphs on 5 vertices with 4 edges: 6 of them.
+    graphs = enumerate_graphs_with_edge_count(5, 4)
+    assert len(graphs) == 6
+    assert all(g.num_edges == 4 for g in graphs)
+
+
+def test_enumeration_cache_survives_clear():
+    clear_cache()
+    first = enumerate_graphs(4)
+    second = enumerate_graphs(4)
+    assert [g.edge_key() for g in first] == [g.edge_key() for g in second]
+
+
+def test_negative_n_rejected():
+    with pytest.raises(ValueError):
+        enumerate_graphs(-1)
+    with pytest.raises(ValueError):
+        enumerate_trees(-1)

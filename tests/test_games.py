@@ -1,0 +1,93 @@
+"""Unit tests for the high-level game classes."""
+
+import pytest
+
+from repro.core import (
+    BilateralConnectionGame,
+    UnilateralConnectionGame,
+    profile_from_graph_bcg,
+)
+from repro.core.strategies import profile_from_ownership_ucg
+from repro.graphs import complete_graph, cycle_graph, is_star, star_graph
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BilateralConnectionGame(n=0, alpha=1.0)
+        with pytest.raises(ValueError):
+            UnilateralConnectionGame(n=5, alpha=0.0)
+
+    def test_repr(self):
+        game = BilateralConnectionGame(n=5, alpha=2.0)
+        assert "BilateralConnectionGame" in repr(game)
+        assert game.name == "bcg"
+        assert UnilateralConnectionGame(5, 2.0).name == "ucg"
+
+
+class TestBilateralGame:
+    def test_linking_rule_and_costs(self):
+        game = BilateralConnectionGame(n=4, alpha=2.0)
+        profile = profile_from_graph_bcg(star_graph(4))
+        graph = game.resulting_graph(profile)
+        assert is_star(graph)
+        assert game.player_cost(profile, 0) == 2.0 * 3 + 3
+        assert game.social_cost(graph) == 2 * 2.0 * 3 + (6 + 12)
+
+    def test_equilibrium_interface(self):
+        game = BilateralConnectionGame(n=6, alpha=3.0)
+        star = star_graph(6)
+        assert game.is_pairwise_stable(star)
+        assert game.is_pairwise_nash(star)
+        assert game.is_equilibrium_network(star)
+        assert game.is_nash(profile_from_graph_bcg(star))
+        assert game.stability_violations(star) == []
+        assert not game.is_equilibrium_network(complete_graph(6))
+
+    def test_efficiency_and_poa(self):
+        game = BilateralConnectionGame(n=6, alpha=3.0)
+        assert is_star(game.efficient_graph())
+        assert game.price_of_anarchy(star_graph(6)) == pytest.approx(1.0)
+        equilibria = game.equilibrium_networks([star_graph(6), cycle_graph(6), complete_graph(6)])
+        assert star_graph(6) in equilibria
+        assert complete_graph(6) not in equilibria
+        assert game.worst_case_price_of_anarchy(equilibria) >= 1.0
+        assert game.average_price_of_anarchy(equilibria) >= 1.0
+
+    def test_static_stability_interval(self):
+        lo, hi = BilateralConnectionGame.stability_interval(star_graph(6))
+        assert (lo, hi) == (1.0, float("inf"))
+
+
+class TestUnilateralGame:
+    def test_linking_rule_and_costs(self):
+        game = UnilateralConnectionGame(n=4, alpha=2.0)
+        star = star_graph(4)
+        ownership = {edge: max(edge) for edge in star.edges}
+        profile = profile_from_ownership_ucg(star, ownership)
+        assert game.resulting_graph(profile) == star
+        assert game.player_cost(profile, 0) == 0 + 3          # centre bought nothing
+        assert game.player_cost(profile, 1) == 2.0 + (1 + 2 * 2)
+        assert game.social_cost(star) == 2.0 * 3 + 18
+
+    def test_equilibrium_interface(self):
+        game = UnilateralConnectionGame(n=5, alpha=2.0)
+        star = star_graph(5)
+        assert game.is_nash_network(star)
+        assert game.is_equilibrium_network(star)
+        ownership = game.nash_supporting_ownership(star)
+        assert ownership is not None
+        profile = profile_from_ownership_ucg(star, ownership)
+        assert game.is_nash(profile)
+        assert not game.is_nash_network(complete_graph(5))
+
+    def test_nash_alpha_set_static(self):
+        alpha_set = UnilateralConnectionGame.nash_alpha_set(complete_graph(4))
+        assert alpha_set.contains(0.5)
+        assert not alpha_set.contains(2.0)
+
+    def test_efficiency_threshold_differs_from_bcg(self):
+        ucg = UnilateralConnectionGame(n=6, alpha=1.5)
+        bcg = BilateralConnectionGame(n=6, alpha=1.5)
+        assert ucg.efficient_graph().num_edges == 15   # complete graph below α = 2
+        assert bcg.efficient_graph().num_edges == 5    # star above α = 1

@@ -1,0 +1,149 @@
+"""Unit tests for the graph generators."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    circulant_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    complete_multipartite_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    hypercube_graph,
+    is_connected,
+    is_cycle_graph,
+    is_path_graph,
+    is_regular,
+    is_star,
+    is_tree,
+    lcf_graph,
+    path_graph,
+    random_connected_graph,
+    random_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    tree_from_prufer,
+    wheel_graph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_empty_graph(self):
+        assert empty_graph(5).num_edges == 0
+
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in range(6))
+
+    def test_path_and_cycle(self):
+        assert is_path_graph(path_graph(7))
+        assert is_cycle_graph(cycle_graph(7))
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7, center=2)
+        assert is_star(g)
+        assert g.degree(2) == 6
+        with pytest.raises(ValueError):
+            star_graph(3, center=5)
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.n == 5
+        assert g.num_edges == 6
+        assert g.degree(0) == 3
+        assert g.degree(4) == 2
+
+    def test_complete_multipartite(self):
+        g = complete_multipartite_graph([2, 2, 2])
+        assert g.n == 6
+        assert g.num_edges == 12
+        assert is_regular(g)
+
+    def test_wheel(self):
+        g = wheel_graph(6)
+        assert g.num_edges == 10
+        assert g.degree(5) == 5
+        with pytest.raises(ValueError):
+            wheel_graph(3)
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.n == 8
+        assert g.num_edges == 12
+        assert is_regular(g)
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.n == 6
+        assert g.num_edges == 7
+        assert is_connected(g)
+
+    def test_circulant(self):
+        g = circulant_graph(7, [1, 2])
+        assert is_regular(g)
+        assert g.degree(0) == 4
+
+    def test_lcf_requires_consistent_length(self):
+        with pytest.raises(ValueError):
+            lcf_graph(10, [5, -5], 7)
+
+    def test_lcf_heawood_is_cubic(self):
+        g = lcf_graph(14, [5, -5], 7)
+        assert is_regular(g)
+        assert g.degree(0) == 3
+
+
+class TestRandomGenerators:
+    def test_random_graph_edge_bounds(self):
+        rng = random.Random(1)
+        g = random_graph(8, 0.0, rng)
+        assert g.num_edges == 0
+        g = random_graph(8, 1.0, rng)
+        assert g.num_edges == 28
+
+    def test_random_graph_reproducible(self):
+        assert random_graph(8, 0.5, random.Random(7)) == random_graph(8, 0.5, random.Random(7))
+
+    def test_random_connected_graph_is_connected(self):
+        for seed in range(5):
+            g = random_connected_graph(9, 0.1, random.Random(seed))
+            assert is_connected(g)
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            assert is_tree(random_tree(8, random.Random(seed)))
+        assert random_tree(1).n == 1
+        assert random_tree(2).num_edges == 1
+
+    def test_tree_from_prufer_known_example(self):
+        # Prüfer sequence (3, 3, 3, 4) encodes a tree on 6 vertices where
+        # vertex 3 has degree 3 and vertex 4 has degree 2.
+        tree = tree_from_prufer([3, 3, 3, 4])
+        assert is_tree(tree)
+        assert tree.degree(3) == 4
+        assert tree.degree(4) == 2
+
+    def test_tree_from_prufer_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            tree_from_prufer([9])
+
+    def test_random_regular_graph(self):
+        g = random_regular_graph(8, 3, random.Random(5))
+        assert is_regular(g)
+        assert g.degree(0) == 3
+
+    def test_random_regular_graph_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)

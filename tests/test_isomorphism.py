@@ -1,0 +1,103 @@
+"""Unit tests for canonical labelling and isomorphism."""
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    are_isomorphic,
+    automorphism_count_brute_force,
+    canonical_form,
+    canonical_graph,
+    canonical_labeling,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    random_graph,
+    star_graph,
+)
+
+
+def _random_permutation(n: int, seed: int):
+    perm = list(range(n))
+    random.Random(seed).shuffle(perm)
+    return perm
+
+
+class TestCanonicalForm:
+    def test_empty_graph(self):
+        assert canonical_form(Graph(0)) == (0, 0)
+        assert canonical_labeling(Graph(0)) == []
+
+    def test_invariant_under_relabelling(self):
+        for seed in range(10):
+            g = random_graph(7, 0.4, random.Random(seed))
+            relabelled = g.relabel(_random_permutation(7, seed + 100))
+            assert canonical_form(g) == canonical_form(relabelled)
+
+    def test_distinguishes_non_isomorphic_graphs(self):
+        a = path_graph(5)
+        b = star_graph(5)
+        assert a.degree_sequence() != b.degree_sequence() or canonical_form(a) != canonical_form(b)
+        # Same degree sequence, different graphs: C6 vs two triangles.
+        c6 = cycle_graph(6)
+        two_triangles = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert c6.degree_sequence() == two_triangles.degree_sequence()
+        assert canonical_form(c6) != canonical_form(two_triangles)
+
+    def test_canonical_graph_is_isomorphic_to_original(self):
+        g = petersen_graph()
+        canon = canonical_graph(g)
+        assert canon.n == g.n
+        assert canon.num_edges == g.num_edges
+        assert are_isomorphic(g, canon)
+        # Canonicalising twice is idempotent.
+        assert canonical_graph(canon) == canon
+
+    def test_canonical_labeling_is_a_permutation(self):
+        g = random_graph(8, 0.5, random.Random(3))
+        ordering = canonical_labeling(g)
+        assert sorted(ordering) == list(range(8))
+
+
+class TestIsomorphism:
+    def test_relabelled_graphs_are_isomorphic(self):
+        g = petersen_graph()
+        relabelled = g.relabel(_random_permutation(10, 42))
+        assert are_isomorphic(g, relabelled)
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(path_graph(4), path_graph(5))
+
+    def test_different_edge_counts_not_isomorphic(self):
+        assert not are_isomorphic(cycle_graph(5), path_graph(5))
+
+    def test_same_invariants_different_structure(self):
+        c6 = cycle_graph(6)
+        two_triangles = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert not are_isomorphic(c6, two_triangles)
+
+    def test_agreement_with_networkx_on_random_pairs(self):
+        networkx = pytest.importorskip("networkx")
+        rng = random.Random(11)
+        for _ in range(25):
+            n = rng.randint(4, 7)
+            a = random_graph(n, rng.random(), random.Random(rng.randint(0, 10 ** 6)))
+            b = random_graph(n, rng.random(), random.Random(rng.randint(0, 10 ** 6)))
+            ga = networkx.Graph()
+            ga.add_nodes_from(range(n))
+            ga.add_edges_from(a.edges)
+            gb = networkx.Graph()
+            gb.add_nodes_from(range(n))
+            gb.add_edges_from(b.edges)
+            assert are_isomorphic(a, b) == networkx.is_isomorphic(ga, gb)
+
+
+class TestAutomorphisms:
+    def test_known_automorphism_counts(self):
+        assert automorphism_count_brute_force(complete_graph(4)) == 24
+        assert automorphism_count_brute_force(cycle_graph(5)) == 10
+        assert automorphism_count_brute_force(path_graph(4)) == 2
+        assert automorphism_count_brute_force(star_graph(5)) == 24

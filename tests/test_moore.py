@@ -1,0 +1,74 @@
+"""Unit tests for Moore bound and cage helpers."""
+
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    heawood_graph,
+    hoffman_singleton_graph,
+    is_moore_graph,
+    mcgee_graph,
+    moore_bound,
+    moore_bound_girth,
+    path_graph,
+    petersen_graph,
+    regular_graph_profile,
+    star_graph,
+    tutte_coxeter_graph,
+)
+
+
+class TestMooreBound:
+    def test_degree_diameter_values(self):
+        assert moore_bound(3, 2) == 10     # attained by the Petersen graph
+        assert moore_bound(7, 2) == 50     # attained by Hoffman–Singleton
+        assert moore_bound(3, 3) == 22
+        assert moore_bound(2, 4) == 9      # odd cycle C_9
+        assert moore_bound(1, 1) == 2
+        assert moore_bound(5, 0) == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            moore_bound(0, 2)
+        with pytest.raises(ValueError):
+            moore_bound_girth(1, 5)
+
+    def test_girth_based_bound(self):
+        assert moore_bound_girth(3, 5) == 10    # (3,5)-cage: Petersen
+        assert moore_bound_girth(3, 6) == 14    # (3,6)-cage: Heawood
+        assert moore_bound_girth(3, 8) == 30    # (3,8)-cage: Tutte–Coxeter
+        assert moore_bound_girth(7, 5) == 50    # (7,5)-cage: Hoffman–Singleton
+        assert moore_bound_girth(2, 6) == 6     # the hexagon
+
+
+class TestProfiles:
+    def test_petersen_is_a_moore_graph(self):
+        profile = regular_graph_profile(petersen_graph())
+        assert profile.is_moore_graph
+        assert profile.is_cage_candidate
+        assert profile.moore_ratio == 1.0
+
+    def test_hoffman_singleton_is_a_moore_graph(self):
+        assert is_moore_graph(hoffman_singleton_graph())
+
+    def test_bipartite_cages_attain_girth_bound_not_diameter_bound(self):
+        for builder in (heawood_graph, tutte_coxeter_graph):
+            profile = regular_graph_profile(builder())
+            assert profile.is_cage_candidate
+            assert not profile.is_moore_graph
+
+    def test_mcgee_is_not_at_the_girth_bound(self):
+        # The (3,7)-cage has 24 vertices, strictly above the Moore girth bound of 22.
+        profile = regular_graph_profile(mcgee_graph())
+        assert profile.moore_bound_girth == 22
+        assert not profile.is_cage_candidate
+        assert profile.moore_ratio < 1.0
+
+    def test_cycles_are_moore_graphs_when_odd(self):
+        assert is_moore_graph(cycle_graph(9))
+        assert not is_moore_graph(cycle_graph(8))
+
+    def test_profile_requires_connected_regular_graph(self):
+        with pytest.raises(ValueError):
+            regular_graph_profile(star_graph(5))
+        assert not is_moore_graph(path_graph(4))

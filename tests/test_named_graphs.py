@@ -1,0 +1,97 @@
+"""Unit tests for the named graphs of Figure 1 and Section 4."""
+
+import pytest
+
+from repro.graphs import (
+    all_named_graphs,
+    clebsch_graph,
+    desargues_graph,
+    diameter,
+    dodecahedral_graph,
+    from_networkx,
+    girth,
+    heawood_graph,
+    hoffman_singleton_graph,
+    is_bipartite,
+    is_connected,
+    is_regular,
+    is_star,
+    are_isomorphic,
+    mcgee_graph,
+    named_graph,
+    octahedral_graph,
+    pappus_graph,
+    petersen_graph,
+    regular_degree,
+    star_8,
+    tutte_coxeter_graph,
+)
+
+# (constructor, n, m, degree, girth, diameter)
+PARAMETERS = [
+    (petersen_graph, 10, 15, 3, 5, 2),
+    (mcgee_graph, 24, 36, 3, 7, 4),
+    (heawood_graph, 14, 21, 3, 6, 3),
+    (tutte_coxeter_graph, 30, 45, 3, 8, 4),
+    (desargues_graph, 20, 30, 3, 6, 5),
+    (dodecahedral_graph, 20, 30, 3, 5, 5),
+    (pappus_graph, 18, 27, 3, 6, 4),
+    (octahedral_graph, 6, 12, 4, 3, 2),
+    (clebsch_graph, 16, 40, 5, 4, 2),
+    (hoffman_singleton_graph, 50, 175, 7, 5, 2),
+]
+
+
+@pytest.mark.parametrize("builder,n,m,degree,expected_girth,expected_diameter", PARAMETERS)
+def test_structural_parameters(builder, n, m, degree, expected_girth, expected_diameter):
+    graph = builder()
+    assert graph.n == n
+    assert graph.num_edges == m
+    assert is_connected(graph)
+    assert is_regular(graph)
+    assert regular_degree(graph) == degree
+    assert girth(graph) == expected_girth
+    assert diameter(graph) == expected_diameter
+
+
+def test_star_8_panel():
+    graph = star_8()
+    assert graph.n == 8
+    assert is_star(graph)
+
+
+def test_bipartite_cages():
+    assert is_bipartite(heawood_graph())
+    assert is_bipartite(tutte_coxeter_graph())
+    assert is_bipartite(desargues_graph())
+    assert is_bipartite(pappus_graph())
+    assert not is_bipartite(petersen_graph())
+
+
+def test_registry_contains_figure1_graphs():
+    names = all_named_graphs()
+    for expected in ("petersen", "mcgee", "octahedral", "clebsch", "hoffman_singleton", "star_8"):
+        assert expected in names
+
+
+def test_named_graph_lookup():
+    assert named_graph("petersen").n == 10
+    with pytest.raises(KeyError):
+        named_graph("no-such-graph")
+
+
+@pytest.mark.parametrize(
+    "ours,networkx_name",
+    [
+        (petersen_graph, "petersen_graph"),
+        (heawood_graph, "heawood_graph"),
+        (desargues_graph, "desargues_graph"),
+        (dodecahedral_graph, "dodecahedral_graph"),
+        (pappus_graph, "pappus_graph"),
+        (octahedral_graph, "octahedral_graph"),
+    ],
+)
+def test_isomorphic_to_networkx_reference(ours, networkx_name):
+    networkx = pytest.importorskip("networkx")
+    reference = from_networkx(getattr(networkx.generators.small, networkx_name)())
+    assert are_isomorphic(ours(), reference)

@@ -1,0 +1,31 @@
+"""Smoke tests for the public package surface."""
+
+import repro
+import repro.analysis
+import repro.core
+import repro.experiments
+import repro.graphs
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_subpackage_exports_resolve():
+    for module in (repro.graphs, repro.core, repro.analysis, repro.experiments):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_docstring_quickstart_example():
+    from repro import BilateralConnectionGame, star_graph
+
+    game = BilateralConnectionGame(n=8, alpha=3.0)
+    star = star_graph(8)
+    assert game.is_pairwise_stable(star)
+    assert round(game.price_of_anarchy(star), 3) == 1.0

@@ -1,0 +1,74 @@
+"""Unit tests for the proper-equilibrium certificate (Lemma 3 / Proposition 2)."""
+
+import pytest
+
+from repro.core import (
+    is_certified_proper_equilibrium,
+    is_link_convex,
+    proper_equilibrium_certificate,
+    proposition2_alpha_window,
+    proposition2_holds_for,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    dodecahedral_graph,
+    enumerate_connected_graphs,
+    heawood_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestCertificate:
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            proper_equilibrium_certificate(star_graph(4), 0.0)
+
+    def test_star_certified_for_alpha_strictly_above_one(self):
+        certificate = proper_equilibrium_certificate(star_graph(6), 2.0)
+        assert certificate.is_pairwise_nash
+        assert certificate.missing_links_strictly_unprofitable
+        assert certificate.certifies_proper_equilibrium
+
+    def test_star_not_certified_at_the_boundary(self):
+        # At α = 1 a missing leaf-leaf link is exactly neutral for both
+        # endpoints, so the strictness hypothesis of Lemma 3 fails even though
+        # the star is still pairwise stable.
+        certificate = proper_equilibrium_certificate(star_graph(6), 1.0)
+        assert certificate.is_pairwise_nash
+        assert not certificate.missing_links_strictly_unprofitable
+        assert not certificate.certifies_proper_equilibrium
+
+    def test_unstable_graph_not_certified(self):
+        assert not is_certified_proper_equilibrium(path_graph(5), 1.0)
+
+    def test_complete_graph_certified_for_cheap_links(self):
+        # No missing links at all: the strictness condition is vacuous.
+        assert is_certified_proper_equilibrium(complete_graph(5), 0.5)
+
+    def test_petersen_certified_inside_window(self):
+        assert is_certified_proper_equilibrium(petersen_graph(), 3.0)
+        assert not is_certified_proper_equilibrium(petersen_graph(), 0.5)
+
+
+class TestProposition2:
+    def test_window_matches_link_convexity_gap(self):
+        window = proposition2_alpha_window(cycle_graph(8))
+        assert window == (5.0, 12.0)
+
+    def test_window_none_for_non_link_convex_graphs(self):
+        assert proposition2_alpha_window(dodecahedral_graph()) is None
+        assert not is_link_convex(dodecahedral_graph())
+
+    def test_proposition2_on_named_graphs(self):
+        for graph in (petersen_graph(), heawood_graph(), cycle_graph(10), star_graph(7)):
+            assert proposition2_holds_for(graph)
+
+    def test_proposition2_vacuous_for_non_link_convex_graphs(self):
+        assert proposition2_holds_for(dodecahedral_graph())
+
+    def test_proposition2_exhaustive_on_small_census(self):
+        for graph in enumerate_connected_graphs(5):
+            assert proposition2_holds_for(graph)

@@ -1,0 +1,126 @@
+"""Unit tests for structural graph properties."""
+
+from repro.graphs import (
+    INFINITY,
+    Graph,
+    bridges,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    edge_connectivity_at_least_two,
+    girth,
+    hypercube_graph,
+    is_bipartite,
+    is_complete,
+    is_connected,
+    is_cycle_graph,
+    is_empty,
+    is_forest,
+    is_path_graph,
+    is_regular,
+    is_star,
+    is_tree,
+    num_common_neighbors,
+    path_graph,
+    petersen_graph,
+    regular_degree,
+    star_graph,
+)
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(5))
+        assert not is_connected(Graph(3, [(0, 1)]))
+        assert is_connected(Graph(1))
+        assert is_connected(Graph(0))
+
+    def test_bridges_in_path(self):
+        assert bridges(path_graph(4)) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_no_bridges_in_cycle(self):
+        assert bridges(cycle_graph(5)) == []
+
+    def test_bridge_between_two_triangles(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+        assert bridges(g) == [(2, 3)]
+
+    def test_edge_connectivity_at_least_two(self):
+        assert edge_connectivity_at_least_two(cycle_graph(4))
+        assert not edge_connectivity_at_least_two(path_graph(4))
+        assert not edge_connectivity_at_least_two(Graph(3, [(0, 1)]))
+
+
+class TestShapePredicates:
+    def test_tree_and_forest(self):
+        assert is_tree(path_graph(5))
+        assert is_tree(star_graph(6))
+        assert not is_tree(cycle_graph(4))
+        assert not is_tree(Graph(3, [(0, 1)]))
+        assert is_forest(Graph(4, [(0, 1), (2, 3)]))
+        assert not is_forest(cycle_graph(3))
+
+    def test_regularity(self):
+        assert is_regular(cycle_graph(5))
+        assert regular_degree(cycle_graph(5)) == 2
+        assert regular_degree(petersen_graph()) == 3
+        assert not is_regular(star_graph(4))
+        assert regular_degree(star_graph(4)) is None
+
+    def test_complete_and_empty(self):
+        assert is_complete(complete_graph(4))
+        assert not is_complete(cycle_graph(4))
+        assert is_empty(Graph(3))
+        assert not is_empty(path_graph(3))
+
+    def test_star(self):
+        assert is_star(star_graph(5))
+        assert is_star(star_graph(5, center=3))
+        assert not is_star(path_graph(4))
+        assert not is_star(Graph(1))
+        assert is_star(path_graph(3))  # P_3 is also K_{1,2}
+
+    def test_cycle_and_path(self):
+        assert is_cycle_graph(cycle_graph(6))
+        assert not is_cycle_graph(path_graph(6))
+        assert is_path_graph(path_graph(6))
+        assert not is_path_graph(star_graph(5))
+        assert is_path_graph(Graph(1))
+
+
+class TestGirth:
+    def test_girth_of_forest_is_infinite(self):
+        assert girth(path_graph(5)) == INFINITY
+
+    def test_girth_of_cycles(self):
+        for n in range(3, 9):
+            assert girth(cycle_graph(n)) == n
+
+    def test_girth_of_complete_graph(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_girth_of_petersen(self):
+        assert girth(petersen_graph()) == 5
+
+    def test_girth_of_hypercube(self):
+        assert girth(hypercube_graph(3)) == 4
+
+
+class TestMisc:
+    def test_bipartite(self):
+        assert is_bipartite(complete_bipartite_graph(3, 4))
+        assert is_bipartite(path_graph(5))
+        assert not is_bipartite(cycle_graph(5))
+        assert is_bipartite(cycle_graph(6))
+
+    def test_common_neighbors(self):
+        g = complete_graph(4)
+        assert num_common_neighbors(g, 0, 1) == 2
+        star = star_graph(5)
+        assert num_common_neighbors(star, 1, 2) == 1
+        assert num_common_neighbors(star, 0, 1) == 0

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+These cover the paper's structural claims on *random* inputs rather than a
+fixed list of examples:
+
+* metric properties of BFS distances;
+* the ``Λ`` profile algebra round-trips;
+* Lemma 1: cost convexity of the BCG on every graph;
+* Proposition 1: pairwise stability ⟺ pairwise Nash;
+* Lemma 2: the (α_min, α_max] window really is a stability window;
+* canonical-form invariance under relabelling;
+* the UCG α-interval search agrees with explicit profile checks on trees.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    is_cost_convex,
+    is_pairwise_nash,
+    is_pairwise_stable,
+    pairwise_stability_profile,
+    profile_from_graph_bcg,
+    social_cost_bcg,
+    ucg_nash_alpha_set,
+)
+from repro.core.strategies import profile_from_ownership_ucg
+from repro.core.unilateral import is_nash_profile_ucg
+from repro.graphs import (
+    Graph,
+    all_pairs_distances,
+    canonical_form,
+    is_connected,
+    total_distance,
+)
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def graphs(draw, min_n=2, max_n=7, connected=False):
+    """Random small graphs (optionally forced connected by adding a spanning tree)."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [pair for pair, keep in zip(pairs, mask) if keep]
+    graph = Graph(n, edges)
+    if connected and not is_connected(graph):
+        seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+        rng = random.Random(seed)
+        order = list(range(n))
+        rng.shuffle(order)
+        graph = graph.add_edges((order[i], order[i + 1]) for i in range(n - 1))
+    return graph
+
+
+@st.composite
+def trees(draw, min_n=2, max_n=8):
+    """Random labelled trees via random attachment."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.append((parent, v))
+    return Graph(n, edges)
+
+
+alphas = st.floats(min_value=0.1, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# --------------------------------------------------------------------------- #
+# Graph substrate invariants
+# --------------------------------------------------------------------------- #
+
+
+@_SETTINGS
+@given(graphs())
+def test_distances_form_a_metric(graph):
+    matrix = all_pairs_distances(graph)
+    n = graph.n
+    for i in range(n):
+        assert matrix[i][i] == 0
+        for j in range(n):
+            assert matrix[i][j] == matrix[j][i]
+            for k in range(n):
+                assert matrix[i][k] <= matrix[i][j] + matrix[j][k]
+
+
+@_SETTINGS
+@given(graphs(), st.randoms(use_true_random=False))
+def test_canonical_form_invariant_under_relabelling(graph, rng):
+    permutation = list(range(graph.n))
+    rng.shuffle(permutation)
+    assert canonical_form(graph) == canonical_form(graph.relabel(permutation))
+
+
+@_SETTINGS
+@given(graphs(connected=True))
+def test_adding_an_edge_never_increases_total_distance(graph):
+    for (u, v) in graph.non_edges():
+        assert total_distance(graph.add_edge(u, v)) <= total_distance(graph)
+
+
+# --------------------------------------------------------------------------- #
+# Cost-function invariants
+# --------------------------------------------------------------------------- #
+
+
+@_SETTINGS
+@given(graphs(connected=True), alphas)
+def test_social_cost_equals_sum_of_player_costs(graph, alpha):
+    profile = profile_from_graph_bcg(graph)
+    from pytest import approx
+
+    from repro.core import all_player_costs_bcg
+
+    assert sum(all_player_costs_bcg(profile, alpha)) == approx(
+        social_cost_bcg(graph, alpha)
+    )
+
+
+@_SETTINGS
+@given(graphs(max_n=6))
+def test_lemma1_cost_convexity_holds_on_random_graphs(graph):
+    assert is_cost_convex(graph)
+
+
+# --------------------------------------------------------------------------- #
+# Equilibrium invariants
+# --------------------------------------------------------------------------- #
+
+
+@_SETTINGS
+@given(graphs(connected=True, max_n=6), alphas)
+def test_proposition1_pairwise_stable_iff_pairwise_nash(graph, alpha):
+    assert is_pairwise_stable(graph, alpha) == is_pairwise_nash(graph, alpha)
+
+
+@_SETTINGS
+@given(graphs(connected=True, max_n=7))
+def test_lemma2_window_is_a_stability_window(graph):
+    profile = pairwise_stability_profile(graph)
+    lo, hi = profile.stability_interval()
+    if lo < hi:
+        midpoint = (lo + hi) / 2.0 if hi != float("inf") else lo + 1.0
+        assert is_pairwise_stable(graph, midpoint)
+    if hi != float("inf"):
+        assert not is_pairwise_stable(graph, hi * 2.0 + 1.0)
+
+
+@_SETTINGS
+@given(graphs(connected=True, max_n=6), alphas)
+def test_stability_profile_agrees_with_direct_definition(graph, alpha):
+    profile = pairwise_stability_profile(graph)
+    assert profile.is_stable_at(alpha) == is_pairwise_stable(graph, alpha)
+
+
+@_SETTINGS
+@given(trees(max_n=6), alphas)
+def test_ucg_alpha_set_agrees_with_profile_check_on_trees(tree, alpha):
+    """Cross-validate the orientation search against explicit profile checks.
+
+    For trees a Nash-supporting orientation, when it exists, can be validated
+    directly; and when the α-set search says "not Nash" no orientation should
+    pass the profile check either (trees are small enough to enumerate all
+    2^(n-1) orientations).
+    """
+    from hypothesis import assume
+
+    alpha_set = ucg_nash_alpha_set(tree)
+    # Avoid link costs within float-tolerance distance of an interval
+    # boundary, where the two implementations' tie-breaking tolerances could
+    # legitimately disagree.
+    for interval in alpha_set.intervals:
+        assume(abs(alpha - interval.lo) > 1e-6)
+        if interval.hi != float("inf"):
+            assume(abs(alpha - interval.hi) > 1e-6)
+    expected = alpha_set.contains(alpha)
+    edges = tree.sorted_edges()
+    found = False
+    for mask in range(2 ** len(edges)):
+        ownership = {
+            edge: (edge[0] if mask >> index & 1 else edge[1])
+            for index, edge in enumerate(edges)
+        }
+        profile = profile_from_ownership_ucg(tree, ownership)
+        if is_nash_profile_ucg(profile, alpha):
+            found = True
+            break
+    assert found == expected
+
+
+@_SETTINGS
+@given(trees(max_n=8), alphas)
+def test_proposition5_ucg_nash_trees_are_pairwise_stable(tree, alpha):
+    if ucg_nash_alpha_set(tree).contains(alpha):
+        assert is_pairwise_stable(tree, alpha)

@@ -1,0 +1,42 @@
+"""Unit tests for dynamics-based equilibrium sampling."""
+
+from repro.analysis import (
+    deduplicate_up_to_isomorphism,
+    sample_equilibria_at_cost,
+    sample_equilibria_over_grid,
+)
+from repro.core import is_nash_graph_ucg, is_pairwise_stable
+from repro.graphs import cycle_graph, star_graph
+
+
+def test_deduplicate_up_to_isomorphism():
+    star_a = star_graph(5)
+    star_b = star_graph(5, center=2)
+    cycle = cycle_graph(5)
+    unique = deduplicate_up_to_isomorphism([star_a, star_b, cycle, star_a])
+    assert len(unique) == 2
+    assert unique[0] == star_a
+
+
+def test_sample_equilibria_at_cost_small_n():
+    sampled = sample_equilibria_at_cost(6, total_edge_cost=4.0, num_samples=5, seed=3)
+    assert sampled.alpha_ucg == 4.0
+    assert sampled.alpha_bcg == 2.0
+    assert sampled.ucg, "best-response dynamics should converge for small n"
+    assert sampled.bcg, "pairwise dynamics should converge for small n"
+    # Every sampled network really is an equilibrium of its game.
+    assert all(is_nash_graph_ucg(g, 4.0) for g in sampled.ucg)
+    assert all(is_pairwise_stable(g, 2.0) for g in sampled.bcg)
+
+
+def test_sample_equilibria_with_verification_filter():
+    sampled = sample_equilibria_at_cost(
+        5, total_edge_cost=3.0, num_samples=4, seed=1, verify=True
+    )
+    assert all(is_pairwise_stable(g, 1.5) for g in sampled.bcg)
+
+
+def test_sample_equilibria_over_grid_keys():
+    grid = sample_equilibria_over_grid(5, [2.0, 10.0], num_samples=3, seed=2)
+    assert set(grid) == {2.0, 10.0}
+    assert set(grid[2.0]) == {"ucg", "bcg"}

@@ -1,0 +1,143 @@
+"""Unit tests for α-interval machinery and pairwise-stability profiles."""
+
+import pytest
+
+from repro.core import (
+    AlphaInterval,
+    AlphaIntervalSet,
+    FULL_ALPHA_RANGE,
+    distance_delta,
+    has_stabilizing_alpha,
+    is_pairwise_stable,
+    pairwise_stability_interval,
+    pairwise_stability_profile,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestAlphaInterval:
+    def test_contains_and_empty(self):
+        interval = AlphaInterval(1.0, 3.0)
+        assert interval.contains(1.0)
+        assert interval.contains(3.0)
+        assert not interval.contains(3.5)
+        assert not interval.is_empty()
+        assert AlphaInterval(2.0, 1.0).is_empty()
+
+    def test_intersection(self):
+        a = AlphaInterval(1.0, 5.0)
+        b = AlphaInterval(3.0, 8.0)
+        assert a.intersect(b) == AlphaInterval(3.0, 5.0)
+        assert a.intersect(AlphaInterval(6.0, 7.0)).is_empty()
+
+    def test_full_range(self):
+        assert FULL_ALPHA_RANGE.contains(1e-6)
+        assert FULL_ALPHA_RANGE.contains(1e9)
+
+
+class TestAlphaIntervalSet:
+    def test_merging_overlapping_intervals(self):
+        s = AlphaIntervalSet([AlphaInterval(1, 3), AlphaInterval(2, 5), AlphaInterval(8, 9)])
+        assert len(s.intervals) == 2
+        assert s.contains(4)
+        assert not s.contains(6)
+        assert s.min_alpha() == 1
+        assert s.max_alpha() == 9
+
+    def test_empty_set(self):
+        s = AlphaIntervalSet([AlphaInterval(3, 1)])
+        assert s.is_empty()
+        assert s.min_alpha() is None
+        assert s.max_alpha() is None
+        assert not s.contains(2)
+
+    def test_add(self):
+        s = AlphaIntervalSet()
+        s.add(AlphaInterval(0, 1))
+        s.add(AlphaInterval(1, 2))
+        assert len(s.intervals) == 1
+        s.add(AlphaInterval(5, 4))  # empty, ignored
+        assert len(s.intervals) == 1
+
+    def test_repr(self):
+        assert "AlphaIntervalSet" in repr(AlphaIntervalSet([AlphaInterval(0, 1)]))
+
+
+class TestDistanceDelta:
+    def test_finite(self):
+        assert distance_delta(5.0, 3.0) == 2.0
+
+    def test_both_infinite(self):
+        assert distance_delta(float("inf"), float("inf")) == 0.0
+
+    def test_one_infinite(self):
+        assert distance_delta(float("inf"), 3.0) == float("inf")
+        assert distance_delta(3.0, float("inf")) == float("-inf")
+
+
+class TestPairwiseStabilityProfile:
+    def test_star_interval(self):
+        lo, hi = pairwise_stability_interval(star_graph(6))
+        assert lo == 1.0        # two leaves save 1 each by linking directly
+        assert hi == float("inf")  # severing disconnects: infinite distance increase
+
+    def test_complete_graph_interval(self):
+        lo, hi = pairwise_stability_interval(complete_graph(5))
+        assert lo == 0.0   # no missing links
+        assert hi == 1.0   # severing any edge costs exactly one extra hop
+
+    def test_cycle_intervals_match_hand_computation(self):
+        assert pairwise_stability_interval(cycle_graph(5)) == (1.0, 4.0)
+        assert pairwise_stability_interval(cycle_graph(8)) == (5.0, 12.0)
+
+    def test_path_graph(self):
+        # The centre edge of P_4 is essential; the missing chords are attractive
+        # for small α, so the path is stable only for large α.
+        profile = pairwise_stability_profile(path_graph(4))
+        assert profile.alpha_max == float("inf")
+        assert profile.alpha_min == 2.0
+
+    def test_profile_consistency_with_exact_checks(self, small_random_graphs):
+        for graph in small_random_graphs:
+            profile = pairwise_stability_profile(graph)
+            lo, hi = profile.stability_interval()
+            if lo < hi:
+                midpoint = (lo + hi) / 2.0 if hi != float("inf") else lo + 1.0
+                assert profile.is_stable_at(midpoint)
+                assert is_pairwise_stable(graph, midpoint)
+            if hi != float("inf"):
+                assert not profile.is_stable_at(hi + 1.0)
+
+    def test_violations_messages(self):
+        violations = pairwise_stability_profile(path_graph(4)).violations_at(1.0)
+        assert violations
+        assert any("bilaterally add" in message for message in violations)
+        severance = pairwise_stability_profile(complete_graph(4)).violations_at(3.0)
+        assert any("severing" in message for message in severance)
+
+    def test_disconnected_graph_has_no_stabilizing_alpha(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert not has_stabilizing_alpha(g)
+
+    def test_petersen_has_stabilizing_alpha(self):
+        assert has_stabilizing_alpha(petersen_graph())
+
+    def test_edgeless_graph_boundary_conventions(self):
+        # Two isolated vertices: adding the single missing link brings the
+        # distance from infinity to 1, an infinite saving.
+        two = pairwise_stability_profile(Graph(2))
+        assert two.alpha_max == float("inf")
+        assert two.alpha_min == float("inf")
+        # Three isolated vertices: adding any one link still leaves a third
+        # vertex unreachable, so under the ∞ - ∞ = 0 convention the measured
+        # saving is zero.
+        three = pairwise_stability_profile(Graph(3))
+        assert three.alpha_max == float("inf")
+        assert three.alpha_min == 0.0

@@ -1,0 +1,117 @@
+"""Unit tests for strategy profiles and the linking rules."""
+
+import pytest
+
+from repro.core import StrategyProfile, edge_strategy_matrix, empty_profile, profile_from_graph_bcg
+from repro.core.strategies import profile_from_ownership_ucg
+from repro.graphs import Graph, star_graph
+
+
+class TestConstruction:
+    def test_empty_profile(self):
+        profile = empty_profile(4)
+        assert profile.n == 4
+        assert all(profile.num_requests(i) == 0 for i in range(4))
+
+    def test_requests_validation(self):
+        with pytest.raises(ValueError):
+            StrategyProfile(3, [[0], [], []])          # self request
+        with pytest.raises(ValueError):
+            StrategyProfile(3, [[5], [], []])          # out of range
+        with pytest.raises(ValueError):
+            StrategyProfile(3, [[], []])               # wrong row count
+        with pytest.raises(ValueError):
+            StrategyProfile(-1)
+
+    def test_matrix_round_trip(self):
+        profile = StrategyProfile(3, [[1, 2], [], [0]])
+        assert profile.as_matrix() == [[0, 1, 1], [0, 0, 0], [1, 0, 0]]
+        assert profile.seeks(0, 1)
+        assert not profile.seeks(1, 0)
+        assert profile.num_requests(0) == 2
+
+
+class TestLinkingRules:
+    def test_unilateral_rule_uses_or(self):
+        profile = StrategyProfile(3, [[1], [], [1]])
+        graph = profile.unilateral_graph()
+        assert graph.edges == {(0, 1), (1, 2)}
+
+    def test_bilateral_rule_uses_and(self):
+        profile = StrategyProfile(3, [[1], [0, 2], []])
+        graph = profile.bilateral_graph()
+        assert graph.edges == {(0, 1)}  # 1 seeks 2 but 2 does not reciprocate
+
+    def test_one_sided_requests_form_no_bcg_edge(self):
+        profile = StrategyProfile(2, [[1], []])
+        assert profile.bilateral_graph().num_edges == 0
+        assert profile.unilateral_graph().num_edges == 1
+
+
+class TestProfileAlgebra:
+    def test_with_and_without_request(self):
+        profile = empty_profile(3).with_request(0, 1)
+        assert profile.seeks(0, 1)
+        assert not profile.without_request(0, 1).seeks(0, 1)
+
+    def test_add_and_remove_bilateral_link(self):
+        profile = empty_profile(3).add_bilateral_link(0, 2)
+        assert profile.bilateral_graph().has_edge(0, 2)
+        removed = profile.remove_bilateral_link(0, 2)
+        assert removed.bilateral_graph().num_edges == 0
+
+    def test_add_links_lambda_matrix_semantics(self):
+        profile = empty_profile(4).add_links([(0, 1), (2, 3)], bilateral=True)
+        assert profile.bilateral_graph().edges == {(0, 1), (2, 3)}
+        unilateral = empty_profile(4).add_links([(0, 1)], bilateral=False)
+        assert unilateral.seeks(0, 1) and not unilateral.seeks(1, 0)
+
+    def test_remove_links(self):
+        profile = profile_from_graph_bcg(star_graph(4))
+        removed = profile.remove_links([(0, 1)])
+        assert not removed.bilateral_graph().has_edge(0, 1)
+
+    def test_with_player_strategy(self):
+        profile = profile_from_graph_bcg(star_graph(4))
+        deviated = profile.with_player_strategy(1, [])
+        assert deviated.num_requests(1) == 0
+        assert not deviated.bilateral_graph().has_edge(0, 1)
+
+    def test_equality_and_hash(self):
+        a = StrategyProfile(3, [[1], [0], []])
+        b = StrategyProfile(3, [[1], [0], []])
+        assert a == b and hash(a) == hash(b)
+        assert a != a.with_request(2, 0)
+
+    def test_repr(self):
+        assert "StrategyProfile" in repr(empty_profile(3))
+
+
+class TestFactories:
+    def test_edge_strategy_matrix_bilateral(self):
+        lam = edge_strategy_matrix(4, 1, 3, bilateral=True)
+        assert lam.seeks(1, 3) and lam.seeks(3, 1)
+
+    def test_edge_strategy_matrix_unilateral(self):
+        lam = edge_strategy_matrix(4, 1, 3, bilateral=False)
+        assert lam.seeks(1, 3) and not lam.seeks(3, 1)
+
+    def test_profile_from_graph_bcg(self):
+        star = star_graph(4)
+        profile = profile_from_graph_bcg(star)
+        assert profile.bilateral_graph() == star
+        assert profile.num_requests(0) == 3
+
+    def test_profile_from_ownership(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        profile = profile_from_ownership_ucg(graph, {(0, 1): 0, (1, 2): 2})
+        assert profile.seeks(0, 1) and not profile.seeks(1, 0)
+        assert profile.seeks(2, 1) and not profile.seeks(1, 2)
+        assert profile.unilateral_graph() == graph
+
+    def test_profile_from_ownership_validation(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            profile_from_ownership_ucg(graph, {})
+        with pytest.raises(ValueError):
+            profile_from_ownership_ucg(graph, {(0, 1): 2})

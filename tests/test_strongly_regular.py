@@ -1,0 +1,64 @@
+"""Unit tests for strongly-regular graph detection."""
+
+from repro.graphs import (
+    clebsch_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    hoffman_singleton_graph,
+    is_strongly_regular,
+    octahedral_graph,
+    path_graph,
+    petersen_graph,
+    satisfies_paper_srg_condition,
+    star_graph,
+    strongly_regular_parameters,
+)
+
+
+def test_petersen_parameters():
+    params = strongly_regular_parameters(petersen_graph())
+    assert params is not None
+    assert params.as_tuple() == (10, 3, 0, 1)
+    assert str(params) == "srg(10, 3, 0, 1)"
+
+
+def test_clebsch_parameters():
+    assert strongly_regular_parameters(clebsch_graph()).as_tuple() == (16, 5, 0, 2)
+
+
+def test_octahedral_parameters():
+    assert strongly_regular_parameters(octahedral_graph()).as_tuple() == (6, 4, 2, 4)
+
+
+def test_hoffman_singleton_parameters():
+    assert strongly_regular_parameters(hoffman_singleton_graph()).as_tuple() == (50, 7, 0, 1)
+
+
+def test_cycle_c5_is_strongly_regular():
+    assert strongly_regular_parameters(cycle_graph(5)).as_tuple() == (5, 2, 0, 1)
+
+
+def test_complete_bipartite_is_strongly_regular():
+    assert strongly_regular_parameters(complete_bipartite_graph(3, 3)).as_tuple() == (6, 3, 0, 3)
+
+
+def test_non_srg_graphs():
+    assert strongly_regular_parameters(path_graph(5)) is None
+    assert strongly_regular_parameters(star_graph(5)) is None
+    assert strongly_regular_parameters(cycle_graph(6)) is None
+    assert not is_strongly_regular(cycle_graph(7))
+
+
+def test_complete_and_empty_graphs_excluded_by_convention():
+    assert strongly_regular_parameters(complete_graph(5)) is None
+    assert strongly_regular_parameters(complete_graph(5).complement()) is None
+
+
+def test_paper_condition_lambda_positive_mu_above_one():
+    # The octahedral graph (6,4,2,4) satisfies λ > 0 and μ > 1 ...
+    assert satisfies_paper_srg_condition(octahedral_graph())
+    # ... while the Petersen and Clebsch graphs have λ = 0 and do not.
+    assert not satisfies_paper_srg_condition(petersen_graph())
+    assert not satisfies_paper_srg_condition(clebsch_graph())
+    assert not satisfies_paper_srg_condition(path_graph(4))

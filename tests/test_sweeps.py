@@ -1,0 +1,70 @@
+"""Unit tests for link-cost grids and axis conventions."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    aligned_cost_grid,
+    aligned_link_costs,
+    default_alpha_grid,
+    linear_alphas,
+    log_spaced_alphas,
+    per_edge_cost_axis,
+)
+
+
+class TestGrids:
+    def test_log_spaced_endpoints(self):
+        grid = log_spaced_alphas(0.5, 32.0, 7)
+        assert grid[0] == pytest.approx(0.5)
+        assert grid[-1] == pytest.approx(32.0)
+        assert len(grid) == 7
+        ratios = [b / a for a, b in zip(grid, grid[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_log_spaced_validation(self):
+        with pytest.raises(ValueError):
+            log_spaced_alphas(0.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            log_spaced_alphas(2.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            log_spaced_alphas(1.0, 2.0, 1)
+
+    def test_linear_grid(self):
+        assert linear_alphas(0.0, 1.0, 5) == [0.0, 0.25, 0.5, 0.75, 1.0]
+        with pytest.raises(ValueError):
+            linear_alphas(0.0, 1.0, 1)
+
+    def test_default_grid_spans_the_interesting_range(self):
+        grid = default_alpha_grid(6)
+        assert grid[0] < 1.0
+        assert grid[-1] == pytest.approx(36.0)
+
+
+class TestAxisConventions:
+    def test_per_edge_cost_axis(self):
+        assert per_edge_cost_axis(math.e, "ucg") == pytest.approx(1.0)
+        assert per_edge_cost_axis(math.e / 2, "bcg") == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            per_edge_cost_axis(1.0, "xyz")
+
+    def test_aligned_link_costs(self):
+        alpha_ucg, alpha_bcg = aligned_link_costs(8.0)
+        assert alpha_ucg == 8.0
+        assert alpha_bcg == 4.0
+        with pytest.raises(ValueError):
+            aligned_link_costs(0.0)
+
+    def test_aligned_axes_coincide(self):
+        alpha_ucg, alpha_bcg = aligned_link_costs(5.0)
+        assert per_edge_cost_axis(alpha_ucg, "ucg") == pytest.approx(
+            per_edge_cost_axis(alpha_bcg, "bcg")
+        )
+
+    def test_aligned_cost_grid_shape(self):
+        grid = aligned_cost_grid(6, count=10)
+        assert len(grid) == 10
+        for cost, alpha_ucg, alpha_bcg in grid:
+            assert alpha_ucg == pytest.approx(cost)
+            assert alpha_bcg == pytest.approx(cost / 2)

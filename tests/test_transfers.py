@@ -1,0 +1,110 @@
+"""Unit tests for pairwise stability with transfers (Section 6 extension)."""
+
+import pytest
+
+from repro.core import (
+    is_pairwise_stable,
+    is_pairwise_stable_with_transfers,
+    transfer_stability_interval,
+    transfer_stability_profile,
+    transfer_stable_graphs,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    enumerate_connected_graphs,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestProfile:
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            is_pairwise_stable_with_transfers(star_graph(4), 0.0)
+
+    def test_star_joint_quantities(self):
+        profile = transfer_stability_profile(star_graph(5))
+        # Severing any spoke disconnects a leaf: infinite joint increase.
+        assert all(v == float("inf") for v in profile.joint_removal_increase.values())
+        # Adding a leaf-leaf link saves exactly 1 hop for each endpoint: joint 2.
+        assert all(v == 2 for v in profile.joint_addition_saving.values())
+        assert profile.stability_interval() == (1.0, float("inf"))
+
+    def test_complete_graph_interval(self):
+        lo, hi = transfer_stability_interval(complete_graph(5))
+        assert lo == 0.0
+        # Joint increase from severing an edge of K_n is 2 (one extra hop per
+        # endpoint), so the pair jointly keeps the link while 2α <= 2.
+        assert hi == 1.0
+
+    def test_cycle_interval_scales_with_n(self):
+        lo_small, hi_small = transfer_stability_interval(cycle_graph(6))
+        lo_large, hi_large = transfer_stability_interval(cycle_graph(12))
+        assert lo_small < hi_small
+        assert lo_large < hi_large
+        assert lo_large > lo_small
+        assert hi_large > hi_small
+
+
+class TestStability:
+    def test_star_stable_above_one(self):
+        assert is_pairwise_stable_with_transfers(star_graph(6), 2.0)
+        assert not is_pairwise_stable_with_transfers(star_graph(6), 0.5)
+
+    def test_complete_graph_stable_below_one(self):
+        assert is_pairwise_stable_with_transfers(complete_graph(6), 0.5)
+        assert not is_pairwise_stable_with_transfers(complete_graph(6), 2.0)
+
+    def test_petersen_stable_in_window(self):
+        lo, hi = transfer_stability_interval(petersen_graph())
+        assert lo < hi
+        assert is_pairwise_stable_with_transfers(petersen_graph(), (lo + hi) / 2.0)
+
+    def test_path_stable_only_for_large_alpha(self):
+        assert not is_pairwise_stable_with_transfers(path_graph(5), 1.0)
+        assert is_pairwise_stable_with_transfers(path_graph(5), 20.0)
+
+    def test_filter_helper(self):
+        graphs = [star_graph(5), complete_graph(5), cycle_graph(5)]
+        stable = transfer_stable_graphs(graphs, 2.0)
+        assert star_graph(5) in stable
+        assert complete_graph(5) not in stable
+
+
+class TestRelationToPlainStability:
+    def test_transfer_stability_differs_from_plain_stability(self):
+        """The two concepts are not nested; find a graph in the symmetric difference.
+
+        On five vertices the two stable sets coincide at common link costs, so
+        the check uses the six-vertex enumeration where they first diverge
+        (e.g. at α = 1.5 the transfer-stable set gains a topology whose
+        severance is individually attractive but jointly unattractive).
+        """
+        graphs = enumerate_connected_graphs(6)
+        differs = False
+        for alpha in (1.5, 2.0):
+            plain = {g.edge_key() for g in graphs if is_pairwise_stable(g, alpha)}
+            with_transfers = {
+                g.edge_key() for g in graphs if is_pairwise_stable_with_transfers(g, alpha)
+            }
+            if plain != with_transfers:
+                differs = True
+                break
+        assert differs
+
+    def test_efficient_networks_stable_under_both(self):
+        for alpha in (0.5, 2.0, 10.0):
+            optimum = star_graph(6) if alpha > 1 else complete_graph(6)
+            assert is_pairwise_stable(optimum, alpha)
+            assert is_pairwise_stable_with_transfers(optimum, alpha)
+
+    def test_disconnected_graph_with_edges_unstable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        # Both endpoints of each edge already have infinite distance cost, so
+        # under the ∞ - ∞ convention severing the edge changes distances by 0
+        # while jointly saving 2α — the pair prefers to drop it.
+        assert not is_pairwise_stable_with_transfers(g, 1.0)
+        assert not is_pairwise_stable(g, 1.0)

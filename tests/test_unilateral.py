@@ -1,0 +1,184 @@
+"""Unit tests for the UCG machinery (best responses, Nash profiles, Nash graphs)."""
+
+import pytest
+
+from repro.core import (
+    StrategyProfile,
+    best_response_ucg,
+    empty_profile,
+    is_nash_graph_ucg,
+    is_nash_profile_ucg,
+    nash_graphs_ucg,
+    nash_supporting_ownership,
+    ownership_best_response_interval,
+    profile_from_ownership_ucg,
+    ucg_nash_alpha_set,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    enumerate_connected_graphs,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestBestResponse:
+    def test_isolated_player_buys_hub_link_when_cheap(self):
+        # Others form a star 1-2, 1-3, 1-4; player 0 starts with nothing.
+        others = Graph(5, [(1, 2), (1, 3), (1, 4)])
+        cost, targets = best_response_ucg(others, 0, alpha=1.0)
+        assert targets == frozenset({1})
+        assert cost == 1.0 + (1 + 2 + 2 + 2)
+
+    def test_player_buys_everything_when_links_are_nearly_free(self):
+        others = Graph(4, [(1, 2), (2, 3)])
+        _, targets = best_response_ucg(others, 0, alpha=0.1)
+        assert targets == frozenset({1, 2, 3})
+
+    def test_player_buys_nothing_when_already_connected(self):
+        others = Graph(3, [(0, 1), (1, 2)])
+        cost, targets = best_response_ucg(others, 0, alpha=5.0)
+        assert targets == frozenset()
+        assert cost == 1 + 2
+
+    def test_disconnected_best_response_still_minimises(self):
+        others = Graph(3, [(1, 2)])
+        cost, targets = best_response_ucg(others, 0, alpha=2.0)
+        assert targets in (frozenset({1}), frozenset({2}))
+        assert cost == 2.0 + 1 + 2
+
+
+class TestNashProfiles:
+    def test_star_bought_by_leaves_is_nash_for_alpha_in_range(self):
+        star = star_graph(5)
+        ownership = {edge: max(edge) for edge in star.edges}  # every leaf buys its link
+        profile = profile_from_ownership_ucg(star, ownership)
+        assert is_nash_profile_ucg(profile, alpha=2.0)
+
+    def test_star_bought_by_center_is_not_nash_for_large_alpha(self):
+        star = star_graph(5)
+        ownership = {edge: 0 for edge in star.edges}  # the centre pays for everything
+        profile = profile_from_ownership_ucg(star, ownership)
+        # The centre would drop links once they cost more than the infinite
+        # connectivity benefit... they never do; but a leaf-bought star is
+        # cheaper for the centre, so deviations of the centre (dropping all
+        # links) disconnect it: still Nash.  For a genuinely non-Nash profile
+        # give one player a wasted duplicate request.
+        assert is_nash_profile_ucg(profile, alpha=3.0)
+        wasteful = profile.with_request(1, 0)
+        assert not is_nash_profile_ucg(wasteful, alpha=3.0)
+
+    def test_empty_profile_is_never_nash_in_the_ucg(self):
+        # Unlike the BCG (where mutual blocking makes the empty network a
+        # Nash equilibrium), a UCG player can unilaterally buy links to
+        # everyone and make its distance cost finite, so the empty profile is
+        # not an equilibrium.
+        assert not is_nash_profile_ucg(empty_profile(2), alpha=1.0)
+        assert not is_nash_profile_ucg(empty_profile(3), alpha=1.0)
+        assert not is_nash_profile_ucg(empty_profile(4), alpha=10.0)
+
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            is_nash_profile_ucg(empty_profile(3), 0.0)
+
+
+class TestOwnershipIntervals:
+    def test_leaf_owned_star_edge_interval(self):
+        star = star_graph(4)
+        interval = ownership_best_response_interval(star, 1, frozenset({(0, 1)}))
+        # The leaf must keep its only link (otherwise it is disconnected) and
+        # must not want to buy links to the other leaves: α ≥ 1.
+        assert interval.lo == 1.0
+        assert interval.hi == float("inf")
+
+    def test_center_owned_edges_interval(self):
+        star = star_graph(4)
+        owned = frozenset({(0, 1), (0, 2), (0, 3)})
+        interval = ownership_best_response_interval(star, 0, owned)
+        # The centre keeps its links for any α (dropping any disconnects it).
+        assert interval.lo == 0.0
+        assert interval.hi == float("inf")
+
+    def test_validation(self):
+        star = star_graph(4)
+        with pytest.raises(ValueError):
+            ownership_best_response_interval(star, 1, frozenset({(2, 3)}))
+        with pytest.raises(ValueError):
+            ownership_best_response_interval(star, 1, frozenset({(1, 2)}))
+
+
+class TestNashGraphs:
+    def test_complete_graph_nash_iff_alpha_at_most_one(self):
+        alpha_set = ucg_nash_alpha_set(complete_graph(5))
+        assert alpha_set.contains(0.5)
+        assert alpha_set.contains(1.0)
+        assert not alpha_set.contains(1.5)
+
+    def test_star_nash_iff_alpha_at_least_one(self):
+        alpha_set = ucg_nash_alpha_set(star_graph(5))
+        assert not alpha_set.contains(0.5)
+        assert alpha_set.contains(1.0)
+        assert alpha_set.contains(100.0)
+
+    def test_cycle5_nash_window(self):
+        alpha_set = ucg_nash_alpha_set(cycle_graph(5))
+        assert alpha_set.contains(1.0)
+        assert alpha_set.contains(4.0)
+        assert not alpha_set.contains(0.5)
+        assert not alpha_set.contains(5.0)
+
+    def test_petersen_nash_for_small_alpha(self):
+        # Footnote 7 of the paper: the Petersen graph is a Nash equilibrium of
+        # the UCG for 1 ≤ α ≤ 4.
+        assert is_nash_graph_ucg(petersen_graph(), 2.0)
+        assert is_nash_graph_ucg(petersen_graph(), 4.0)
+        assert not is_nash_graph_ucg(petersen_graph(), 6.0)
+
+    def test_cycle_large_not_nash_but_pairwise_stable(self):
+        # Footnote 5: long cycles are pairwise stable in the BCG but not
+        # Nash-supportable in the UCG.
+        from repro.core import is_pairwise_stable
+        from repro.core.theory import cycle_stability_window
+
+        cycle = cycle_graph(8)
+        lo, hi = cycle_stability_window(8)
+        alpha = (lo + hi) / 2.0
+        assert is_pairwise_stable(cycle, alpha)
+        assert not is_nash_graph_ucg(cycle, alpha)
+
+    def test_nash_graphs_filter(self):
+        graphs = enumerate_connected_graphs(4)
+        nash_at_half = nash_graphs_ucg(graphs, 0.5)
+        assert any(g.num_edges == 6 for g in nash_at_half)  # K4 present
+
+    def test_supporting_ownership_witness(self):
+        star = star_graph(5)
+        ownership = nash_supporting_ownership(star, 3.0)
+        assert ownership is not None
+        profile = profile_from_ownership_ucg(star, ownership)
+        assert is_nash_profile_ucg(profile, 3.0)
+        assert profile.unilateral_graph() == star
+
+    def test_supporting_ownership_absent_when_not_nash(self):
+        assert nash_supporting_ownership(complete_graph(5), 3.0) is None
+
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            is_nash_graph_ucg(star_graph(4), 0.0)
+        with pytest.raises(ValueError):
+            nash_supporting_ownership(star_graph(4), -2.0)
+
+    def test_alpha_set_consistent_with_explicit_profile_check(self):
+        """Cross-validate the interval search against brute-force profile checks."""
+        for graph in enumerate_connected_graphs(4):
+            alpha_set = ucg_nash_alpha_set(graph)
+            for alpha in (0.5, 1.0, 2.0, 3.5, 6.0):
+                expected = alpha_set.contains(alpha)
+                witness = nash_supporting_ownership(graph, alpha)
+                assert (witness is not None) == expected
+                if witness is not None:
+                    profile = profile_from_ownership_ucg(graph, witness)
+                    assert is_nash_profile_ucg(profile, alpha)
