@@ -53,6 +53,7 @@ from .core import (
     ucg_nash_alpha_set,
     worst_case_price_of_anarchy,
 )
+from .engine import DistanceOracle, get_default_oracle, parallel_map
 from .graphs import (
     Graph,
     complete_graph,
@@ -115,6 +116,10 @@ __all__ = [
     "DynamicsResult",
     "best_response_dynamics_ucg",
     "pairwise_dynamics_bcg",
+    # engine
+    "DistanceOracle",
+    "get_default_oracle",
+    "parallel_map",
     # theory oracle
     "theory",
 ]

@@ -37,6 +37,7 @@ from .sweeps import (
     default_alpha_grid,
     linear_alphas,
     log_spaced_alphas,
+    map_over_grid,
     per_edge_cost_axis,
 )
 
@@ -69,6 +70,7 @@ __all__ = [
     "log_spaced_alphas",
     "linear_alphas",
     "default_alpha_grid",
+    "map_over_grid",
     "per_edge_cost_axis",
     "aligned_link_costs",
     "aligned_cost_grid",

@@ -19,15 +19,18 @@ graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.anarchy import price_of_anarchy
-from ..core.stability_intervals import (
-    AlphaIntervalSet,
-    PairwiseStabilityProfile,
-    pairwise_stability_profile,
-)
+from ..core.stability_intervals import AlphaIntervalSet, PairwiseStabilityProfile
 from ..core.unilateral import ucg_nash_alpha_set
+from ..engine import (
+    batch_stability_deltas,
+    chunk_evenly,
+    get_default_oracle,
+    parallel_map,
+    resolve_jobs,
+)
 from ..graphs import Graph, enumerate_connected_graphs
 
 
@@ -75,21 +78,26 @@ class EquilibriumCensus:
     include_ucg: bool = True
 
     @classmethod
-    def build(cls, n: int, include_ucg: bool = True) -> "EquilibriumCensus":
+    def build(
+        cls, n: int, include_ucg: bool = True, jobs: Optional[int] = None
+    ) -> "EquilibriumCensus":
         """Enumerate all connected graphs on ``n`` vertices and analyse each once.
 
         ``include_ucg=False`` skips the (more expensive) UCG orientation
-        search when only the BCG side is needed.
+        search when only the BCG side is needed.  ``jobs`` fans the analysis
+        out over a process pool (``None``/``1`` = serial); each worker runs
+        the vectorised batch kernel on a contiguous chunk of graphs, so
+        results are identical and identically ordered for any value.
         """
-        records = []
-        for graph in enumerate_connected_graphs(n):
-            records.append(
-                GraphRecord(
-                    graph=graph,
-                    bcg_profile=pairwise_stability_profile(graph),
-                    ucg_alpha_set=ucg_nash_alpha_set(graph) if include_ucg else None,
-                )
-            )
+        graphs = enumerate_connected_graphs(n)
+        workers = resolve_jobs(jobs)
+        chunks = chunk_evenly(graphs, max(1, workers * 4))
+        tasks = [(chunk, include_ucg) for chunk in chunks]
+        records = [
+            record
+            for chunk_records in parallel_map(_analyse_chunk, tasks, jobs=jobs)
+            for record in chunk_records
+        ]
         return cls(n=n, records=records, include_ucg=include_ucg)
 
     # ------------------------------------------------------------------ #
@@ -157,14 +165,50 @@ class EquilibriumCensus:
         return len(self.records)
 
 
+def _analyse_chunk(task: Tuple[List[Graph], bool]) -> List[GraphRecord]:
+    """Deviation analysis for a chunk of graphs (module-level for the pool).
+
+    The BCG side goes through the vectorised
+    :func:`repro.engine.batch_stability_deltas` kernel for the whole chunk at
+    once; the UCG orientation search stays per-graph against the worker's
+    process-wide oracle.
+    """
+    graphs, include_ucg = task
+    oracle = get_default_oracle()
+    deltas = batch_stability_deltas(graphs, oracle=oracle)
+    records = []
+    for graph, (removal, addition) in zip(graphs, deltas):
+        records.append(
+            GraphRecord(
+                graph=graph,
+                bcg_profile=PairwiseStabilityProfile(
+                    graph=graph,
+                    removal_increase=removal,
+                    addition_saving=addition,
+                ),
+                ucg_alpha_set=(
+                    ucg_nash_alpha_set(graph, oracle=oracle) if include_ucg else None
+                ),
+            )
+        )
+    return records
+
+
 _CENSUS_CACHE: Dict[tuple, EquilibriumCensus] = {}
 
 
-def cached_census(n: int, include_ucg: bool = True) -> EquilibriumCensus:
-    """Build (or fetch) the census for ``n`` vertices; reused across experiments."""
+def cached_census(
+    n: int, include_ucg: bool = True, jobs: Optional[int] = None
+) -> EquilibriumCensus:
+    """Build (or fetch) the census for ``n`` vertices; reused across experiments.
+
+    ``jobs`` only affects how a *cache miss* is computed (serial vs process
+    pool); the resulting census is identical either way, so it is not part of
+    the cache key.
+    """
     key = (n, include_ucg)
     if key not in _CENSUS_CACHE:
-        _CENSUS_CACHE[key] = EquilibriumCensus.build(n, include_ucg=include_ucg)
+        _CENSUS_CACHE[key] = EquilibriumCensus.build(n, include_ucg=include_ucg, jobs=jobs)
     return _CENSUS_CACHE[key]
 
 

@@ -27,10 +27,10 @@ process actually selects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.stability_intervals import distance_delta
-from ..graphs import Graph, bfs_distances, canonical_form
+from ..engine import DistanceOracle, get_default_oracle
+from ..graphs import Graph, canonical_form
 
 Edge = Tuple[int, int]
 
@@ -56,23 +56,27 @@ def mask_to_graph(n: int, mask: int, pairs: Sequence[Edge] = None) -> Graph:
     return Graph(n, edges)
 
 
-def _pair_deltas(graph: Graph, u: int, v: int) -> Tuple[float, float]:
+def _pair_deltas(
+    graph: Graph, u: int, v: int, oracle: Optional[DistanceOracle] = None
+) -> Tuple[float, float]:
     """Per-endpoint cost deltas (excluding ``α``) of toggling the pair ``(u, v)``.
 
     Returns the *distance* change of ``u`` and ``v`` when the link is toggled;
-    the caller combines them with the ``±α`` link-cost terms.
+    the caller combines them with the ``±α`` link-cost terms.  The toggle
+    deltas come straight from the shared :class:`~repro.engine.DistanceOracle`,
+    so scanning all ``2^(n(n-1)/2)`` labelled networks re-uses every cached
+    vector.
     """
-    toggled = graph.toggle_edge(u, v)
-    delta_u = distance_delta(
-        sum(bfs_distances(toggled, u)), sum(bfs_distances(graph, u))
-    )
-    delta_v = distance_delta(
-        sum(bfs_distances(toggled, v)), sum(bfs_distances(graph, v))
-    )
+    if oracle is None:
+        oracle = get_default_oracle()
+    delta_u = oracle.toggle_delta(graph, (u, v), u)
+    delta_v = oracle.toggle_delta(graph, (u, v), v)
     return delta_u, delta_v
 
 
-def myopic_move(graph: Graph, u: int, v: int, alpha: float) -> Graph:
+def myopic_move(
+    graph: Graph, u: int, v: int, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> Graph:
     """Apply the BCG myopic rule to pair ``(u, v)`` and return the next network.
 
     * If the link exists, it is severed when either endpoint strictly gains.
@@ -80,7 +84,7 @@ def myopic_move(graph: Graph, u: int, v: int, alpha: float) -> Graph:
       the other at least weakly gains.
     * Otherwise the network is unchanged.
     """
-    delta_u, delta_v = _pair_deltas(graph, u, v)
+    delta_u, delta_v = _pair_deltas(graph, u, v, oracle=oracle)
     if graph.has_edge(u, v):
         gain_u = alpha - delta_u  # severing saves α and costs the distance increase
         gain_v = alpha - delta_v

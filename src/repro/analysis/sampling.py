@@ -12,12 +12,12 @@ the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dynamics import sample_nash_networks_ucg, sample_stable_networks_bcg
 from ..core.equilibria import is_nash_graph_ucg, is_pairwise_stable
 from ..graphs import Graph, canonical_form
-from .sweeps import aligned_link_costs
+from .sweeps import aligned_link_costs, map_over_grid
 
 
 def deduplicate_up_to_isomorphism(graphs: Sequence[Graph]) -> List[Graph]:
@@ -50,18 +50,21 @@ def sample_equilibria_at_cost(
     num_samples: int = 20,
     seed: int = 0,
     verify: bool = False,
+    jobs: Optional[int] = None,
 ) -> SampledEquilibria:
     """Sample UCG Nash networks and BCG pairwise-stable networks at one cost.
 
     ``verify=True`` re-checks every sampled network with the exact
-    equilibrium tests (slower; used by the integration tests).
+    equilibrium tests (slower; used by the integration tests).  ``jobs``
+    fans the independent seeded dynamics runs out over a process pool;
+    results are identical for any value.
     """
     alpha_ucg, alpha_bcg = aligned_link_costs(total_edge_cost)
     ucg_samples = deduplicate_up_to_isomorphism(
-        sample_nash_networks_ucg(n, alpha_ucg, num_samples, seed=seed)
+        sample_nash_networks_ucg(n, alpha_ucg, num_samples, seed=seed, jobs=jobs)
     )
     bcg_samples = deduplicate_up_to_isomorphism(
-        sample_stable_networks_bcg(n, alpha_bcg, num_samples, seed=seed + 1)
+        sample_stable_networks_bcg(n, alpha_bcg, num_samples, seed=seed + 1, jobs=jobs)
     )
     if verify:
         ucg_samples = [g for g in ucg_samples if is_nash_graph_ucg(g, alpha_ucg)]
@@ -76,17 +79,33 @@ def sample_equilibria_at_cost(
     )
 
 
+def _sample_grid_point(
+    args: Tuple[int, float, int, int]
+) -> Tuple[float, List[Graph], List[Graph]]:
+    """Sampled equilibria at one grid point (module-level for the pool)."""
+    n, cost, num_samples, point_seed = args
+    sampled = sample_equilibria_at_cost(n, cost, num_samples=num_samples, seed=point_seed)
+    return cost, sampled.ucg, sampled.bcg
+
+
 def sample_equilibria_over_grid(
     n: int,
     total_edge_costs: Sequence[float],
     num_samples: int = 20,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[float, Dict[str, List[Graph]]]:
-    """Sampled equilibria for every cost on a grid, keyed for the figure builders."""
+    """Sampled equilibria for every cost on a grid, keyed for the figure builders.
+
+    ``jobs`` fans the grid points out over a process pool via
+    :func:`repro.analysis.sweeps.map_over_grid`; each point derives its own
+    seed from its grid index, so parallel and serial sweeps agree exactly.
+    """
+    tasks = [
+        (n, cost, num_samples, seed + 997 * index)
+        for index, cost in enumerate(total_edge_costs)
+    ]
     result: Dict[float, Dict[str, List[Graph]]] = {}
-    for index, cost in enumerate(total_edge_costs):
-        sampled = sample_equilibria_at_cost(
-            n, cost, num_samples=num_samples, seed=seed + 997 * index
-        )
-        result[cost] = {"ucg": sampled.ucg, "bcg": sampled.bcg}
+    for cost, ucg, bcg in map_over_grid(_sample_grid_point, tasks, jobs=jobs):
+        result[cost] = {"ucg": ucg, "bcg": bcg}
     return result

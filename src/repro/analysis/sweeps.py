@@ -10,7 +10,12 @@ the per-game link costs corresponding to a common axis value.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..engine import parallel_map
+
+GridValue = TypeVar("GridValue")
+GridResult = TypeVar("GridResult")
 
 
 def log_spaced_alphas(
@@ -78,3 +83,18 @@ def aligned_cost_grid(n: int, count: int = 24) -> List[Tuple[float, float, float
         alpha_ucg, alpha_bcg = aligned_link_costs(cost)
         grid.append((cost, alpha_ucg, alpha_bcg))
     return grid
+
+
+def map_over_grid(
+    fn: Callable[[GridValue], GridResult],
+    grid: Sequence[GridValue],
+    jobs: Optional[int] = None,
+) -> List[GridResult]:
+    """Evaluate ``fn`` at every grid point, optionally over a process pool.
+
+    Grid points (link costs, total edge costs, ...) are independent, so the
+    sweep fans out through :func:`repro.engine.parallel_map`; results come
+    back in grid order for any ``jobs`` value.  ``fn`` must be picklable
+    (module-level) when ``jobs > 1``.
+    """
+    return parallel_map(fn, grid, jobs=jobs)

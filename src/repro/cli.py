@@ -53,6 +53,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the one-line pass/fail summaries",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan censuses and sampled sweeps out over N worker processes "
+            "(default: serial; negative: one worker per CPU); results are "
+            "identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--sampled",
+        action="store_true",
+        help=(
+            "also run the dynamics-sampled paper-sized variant of experiments "
+            "that offer one (figure2, figure3)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help=(
+            "override the sampling seed of dynamics-sampled experiment "
+            "variants (use with --sampled)"
+        ),
+    )
     return parser
 
 
@@ -76,7 +105,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     for experiment_id in ids:
         try:
-            result = run_experiment(experiment_id)
+            result = run_experiment(
+                experiment_id,
+                jobs=args.jobs,
+                seed=args.seed,
+                sampled=args.sampled,
+            )
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
             return 2

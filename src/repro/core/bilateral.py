@@ -17,9 +17,10 @@ the test suite can verify the proposition computationally.
 from __future__ import annotations
 
 from itertools import chain, combinations
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from ..graphs import Graph, distance_sum
+from ..engine import DistanceOracle, get_default_oracle
+from ..graphs import Graph
 from .stability_intervals import distance_delta, pairwise_stability_profile
 from .strategies import StrategyProfile, profile_from_graph_bcg
 
@@ -31,7 +32,9 @@ Edge = Tuple[int, int]
 # --------------------------------------------------------------------------- #
 
 
-def is_pairwise_stable(graph: Graph, alpha: float) -> bool:
+def is_pairwise_stable(
+    graph: Graph, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> bool:
     """Exact pairwise stability of ``graph`` at link cost ``alpha``.
 
     A graph is pairwise stable when (a) no endpoint of an existing edge
@@ -41,12 +44,14 @@ def is_pairwise_stable(graph: Graph, alpha: float) -> bool:
     """
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
-    return pairwise_stability_profile(graph).is_stable_at(alpha)
+    return pairwise_stability_profile(graph, oracle=oracle).is_stable_at(alpha)
 
 
-def pairwise_stability_violations(graph: Graph, alpha: float) -> List[str]:
+def pairwise_stability_violations(
+    graph: Graph, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> List[str]:
     """Human-readable list of pairwise-stability violations at ``alpha``."""
-    return pairwise_stability_profile(graph).violations_at(alpha)
+    return pairwise_stability_profile(graph, oracle=oracle).violations_at(alpha)
 
 
 # --------------------------------------------------------------------------- #
@@ -64,6 +69,7 @@ def _cost_delta(
     player: int,
     new_requests: Iterable[int],
     alpha: float,
+    oracle: Optional[DistanceOracle] = None,
 ) -> float:
     """Change in ``player``'s cost from unilaterally deviating to ``new_requests``.
 
@@ -75,17 +81,24 @@ def _cost_delta(
     :mod:`repro.core.stability_intervals` and keeps pairwise stability and
     pairwise Nash mutually consistent on disconnected graphs.)
     """
+    if oracle is None:
+        oracle = get_default_oracle()
     new_requests = set(new_requests)
     before_graph = profile.bilateral_graph()
     after_graph = profile.with_player_strategy(player, new_requests).bilateral_graph()
-    before_distance = distance_sum(before_graph, player)
-    after_distance = distance_sum(after_graph, player)
+    before_distance = oracle.distance_sum(before_graph, player)
+    after_distance = oracle.distance_sum(after_graph, player)
     increase = distance_delta(after_distance, before_distance)
     link_delta = alpha * (len(new_requests) - profile.num_requests(player))
     return increase + link_delta
 
 
-def best_deviation_delta_bcg(profile: StrategyProfile, player: int, alpha: float) -> float:
+def best_deviation_delta_bcg(
+    profile: StrategyProfile,
+    player: int,
+    alpha: float,
+    oracle: Optional[DistanceOracle] = None,
+) -> float:
     """The most negative cost change ``player`` can achieve unilaterally.
 
     In the BCG a unilateral deviation cannot *create* edges (the other side
@@ -96,18 +109,22 @@ def best_deviation_delta_bcg(profile: StrategyProfile, player: int, alpha: float
     means the player is already best-responding, up to dropping wasted
     requests which is handled by the caller).
     """
+    if oracle is None:
+        oracle = get_default_oracle()
     reciprocated = [
         j for j in profile.requests_of(player) if profile.seeks(j, player)
     ]
     best = 0.0
     for kept in _subsets(reciprocated):
-        delta = _cost_delta(profile, player, kept, alpha)
+        delta = _cost_delta(profile, player, kept, alpha, oracle=oracle)
         if delta < best:
             best = delta
     return best
 
 
-def is_nash_profile_bcg(profile: StrategyProfile, alpha: float) -> bool:
+def is_nash_profile_bcg(
+    profile: StrategyProfile, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> bool:
     """Whether ``profile`` is a (pure) Nash equilibrium of the BCG.
 
     A player with an unreciprocated request can always drop it and save ``α``,
@@ -117,13 +134,15 @@ def is_nash_profile_bcg(profile: StrategyProfile, alpha: float) -> bool:
     """
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
+    if oracle is None:
+        oracle = get_default_oracle()
     for player in range(profile.n):
         wasted = [
             j for j in profile.requests_of(player) if not profile.seeks(j, player)
         ]
         if wasted:
             return False
-        if best_deviation_delta_bcg(profile, player, alpha) < -1e-12:
+        if best_deviation_delta_bcg(profile, player, alpha, oracle=oracle) < -1e-12:
             return False
     return True
 
@@ -133,7 +152,9 @@ def is_nash_profile_bcg(profile: StrategyProfile, alpha: float) -> bool:
 # --------------------------------------------------------------------------- #
 
 
-def is_pairwise_nash(graph: Graph, alpha: float) -> bool:
+def is_pairwise_nash(
+    graph: Graph, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> bool:
     """Whether ``graph`` is a pairwise Nash equilibrium network of the BCG.
 
     Uses the natural supporting profile in which exactly the edges of the
@@ -143,19 +164,23 @@ def is_pairwise_nash(graph: Graph, alpha: float) -> bool:
     """
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
+    if oracle is None:
+        oracle = get_default_oracle()
     profile = profile_from_graph_bcg(graph)
-    if not is_nash_profile_bcg(profile, alpha):
+    if not is_nash_profile_bcg(profile, alpha, oracle=oracle):
         return False
-    return not _has_mutually_improving_link(graph, alpha)
+    return not _has_mutually_improving_link(graph, alpha, oracle=oracle)
 
 
-def _has_mutually_improving_link(graph: Graph, alpha: float) -> bool:
+def _has_mutually_improving_link(
+    graph: Graph, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> bool:
     """Whether some missing link strictly helps one endpoint and weakly helps the other."""
-    base = [distance_sum(graph, v) for v in range(graph.n)]
+    if oracle is None:
+        oracle = get_default_oracle()
     for (u, v) in graph.non_edges():
-        augmented = graph.add_edge(u, v)
-        delta_u = distance_delta(base[u], distance_sum(augmented, u))
-        delta_v = distance_delta(base[v], distance_sum(augmented, v))
+        delta_u = oracle.addition_saving(graph, (u, v), u)
+        delta_v = oracle.addition_saving(graph, (u, v), v)
         save_u = delta_u - alpha
         save_v = delta_v - alpha
         # Definition 2: violated when c_u decreases strictly while c_v does
@@ -167,11 +192,19 @@ def _has_mutually_improving_link(graph: Graph, alpha: float) -> bool:
     return False
 
 
-def pairwise_nash_graphs(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+def pairwise_nash_graphs(
+    graphs: Iterable[Graph], alpha: float, oracle: Optional[DistanceOracle] = None
+) -> List[Graph]:
     """Filter an iterable of graphs down to the pairwise Nash networks at ``alpha``."""
-    return [g for g in graphs if is_pairwise_nash(g, alpha)]
+    if oracle is None:
+        oracle = get_default_oracle()
+    return [g for g in graphs if is_pairwise_nash(g, alpha, oracle=oracle)]
 
 
-def pairwise_stable_graphs(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+def pairwise_stable_graphs(
+    graphs: Iterable[Graph], alpha: float, oracle: Optional[DistanceOracle] = None
+) -> List[Graph]:
     """Filter an iterable of graphs down to the pairwise stable networks at ``alpha``."""
-    return [g for g in graphs if is_pairwise_stable(g, alpha)]
+    if oracle is None:
+        oracle = get_default_oracle()
+    return [g for g in graphs if is_pairwise_stable(g, alpha, oracle=oracle)]

@@ -23,13 +23,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..graphs import (
-    Graph,
-    bfs_distances_with_extra_edge,
-    bfs_distances_with_forbidden_edge,
-    distance_sum,
-)
-from .stability_intervals import distance_delta
+from ..engine import DistanceOracle, get_default_oracle, parallel_map
+from ..graphs import Graph, random_connected_graph
 from .strategies import StrategyProfile, profile_from_graph_bcg
 from .unilateral import best_response_ucg
 
@@ -75,6 +70,7 @@ def best_response_dynamics_ucg(
     max_rounds: int = 200,
     rng: Optional[random.Random] = None,
     randomize_order: bool = True,
+    oracle: Optional[DistanceOracle] = None,
 ) -> DynamicsResult:
     """Run round-based exact best-response dynamics for the UCG.
 
@@ -85,6 +81,8 @@ def best_response_dynamics_ucg(
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
     rng = rng or random.Random()
+    if oracle is None:
+        oracle = get_default_oracle()
     profile = initial if initial is not None else StrategyProfile(n)
     if profile.n != n:
         raise ValueError("initial profile has the wrong number of players")
@@ -99,11 +97,11 @@ def best_response_dynamics_ucg(
             others = profile.with_player_strategy(player, ()).unilateral_graph()
             _, best_set = best_response_ucg(others, player, alpha)
             if best_set != profile.requests_of(player):
-                current_cost = alpha * profile.num_requests(player) + distance_sum(
+                current_cost = alpha * profile.num_requests(player) + oracle.distance_sum(
                     profile.unilateral_graph(), player
                 )
                 candidate = profile.with_player_strategy(player, best_set)
-                candidate_cost = alpha * len(best_set) + distance_sum(
+                candidate_cost = alpha * len(best_set) + oracle.distance_sum(
                     candidate.unilateral_graph(), player
                 )
                 # Only move on strict improvement so fixed points are exactly
@@ -137,22 +135,18 @@ def best_response_dynamics_ucg(
 # --------------------------------------------------------------------------- #
 
 
-def _severance_benefit(graph: Graph, edge: Edge, endpoint: int, alpha: float) -> float:
+def _severance_benefit(
+    graph: Graph, edge: Edge, endpoint: int, alpha: float, oracle: DistanceOracle
+) -> float:
     """Cost decrease for ``endpoint`` from severing ``edge`` (positive = wants to sever)."""
-    increase = distance_delta(
-        sum(bfs_distances_with_forbidden_edge(graph, endpoint, edge)),
-        distance_sum(graph, endpoint),
-    )
-    return alpha - increase
+    return alpha - oracle.removal_increase(graph, edge, endpoint)
 
 
-def _addition_benefit(graph: Graph, edge: Edge, endpoint: int, alpha: float) -> float:
+def _addition_benefit(
+    graph: Graph, edge: Edge, endpoint: int, alpha: float, oracle: DistanceOracle
+) -> float:
     """Cost decrease for ``endpoint`` from adding missing ``edge`` (positive = gains)."""
-    saving = distance_delta(
-        distance_sum(graph, endpoint),
-        sum(bfs_distances_with_extra_edge(graph, endpoint, edge)),
-    )
-    return saving - alpha
+    return oracle.addition_saving(graph, edge, endpoint) - alpha
 
 
 def pairwise_dynamics_bcg(
@@ -162,6 +156,7 @@ def pairwise_dynamics_bcg(
     max_rounds: int = 200,
     rng: Optional[random.Random] = None,
     randomize_order: bool = True,
+    oracle: Optional[DistanceOracle] = None,
 ) -> DynamicsResult:
     """Run myopic pairwise add/sever dynamics for the BCG.
 
@@ -174,6 +169,8 @@ def pairwise_dynamics_bcg(
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
     rng = rng or random.Random()
+    if oracle is None:
+        oracle = get_default_oracle()
     graph = initial if initial is not None else Graph(n)
     if graph.n != n:
         raise ValueError("initial graph has the wrong number of vertices")
@@ -187,14 +184,14 @@ def pairwise_dynamics_bcg(
         for (u, v) in pairs:
             if graph.has_edge(u, v):
                 if (
-                    _severance_benefit(graph, (u, v), u, alpha) > 1e-12
-                    or _severance_benefit(graph, (u, v), v, alpha) > 1e-12
+                    _severance_benefit(graph, (u, v), u, alpha, oracle) > 1e-12
+                    or _severance_benefit(graph, (u, v), v, alpha, oracle) > 1e-12
                 ):
                     graph = graph.remove_edge(u, v)
                     changed = True
             else:
-                gain_u = _addition_benefit(graph, (u, v), u, alpha)
-                gain_v = _addition_benefit(graph, (u, v), v, alpha)
+                gain_u = _addition_benefit(graph, (u, v), u, alpha, oracle)
+                gain_v = _addition_benefit(graph, (u, v), v, alpha, oracle)
                 if (gain_u > 1e-12 and gain_v >= -1e-12) or (
                     gain_v > 1e-12 and gain_u >= -1e-12
                 ):
@@ -218,6 +215,17 @@ def pairwise_dynamics_bcg(
     )
 
 
+def _bcg_sample_worker(args: Tuple[int, float, int, int, float, int]) -> Optional[Graph]:
+    """One seeded BCG dynamics run (module-level so it pickles for the pool)."""
+    n, alpha, seed, index, edge_probability, max_rounds = args
+    rng = random.Random(seed * 100003 + index)
+    start = random_connected_graph(n, edge_probability, rng)
+    outcome = pairwise_dynamics_bcg(
+        n, alpha, initial=start, max_rounds=max_rounds, rng=rng
+    )
+    return outcome.graph if outcome.converged else None
+
+
 def sample_stable_networks_bcg(
     n: int,
     alpha: float,
@@ -225,6 +233,7 @@ def sample_stable_networks_bcg(
     seed: int = 0,
     edge_probability: float = 0.3,
     max_rounds: int = 200,
+    jobs: Optional[int] = None,
 ) -> List[Graph]:
     """Sample pairwise-stable networks by running the dynamics from random starts.
 
@@ -237,19 +246,33 @@ def sample_stable_networks_bcg(
     converged runs contribute a network; the same stable topology may be
     reached from several starts, which mimics a crude basin-of-attraction
     weighting.
-    """
-    from ..graphs import random_connected_graph
 
-    results: List[Graph] = []
-    for index in range(num_samples):
-        rng = random.Random(seed * 100003 + index)
-        start = random_connected_graph(n, edge_probability, rng)
-        outcome = pairwise_dynamics_bcg(
-            n, alpha, initial=start, max_rounds=max_rounds, rng=rng
-        )
-        if outcome.converged:
-            results.append(outcome.graph)
-    return results
+    Every run is seeded independently from ``(seed, index)``, so fanning the
+    runs out over ``jobs`` worker processes returns the exact same networks
+    in the exact same order as the serial path.
+    """
+    tasks = [
+        (n, alpha, seed, index, edge_probability, max_rounds)
+        for index in range(num_samples)
+    ]
+    outcomes = parallel_map(_bcg_sample_worker, tasks, jobs=jobs)
+    return [graph for graph in outcomes if graph is not None]
+
+
+def _ucg_sample_worker(args: Tuple[int, float, int, int, int]) -> Optional[Graph]:
+    """One seeded UCG dynamics run (module-level so it pickles for the pool)."""
+    n, alpha, seed, index, max_rounds = args
+    rng = random.Random(seed * 100003 + index)
+    requests: List[List[int]] = []
+    for player in range(n):
+        others = [j for j in range(n) if j != player]
+        count = rng.randint(0, min(3, n - 1))
+        requests.append(rng.sample(others, count))
+    start = StrategyProfile(n, requests)
+    outcome = best_response_dynamics_ucg(
+        n, alpha, initial=start, max_rounds=max_rounds, rng=rng
+    )
+    return outcome.graph if outcome.converged else None
 
 
 def sample_nash_networks_ucg(
@@ -258,20 +281,12 @@ def sample_nash_networks_ucg(
     num_samples: int,
     seed: int = 0,
     max_rounds: int = 200,
+    jobs: Optional[int] = None,
 ) -> List[Graph]:
-    """Sample UCG Nash networks by best-response dynamics from random starts."""
-    results: List[Graph] = []
-    for index in range(num_samples):
-        rng = random.Random(seed * 100003 + index)
-        requests: List[List[int]] = []
-        for player in range(n):
-            others = [j for j in range(n) if j != player]
-            count = rng.randint(0, min(3, n - 1))
-            requests.append(rng.sample(others, count))
-        start = StrategyProfile(n, requests)
-        outcome = best_response_dynamics_ucg(
-            n, alpha, initial=start, max_rounds=max_rounds, rng=rng
-        )
-        if outcome.converged:
-            results.append(outcome.graph)
-    return results
+    """Sample UCG Nash networks by best-response dynamics from random starts.
+
+    Seeding is per-run, so any ``jobs`` value yields identical results.
+    """
+    tasks = [(n, alpha, seed, index, max_rounds) for index in range(num_samples)]
+    outcomes = parallel_map(_ucg_sample_worker, tasks, jobs=jobs)
+    return [graph for graph in outcomes if graph is not None]

@@ -30,13 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..graphs import (
-    Graph,
-    INFINITY,
-    bfs_distances,
-    bfs_distances_with_extra_edge,
-    bfs_distances_with_forbidden_edge,
-)
+from ..engine import DistanceOracle, get_default_oracle
+from ..engine.oracle import distance_delta
+from ..graphs import Graph, INFINITY
 
 Edge = Tuple[int, int]
 EndpointKey = Tuple[Edge, int]
@@ -209,56 +205,42 @@ class PairwiseStabilityProfile:
         return violations
 
 
-def distance_delta(after: float, before: float) -> float:
-    """``after - before`` with the paper's ``∞`` conventions made explicit.
-
-    When both quantities are infinite the player cost does not change (an
-    unreachable player stays unreachable), so the delta is 0; mixed cases
-    propagate the sign of the infinite term.  This keeps the exact
-    Definition 2/3 checks meaningful on disconnected graphs.
-    """
-    if after == INFINITY and before == INFINITY:
-        return 0.0
-    return after - before
-
-
-def pairwise_stability_profile(graph: Graph) -> PairwiseStabilityProfile:
+def pairwise_stability_profile(
+    graph: Graph, oracle: Optional[DistanceOracle] = None
+) -> PairwiseStabilityProfile:
     """Compute all single-link deviation payoffs of ``graph`` (BCG view).
 
-    Runs ``O(n + m·2 + (n² - m)·2)`` BFS traversals; every subsequent
+    All distance work is delegated to a :class:`repro.engine.DistanceOracle`
+    (the shared default when ``oracle`` is not given): edge removals cost one
+    incremental single-source BFS each, edge additions are answered from the
+    cached endpoint distance vectors with no BFS at all.  Every subsequent
     stability query at any ``α`` is then a cheap comparison pass.
     """
-    profile = PairwiseStabilityProfile(graph=graph)
-    base_sums = [sum(bfs_distances(graph, v)) for v in range(graph.n)]
-
-    for (u, v) in graph.sorted_edges():
-        for endpoint in (u, v):
-            without = sum(bfs_distances_with_forbidden_edge(graph, endpoint, (u, v)))
-            profile.removal_increase[((u, v), endpoint)] = distance_delta(
-                without, base_sums[endpoint]
-            )
-
-    for (u, v) in graph.non_edges():
-        for endpoint in (u, v):
-            with_edge = sum(bfs_distances_with_extra_edge(graph, endpoint, (u, v)))
-            profile.addition_saving[((u, v), endpoint)] = distance_delta(
-                base_sums[endpoint], with_edge
-            )
-
-    return profile
+    if oracle is None:
+        oracle = get_default_oracle()
+    removal, addition = oracle.stability_deltas(graph)
+    return PairwiseStabilityProfile(
+        graph=graph,
+        removal_increase=removal,
+        addition_saving=addition,
+    )
 
 
-def pairwise_stability_interval(graph: Graph) -> Tuple[float, float]:
+def pairwise_stability_interval(
+    graph: Graph, oracle: Optional[DistanceOracle] = None
+) -> Tuple[float, float]:
     """The Lemma 2 interval ``(α_min, α_max]`` for ``graph``.
 
     The graph is pairwise stable for every ``α`` strictly above ``α_min`` and
     at most ``α_max``; the interval is empty (``α_min >= α_max``) when no link
     cost stabilises the graph.
     """
-    return pairwise_stability_profile(graph).stability_interval()
+    return pairwise_stability_profile(graph, oracle=oracle).stability_interval()
 
 
-def has_stabilizing_alpha(graph: Graph) -> bool:
+def has_stabilizing_alpha(
+    graph: Graph, oracle: Optional[DistanceOracle] = None
+) -> bool:
     """Whether some link cost ``α > 0`` makes ``graph`` pairwise stable."""
-    alpha_min, alpha_max = pairwise_stability_interval(graph)
+    alpha_min, alpha_max = pairwise_stability_interval(graph, oracle=oracle)
     return alpha_min < alpha_max

@@ -30,7 +30,8 @@ from __future__ import annotations
 from itertools import chain, combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from ..graphs import Graph, INFINITY, distance_sum
+from ..engine import DistanceOracle, get_default_oracle
+from ..graphs import Graph, INFINITY, bitset_distance_sum
 from .stability_intervals import (
     AlphaInterval,
     AlphaIntervalSet,
@@ -56,29 +57,20 @@ def _source_distance_sum_with_extras(
 
     The candidate purchases of a UCG player are all incident to the player, so
     instead of materialising a new :class:`Graph` per purchase set we run a
-    BFS whose source simply has the extra neighbours grafted on.  This is the
-    hot loop of every best-response computation (``2^(n-1)`` purchase sets per
-    player), so avoiding the graph construction matters.
+    word-parallel bitset BFS whose source row simply has the extra neighbours
+    OR-ed on (the reverse direction is irrelevant for paths *from* the
+    source).  This is the hot loop of every best-response computation
+    (``2^(n-1)`` purchase sets per player), so avoiding the graph
+    construction matters.
     """
-    from collections import deque
-
-    adj = others_graph.adjacency_sets()
-    n = others_graph.n
-    dist = [INFINITY] * n
-    dist[source] = 0
-    queue = deque()
-    for j in set(adj[source]) | set(extra_neighbors):
-        if dist[j] == INFINITY:
-            dist[j] = 1
-            queue.append(j)
-    while queue:
-        u = queue.popleft()
-        du = dist[u]
-        for v in adj[u]:
-            if dist[v] == INFINITY:
-                dist[v] = du + 1
-                queue.append(v)
-    return sum(dist)
+    rows = others_graph.adjacency_rows()
+    extra_mask = 0
+    for j in extra_neighbors:
+        extra_mask |= 1 << j
+    if extra_mask and not (rows[source] | extra_mask) == rows[source]:
+        rows = list(rows)
+        rows[source] |= extra_mask
+    return bitset_distance_sum(rows, others_graph.n, source)
 
 
 # --------------------------------------------------------------------------- #
@@ -134,10 +126,11 @@ def is_nash_profile_ucg(profile: StrategyProfile, alpha: float) -> bool:
     """
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
+    oracle = get_default_oracle()
     full_graph = profile.unilateral_graph()
     for player in range(profile.n):
         others = profile.with_player_strategy(player, ()).unilateral_graph()
-        current_distance = distance_sum(full_graph, player)
+        current_distance = oracle.distance_sum(full_graph, player)
         current_links = profile.num_requests(player)
         candidates = [
             j
@@ -162,7 +155,10 @@ def is_nash_profile_ucg(profile: StrategyProfile, alpha: float) -> bool:
 
 
 def ownership_best_response_interval(
-    graph: Graph, player: int, owned: FrozenSet[Edge]
+    graph: Graph,
+    player: int,
+    owned: FrozenSet[Edge],
+    oracle: Optional[DistanceOracle] = None,
 ) -> AlphaInterval:
     """Link costs at which owning exactly ``owned`` is a best response.
 
@@ -179,7 +175,9 @@ def ownership_best_response_interval(
         if not graph.has_edge(u, v):
             raise ValueError(f"edge {(u, v)} is not in the graph")
 
-    base_distance = distance_sum(graph, player)
+    if oracle is None:
+        oracle = get_default_oracle()
+    base_distance = oracle.distance_sum(graph, player)
     owned_count = len(owned)
     others_graph = graph.remove_edges(owned)
     candidates = [
@@ -210,7 +208,9 @@ def ownership_best_response_interval(
     return AlphaInterval(lo, hi)
 
 
-def ucg_nash_alpha_set(graph: Graph) -> AlphaIntervalSet:
+def ucg_nash_alpha_set(
+    graph: Graph, oracle: Optional[DistanceOracle] = None
+) -> AlphaIntervalSet:
     """All link costs at which ``graph`` is a Nash network of the UCG.
 
     Searches over assignments of each edge to a buying endpoint
@@ -219,6 +219,8 @@ def ucg_nash_alpha_set(graph: Graph) -> AlphaIntervalSet:
     :func:`ownership_best_response_interval` and pruning empty
     intersections.  The union of the surviving intersections is returned.
     """
+    if oracle is None:
+        oracle = get_default_oracle()
     n = graph.n
     edges_at: List[List[Edge]] = [[] for _ in range(n)]
     for (u, v) in graph.sorted_edges():
@@ -229,7 +231,9 @@ def ucg_nash_alpha_set(graph: Graph) -> AlphaIntervalSet:
     def player_interval(player: int, owned: FrozenSet[Edge]) -> AlphaInterval:
         key = (player, owned)
         if key not in interval_cache:
-            interval_cache[key] = ownership_best_response_interval(graph, player, owned)
+            interval_cache[key] = ownership_best_response_interval(
+                graph, player, owned, oracle=oracle
+            )
         return interval_cache[key]
 
     result = AlphaIntervalSet()
@@ -260,16 +264,22 @@ def ucg_nash_alpha_set(graph: Graph) -> AlphaIntervalSet:
     return result
 
 
-def is_nash_graph_ucg(graph: Graph, alpha: float) -> bool:
+def is_nash_graph_ucg(
+    graph: Graph, alpha: float, oracle: Optional[DistanceOracle] = None
+) -> bool:
     """Whether ``graph`` is achievable as a Nash network of the UCG at ``alpha``."""
     if alpha <= 0:
         raise ValueError("the paper assumes a strictly positive link cost α")
-    return ucg_nash_alpha_set(graph).contains(alpha)
+    return ucg_nash_alpha_set(graph, oracle=oracle).contains(alpha)
 
 
-def nash_graphs_ucg(graphs: Iterable[Graph], alpha: float) -> List[Graph]:
+def nash_graphs_ucg(
+    graphs: Iterable[Graph], alpha: float, oracle: Optional[DistanceOracle] = None
+) -> List[Graph]:
     """Filter an iterable of graphs down to the UCG Nash networks at ``alpha``."""
-    return [g for g in graphs if is_nash_graph_ucg(g, alpha)]
+    if oracle is None:
+        oracle = get_default_oracle()
+    return [g for g in graphs if is_nash_graph_ucg(g, alpha, oracle=oracle)]
 
 
 def nash_supporting_ownership(

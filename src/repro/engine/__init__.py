@@ -1,0 +1,59 @@
+"""Shared high-throughput execution engine for the stability computations.
+
+Every headline computation of the reproduction — pairwise-stability checks
+that probe each single-edge toggle (Definitions 1–3), equilibrium censuses
+over all small topologies, and the decentralised dynamics of Section 5 —
+bottoms out in the same two primitives: *per-vertex distance sums* of a
+graph and *edge-toggle deltas* of those sums.  This package centralises
+both, so the core/analysis/experiments layers never re-derive them ad hoc:
+
+:class:`DistanceOracle`
+    An incremental distance engine with an LRU-bounded per-graph cache.
+    The caching contract is:
+
+    * ``distance_sums(g)`` / ``distance_sum(g, v)`` — per-source distance
+      sums, computed once per (graph, source) via the word-parallel bitset
+      BFS of :mod:`repro.graphs.distances` and memoised under the graph's
+      value identity (graphs are immutable and hashable, so a cache hit can
+      never observe a stale value);
+    * ``addition_saving(g, (u, v), w)`` — the decrease of ``w``'s distance
+      cost from adding non-edge ``(u, v)``.  Answered *without any BFS*
+      from the cached distance vectors of the two endpoints, using the
+      unweighted single-edge identity
+      ``d'(w, k) = min(d(w, k), 1 + d(other, k))``;
+    * ``removal_increase(g, (u, v), w)`` — the increase of ``w``'s distance
+      cost from severing edge ``(u, v)``.  Recomputed for the single
+      affected source ``w`` with a forbidden-edge bitset BFS and memoised.
+
+    All values are numerically identical to recomputing from scratch with
+    :func:`repro.graphs.distance_sum` — the oracle is a cache, never an
+    approximation — which the property-based equivalence tests assert.
+
+:func:`batch_stability_deltas`
+    A vectorised NumPy backend that answers *every* single-link deviation
+    probe of a whole batch of graphs with a handful of batched boolean
+    matrix products (see :mod:`repro.engine.batch`).  Numerically identical
+    to the oracle path; falls back to it when NumPy is unavailable.
+
+:func:`parallel_map`
+    A process-pool fan-out with a deterministic serial fallback.  ``jobs``
+    semantics are shared across the library: ``None``/``0``/``1`` run
+    serially in input order; ``jobs > 1`` uses a process pool but still
+    returns results in input order, so parallel and serial runs are
+    bit-identical.  Environments without working multiprocessing degrade to
+    the serial path automatically.
+"""
+
+from .batch import batch_stability_deltas, numpy_available
+from .oracle import DistanceOracle, get_default_oracle
+from .pool import chunk_evenly, parallel_map, resolve_jobs
+
+__all__ = [
+    "DistanceOracle",
+    "batch_stability_deltas",
+    "chunk_evenly",
+    "get_default_oracle",
+    "numpy_available",
+    "parallel_map",
+    "resolve_jobs",
+]

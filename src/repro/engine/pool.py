@@ -1,0 +1,86 @@
+"""Process-pool fan-out with a deterministic serial fallback.
+
+The censuses and sampled experiments are embarrassingly parallel over
+candidate graphs (or random starts), so the library funnels every fan-out
+through :func:`parallel_map`.  The contract is that the *result is
+independent of ``jobs``*: outputs are returned in input order, workers are
+pure functions of their item, and any environment where a process pool
+cannot be created (restricted sandboxes, missing semaphores) silently
+degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``jobs`` argument to a worker count.
+
+    ``None``, ``0`` and ``1`` mean serial execution; positive values request
+    that many workers; any negative value means "one worker per CPU".
+    """
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def chunk_evenly(items: Sequence[Item], pieces: int) -> List[List[Item]]:
+    """Split ``items`` into at most ``pieces`` contiguous, near-equal chunks.
+
+    Preserves order (concatenating the chunks reproduces ``items``), never
+    returns empty chunks, and is deterministic — the building block for
+    fan-outs whose workers batch their share instead of taking one item at a
+    time.
+    """
+    items = list(items)
+    if pieces < 1:
+        raise ValueError("pieces must be positive")
+    pieces = min(pieces, len(items))
+    if pieces <= 1:
+        return [items] if items else []
+    size, leftover = divmod(len(items), pieces)
+    chunks = []
+    start = 0
+    for piece in range(pieces):
+        end = start + size + (1 if piece < leftover else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def parallel_map(
+    fn: Callable[[Item], Result],
+    items: Iterable[Item],
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[Result]:
+    """Map ``fn`` over ``items``, optionally fanning out over processes.
+
+    Results are always returned in input order, so callers get identical
+    output for any ``jobs`` value.  ``fn`` and the items must be picklable
+    when ``jobs > 1``; if the pool cannot be created or breaks before
+    producing results, the computation falls back to the deterministic
+    serial path.
+    """
+    items = list(items)
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(workers, len(items))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (workers * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except (BrokenExecutor, OSError, PermissionError, pickle.PicklingError):
+        # No usable multiprocessing in this environment - degrade gracefully.
+        return [fn(item) for item in items]

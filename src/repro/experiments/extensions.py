@@ -17,7 +17,7 @@ flags as future work in Section 6:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis.census import cached_census
 from ..analysis.report import format_table
@@ -53,7 +53,7 @@ PROP2_GRAPHS = {
 }
 
 
-def run_proposition2(census_n: int = 5) -> ExperimentResult:
+def run_proposition2(census_n: int = 5, jobs: Optional[int] = None) -> ExperimentResult:
     """Proposition 2: link-convex graphs are achievable as proper equilibria."""
     result = ExperimentResult(
         experiment_id="prop2",
@@ -76,7 +76,7 @@ def run_proposition2(census_n: int = 5) -> ExperimentResult:
         )
         rows.append([name, "yes" if convex else "no", str(window) if window else "-", holds])
 
-    census = cached_census(census_n, include_ucg=False)
+    census = cached_census(census_n, include_ucg=False, jobs=jobs)
     violations = sum(
         0 if proposition2_holds_for(record.graph) else 1 for record in census.records
     )
@@ -97,6 +97,7 @@ def run_proposition2(census_n: int = 5) -> ExperimentResult:
 def run_transfers(
     n: int = 6,
     alphas: Sequence[float] = (1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Section 6 extension: transfers shrink the stable set and mediate the PoA."""
     result = ExperimentResult(
@@ -108,7 +109,7 @@ def run_transfers(
         "of anarchy; this experiment compares the pairwise-stable set with and "
         "without side payments on the exhaustive census"
     )
-    census = cached_census(n, include_ucg=False)
+    census = cached_census(n, include_ucg=False, jobs=jobs)
     graphs = [record.graph for record in census.records]
     rows = []
     never_worse_worst = True
@@ -182,13 +183,14 @@ def run_transfers(
 def run_price_of_stability(
     n: int = 6,
     alphas: Sequence[float] = (0.5, 1.5, 2.5, 4.0, 8.0, 16.0, 30.0),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Price of stability of both games (the best equilibrium vs the optimum)."""
     result = ExperimentResult(
         experiment_id="ext_stability",
         title=f"Extension — price of stability of the BCG and the UCG (n = {n})",
     )
-    census = cached_census(n)
+    census = cached_census(n, jobs=jobs)
     rows = []
     bcg_always_one = True
     ucg_bounded = True

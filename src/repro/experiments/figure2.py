@@ -34,9 +34,10 @@ DEFAULT_EXHAUSTIVE_N = 6
 def compute_figure2(
     n: int = DEFAULT_EXHAUSTIVE_N,
     total_edge_costs: Optional[Sequence[float]] = None,
+    jobs: Optional[int] = None,
 ) -> FigureData:
     """The Figure 2 dataset from the exhaustive census on ``n`` players."""
-    census = cached_census(n)
+    census = cached_census(n, jobs=jobs)
     if total_edge_costs is None:
         total_edge_costs = log_spaced_alphas(0.4, 2.0 * n * n, 22)
     return census_figure_series(census, "average_poa", total_edge_costs)
@@ -47,12 +48,13 @@ def compute_figure2_sampled(
     total_edge_costs: Optional[Sequence[float]] = None,
     num_samples: int = 12,
     seed: int = 7,
+    jobs: Optional[int] = None,
 ) -> FigureData:
     """The Figure 2 dataset from dynamics-sampled equilibria (paper-sized n)."""
     if total_edge_costs is None:
         total_edge_costs = log_spaced_alphas(0.5, float(n * n), 8)
     sampled = sample_equilibria_over_grid(
-        n, total_edge_costs, num_samples=num_samples, seed=seed
+        n, total_edge_costs, num_samples=num_samples, seed=seed, jobs=jobs
     )
     return sampled_figure_series(n, "average_poa", sampled)
 
@@ -79,8 +81,14 @@ def run(
     n: int = DEFAULT_EXHAUSTIVE_N,
     include_sampled: bool = False,
     sampled_n: int = 10,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run the Figure 2 reproduction and check the paper's qualitative claims."""
+    """Run the Figure 2 reproduction and check the paper's qualitative claims.
+
+    ``jobs`` parallelises the census build (and the sampled sweep when
+    enabled); ``seed`` overrides the default seed of the sampled variant.
+    """
     result = ExperimentResult(
         experiment_id="figure2",
         title="Figure 2 — average price of anarchy vs link cost (UCG vs BCG)",
@@ -89,7 +97,7 @@ def run(
         f"paper uses an exhaustive census on 10 agents; this exhaustive census uses "
         f"n = {n} (see DESIGN.md for the substitution rationale)"
     )
-    figure = compute_figure2(n)
+    figure = compute_figure2(n, jobs=jobs)
     cheap_gap, expensive_gap = _low_high_cost_comparison(figure)
     result.add_claim(
         description="BCG average PoA is no worse than UCG for cheap links",
@@ -114,7 +122,10 @@ def run(
     result.tables.append(format_figure(figure, "Figure 2 (exhaustive census)"))
 
     if include_sampled:
-        sampled_figure = compute_figure2_sampled(sampled_n)
+        sampled_kwargs = {"jobs": jobs}
+        if seed is not None:
+            sampled_kwargs["seed"] = seed
+        sampled_figure = compute_figure2_sampled(sampled_n, **sampled_kwargs)
         result.tables.append(
             format_figure(sampled_figure, f"Figure 2 (sampled, n = {sampled_n})")
         )

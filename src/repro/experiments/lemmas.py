@@ -15,7 +15,7 @@ evaluating the PoA inside the window.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis.census import cached_census
 from ..analysis.report import format_table
@@ -28,13 +28,17 @@ from ..graphs import cycle_graph, is_complete, is_star
 from .base import ExperimentResult
 
 
-def run_lemma4(n: int = 6, alphas: Sequence[float] = (0.25, 0.5, 0.9)) -> ExperimentResult:
+def run_lemma4(
+    n: int = 6,
+    alphas: Sequence[float] = (0.25, 0.5, 0.9),
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     """Lemma 4: for ``α < 1`` the complete graph is uniquely efficient and uniquely stable."""
     result = ExperimentResult(
         experiment_id="lemma4",
         title=f"Lemma 4 — α < 1: the complete graph is uniquely efficient and stable (n = {n})",
     )
-    census = cached_census(n, include_ucg=False)
+    census = cached_census(n, include_ucg=False, jobs=jobs)
     graphs = [record.graph for record in census.records]
     rows = []
     for alpha in alphas:
@@ -61,13 +65,17 @@ def run_lemma4(n: int = 6, alphas: Sequence[float] = (0.25, 0.5, 0.9)) -> Experi
     return result
 
 
-def run_lemma5(n: int = 6, alphas: Sequence[float] = (1.5, 2.0, 4.0)) -> ExperimentResult:
+def run_lemma5(
+    n: int = 6,
+    alphas: Sequence[float] = (1.5, 2.0, 4.0),
+    jobs: Optional[int] = None,
+) -> ExperimentResult:
     """Lemma 5: for ``α > 1`` the star is uniquely efficient, stable but not unique."""
     result = ExperimentResult(
         experiment_id="lemma5",
         title=f"Lemma 5 — α > 1: the star is uniquely efficient and stable but not unique (n = {n})",
     )
-    census = cached_census(n, include_ucg=False)
+    census = cached_census(n, include_ucg=False, jobs=jobs)
     graphs = [record.graph for record in census.records]
     rows = []
     for alpha in alphas:

@@ -16,7 +16,7 @@
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..analysis.census import cached_census
 from ..analysis.report import format_table
@@ -52,14 +52,16 @@ PROP3_GRAPHS = {
 
 
 def run_proposition1(
-    n: int = 5, alphas: Sequence[float] = (0.5, 1.0, 1.5, 2.5, 4.0, 8.0)
+    n: int = 5,
+    alphas: Sequence[float] = (0.5, 1.0, 1.5, 2.5, 4.0, 8.0),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Proposition 1: pairwise stable ⟺ pairwise Nash, checked exhaustively."""
     result = ExperimentResult(
         experiment_id="prop1",
         title=f"Proposition 1 — pairwise stability coincides with pairwise Nash (n = {n})",
     )
-    census = cached_census(n, include_ucg=False)
+    census = cached_census(n, include_ucg=False, jobs=jobs)
     rows = []
     for alpha in alphas:
         stable = {
@@ -164,14 +166,16 @@ def run_proposition3() -> ExperimentResult:
 
 
 def run_proposition4(
-    n: int = 6, alphas: Sequence[float] = (1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 36.0)
+    n: int = 6,
+    alphas: Sequence[float] = (1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 36.0),
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Proposition 4: worst-case PoA over pairwise-stable graphs is O(min(√α, n/√α))."""
     result = ExperimentResult(
         experiment_id="prop4",
         title=f"Proposition 4 — upper bound: worst-case PoA of the BCG is O(√α) (n = {n})",
     )
-    census = cached_census(n, include_ucg=False)
+    census = cached_census(n, include_ucg=False, jobs=jobs)
     rows = []
     ratios = []
     for alpha in alphas:

@@ -1,20 +1,26 @@
 """Registry and runner for every reproduction experiment.
 
 Each entry maps an experiment id (as used in DESIGN.md and EXPERIMENTS.md) to
-a zero-argument callable returning an
+a callable returning an
 :class:`~repro.experiments.base.ExperimentResult`.  The CLI, the examples and
 the benchmark harness all go through this registry so there is exactly one
 code path that regenerates each figure or result.
+
+Execution options (``jobs`` for process-pool fan-out, ``seed`` for
+reproducible sampled runs) are forwarded to an experiment only when its
+``run`` callable declares the corresponding keyword, so experiments opt in
+without every entry having to grow the parameters at once.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from . import dynamics_extension, extensions, figure1, figure2, figure3, lemmas, propositions
 from .base import ExperimentResult
 
-ExperimentFn = Callable[[], ExperimentResult]
+ExperimentFn = Callable[..., ExperimentResult]
 
 #: Registry of experiment id -> callable.
 EXPERIMENTS: Dict[str, ExperimentFn] = {
@@ -40,8 +46,48 @@ def available_experiments() -> List[str]:
     return sorted(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def _accepted_options(
+    fn: ExperimentFn,
+    jobs: Optional[int],
+    seed: Optional[int],
+    sampled: bool,
+) -> Dict[str, object]:
+    """The subset of execution options that ``fn``'s signature accepts."""
+    options: Dict[str, object] = {}
+    parameters = inspect.signature(fn).parameters
+    if jobs is not None and "jobs" in parameters:
+        options["jobs"] = jobs
+    if seed is not None and "seed" in parameters:
+        options["seed"] = seed
+    if sampled and "include_sampled" in parameters:
+        options["include_sampled"] = True
+    return options
+
+
+def run_experiment(
+    experiment_id: str,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    sampled: bool = False,
+) -> ExperimentResult:
     """Run one experiment by id.
+
+    Parameters
+    ----------
+    experiment_id:
+        Registered experiment id (see :func:`available_experiments`).
+    jobs:
+        Process-pool width for experiments that fan work out (censuses,
+        sampled sweeps); ``None``/``1`` is serial, negative means one worker
+        per CPU.  Ignored by experiments that declare no ``jobs`` keyword.
+    seed:
+        Override of the experiment's default sampling seed, for reproducible
+        dynamics runs from the command line.  Ignored by deterministic
+        experiments that declare no ``seed`` keyword.
+    sampled:
+        Also run the dynamics-sampled (paper-sized ``n``) variant for
+        experiments that offer one (``include_sampled`` keyword); this is
+        the path on which ``seed`` takes effect for the figures.
 
     Raises
     ------
@@ -52,9 +98,17 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
         )
-    return EXPERIMENTS[experiment_id]()
+    fn = EXPERIMENTS[experiment_id]
+    return fn(**_accepted_options(fn, jobs, seed, sampled))
 
 
-def run_all() -> List[ExperimentResult]:
+def run_all(
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    sampled: bool = False,
+) -> List[ExperimentResult]:
     """Run every registered experiment (in id order)."""
-    return [run_experiment(eid) for eid in available_experiments()]
+    return [
+        run_experiment(eid, jobs=jobs, seed=seed, sampled=sampled)
+        for eid in available_experiments()
+    ]

@@ -1,21 +1,40 @@
-"""A minimal, dependency-free undirected graph type.
+"""A minimal, dependency-free undirected graph type on a bitset kernel.
 
 The connection games of Corbo & Parkes (PODC 2005) are played on simple
 undirected graphs whose vertices are the players ``0 .. n-1``.  The
-:class:`Graph` class below is intentionally small: vertices are a contiguous
-integer range, edges are unordered pairs, and the representation is an
-adjacency-set list.  All higher-level machinery (distances, stability checks,
-enumeration) is built on top of this type.
+:class:`Graph` class below keeps that small public surface (vertices are a
+contiguous integer range, edges are unordered pairs) but its *internal*
+representation is an adjacency **bitset**: one arbitrary-precision integer
+per vertex, where bit ``v`` of ``rows[u]`` is set iff ``{u, v}`` is an edge.
+
+This representation was chosen for the library's hot paths:
+
+* **O(1)-copy mutation** — :meth:`add_edge`, :meth:`remove_edge`,
+  :meth:`toggle_edge` and :meth:`add_vertex` copy the row tuple and flip two
+  bits; they never re-validate or rebuild the edge set through
+  :meth:`__init__`.  Stability checks probe every single-edge toggle of a
+  graph, so this is the difference between O(n) and O(n·m) per probe.
+* **word-parallel BFS** — breadth-first frontier expansion becomes a handful
+  of big-integer ``OR``/``AND NOT`` operations per level
+  (see :mod:`repro.graphs.distances`), with membership counting done by
+  ``int.bit_count``.
+* **cheap canonical comparisons** — the upper-triangular
+  :meth:`adjacency_bitstring` and labelled-graph equality fall straight out
+  of the rows.
+
+Derived set views (:attr:`edges`, :meth:`neighbors`,
+:meth:`adjacency_sets`) are materialised lazily and cached, so consumers
+that still want frozensets pay for them at most once per graph.
 
 The class is *logically immutable*: mutating operations return new graphs.
 This makes it safe to memoise derived quantities (distance matrices, girth,
-canonical forms) and to use graphs as dictionary keys via
-:meth:`Graph.edge_key`.
+canonical forms, the :class:`repro.engine.DistanceOracle` caches) and to use
+graphs as dictionary keys via :meth:`Graph.edge_key`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 Edge = Tuple[int, int]
 
@@ -31,6 +50,19 @@ def normalize_edge(u: int, v: int) -> Edge:
     if u == v:
         raise ValueError(f"self-loops are not allowed: ({u}, {v})")
     return (u, v) if u < v else (v, u)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _graph_from_rows(n: int, rows: Tuple[int, ...], m: int) -> "Graph":
+    """Module-level unpickling/reconstruction hook (kept picklable by name)."""
+    return Graph._from_rows(n, rows, m)
 
 
 class Graph:
@@ -56,28 +88,50 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_adj", "_edges", "_hash")
+    __slots__ = ("_n", "_rows", "_m", "_edges", "_adj", "_hash")
 
     def __init__(self, n_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if n_vertices < 0:
             raise ValueError("n_vertices must be non-negative")
         self._n = n_vertices
-        adj: List[set] = [set() for _ in range(n_vertices)]
-        edge_set = set()
+        rows = [0] * n_vertices
+        m = 0
         for u, v in edges:
             u, v = normalize_edge(int(u), int(v))
             if not (0 <= u < n_vertices and 0 <= v < n_vertices):
                 raise ValueError(
                     f"edge ({u}, {v}) out of range for {n_vertices} vertices"
                 )
-            if (u, v) in edge_set:
+            if (rows[u] >> v) & 1:
                 continue
-            edge_set.add((u, v))
-            adj[u].add(v)
-            adj[v].add(u)
-        self._adj: Tuple[FrozenSet[int], ...] = tuple(frozenset(s) for s in adj)
-        self._edges: FrozenSet[Edge] = frozenset(edge_set)
-        self._hash = hash((self._n, self._edges))
+            rows[u] |= 1 << v
+            rows[v] |= 1 << u
+            m += 1
+        self._rows: Tuple[int, ...] = tuple(rows)
+        self._m = m
+        self._edges: Optional[FrozenSet[Edge]] = None
+        self._adj: Optional[Tuple[FrozenSet[int], ...]] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _from_rows(cls, n: int, rows: Tuple[int, ...], m: int) -> "Graph":
+        """Trusted constructor from prebuilt adjacency rows (no validation).
+
+        This is the O(1)-per-edge mutation path: callers hand over symmetric,
+        self-loop-free rows and the edge count, skipping ``__init__``'s
+        normalisation pass entirely.
+        """
+        graph = object.__new__(cls)
+        graph._n = n
+        graph._rows = rows
+        graph._m = m
+        graph._edges = None
+        graph._adj = None
+        graph._hash = None
+        return graph
+
+    def __reduce__(self):
+        return (_graph_from_rows, (self._n, self._rows, self._m))
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -96,7 +150,7 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Number of edges."""
-        return len(self._edges)
+        return self._m
 
     @property
     def vertices(self) -> range:
@@ -106,79 +160,143 @@ class Graph:
     @property
     def edges(self) -> FrozenSet[Edge]:
         """The edge set as a frozenset of ``(u, v)`` with ``u < v``."""
+        if self._edges is None:
+            self._edges = frozenset(self._iter_edges())
         return self._edges
+
+    def _iter_edges(self) -> Iterator[Edge]:
+        for u in range(self._n):
+            for v in iter_bits(self._rows[u] >> (u + 1)):
+                yield (u, u + 1 + v)
 
     def sorted_edges(self) -> List[Edge]:
         """Edges in lexicographic order (deterministic iteration order)."""
-        return sorted(self._edges)
+        return list(self._iter_edges())
+
+    def adjacency_rows(self) -> Tuple[int, ...]:
+        """The bitset kernel: ``rows[u]`` has bit ``v`` set iff ``{u, v}`` is an edge.
+
+        This is the native internal representation; the BFS kernels in
+        :mod:`repro.graphs.distances` operate directly on it.
+        """
+        return self._rows
 
     def neighbors(self, v: int) -> FrozenSet[int]:
         """The neighbour set of vertex ``v``."""
-        return self._adj[v]
+        return self.adjacency_sets()[v]
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""
-        return len(self._adj[v])
+        return self._rows[v].bit_count()
 
     def degree_sequence(self) -> Tuple[int, ...]:
         """Degrees sorted in non-increasing order."""
-        return tuple(sorted((len(a) for a in self._adj), reverse=True))
+        return tuple(sorted((row.bit_count() for row in self._rows), reverse=True))
 
     def degrees(self) -> Tuple[int, ...]:
         """Degrees indexed by vertex."""
-        return tuple(len(a) for a in self._adj)
+        return tuple(row.bit_count() for row in self._rows)
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether the edge ``{u, v}`` is present."""
+        """Whether the edge ``{u, v}`` is present (False for out-of-range pairs)."""
         if u == v:
             return False
-        return normalize_edge(u, v) in self._edges
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return bool((self._rows[u] >> v) & 1)
 
     def non_edges(self) -> List[Edge]:
         """All vertex pairs that are *not* edges, in lexicographic order."""
         out = []
-        for u in range(self._n):
-            for v in range(u + 1, self._n):
-                if v not in self._adj[u]:
+        n = self._n
+        rows = self._rows
+        for u in range(n):
+            row = rows[u]
+            for v in range(u + 1, n):
+                if not (row >> v) & 1:
                     out.append((u, v))
         return out
 
     def adjacency_sets(self) -> Tuple[FrozenSet[int], ...]:
-        """The internal adjacency representation (read-only)."""
+        """The adjacency-set view (built lazily from the bitset rows)."""
+        if self._adj is None:
+            self._adj = tuple(
+                frozenset(iter_bits(row)) for row in self._rows
+            )
         return self._adj
 
     # ------------------------------------------------------------------ #
     # Derived graphs (the class is immutable: these return new graphs)
     # ------------------------------------------------------------------ #
 
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise ValueError(f"vertex {v} out of range for {self._n} vertices")
+
     def add_edge(self, u: int, v: int) -> "Graph":
         """Return a copy of the graph with edge ``{u, v}`` added."""
-        e = normalize_edge(u, v)
-        if e in self._edges:
+        u, v = normalize_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if (self._rows[u] >> v) & 1:
             return self
-        return Graph(self._n, list(self._edges) + [e])
+        rows = list(self._rows)
+        rows[u] |= 1 << v
+        rows[v] |= 1 << u
+        return Graph._from_rows(self._n, tuple(rows), self._m + 1)
 
     def remove_edge(self, u: int, v: int) -> "Graph":
         """Return a copy of the graph with edge ``{u, v}`` removed."""
-        e = normalize_edge(u, v)
-        if e not in self._edges:
+        u, v = normalize_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if not (self._rows[u] >> v) & 1:
             return self
-        return Graph(self._n, [f for f in self._edges if f != e])
+        rows = list(self._rows)
+        rows[u] &= ~(1 << v)
+        rows[v] &= ~(1 << u)
+        return Graph._from_rows(self._n, tuple(rows), self._m - 1)
 
     def add_edges(self, edges: Iterable[Edge]) -> "Graph":
         """Return a copy with all ``edges`` added."""
-        return Graph(self._n, list(self._edges) + [normalize_edge(u, v) for u, v in edges])
+        rows = list(self._rows)
+        m = self._m
+        for u, v in edges:
+            u, v = normalize_edge(u, v)
+            self._check_vertex(u)
+            self._check_vertex(v)
+            if not (rows[u] >> v) & 1:
+                rows[u] |= 1 << v
+                rows[v] |= 1 << u
+                m += 1
+        return Graph._from_rows(self._n, tuple(rows), m)
 
     def remove_edges(self, edges: Iterable[Edge]) -> "Graph":
         """Return a copy with all ``edges`` removed."""
-        drop = {normalize_edge(u, v) for u, v in edges}
-        return Graph(self._n, [e for e in self._edges if e not in drop])
+        rows = list(self._rows)
+        m = self._m
+        for u, v in edges:
+            u, v = normalize_edge(u, v)
+            self._check_vertex(u)
+            self._check_vertex(v)
+            if (rows[u] >> v) & 1:
+                rows[u] &= ~(1 << v)
+                rows[v] &= ~(1 << u)
+                m -= 1
+        return Graph._from_rows(self._n, tuple(rows), m)
 
     def toggle_edge(self, u: int, v: int) -> "Graph":
         """Return a copy with edge ``{u, v}`` added if absent, removed if present."""
-        if self.has_edge(u, v):
-            return self.remove_edge(u, v)
-        return self.add_edge(u, v)
+        u, v = normalize_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        rows = list(self._rows)
+        present = (rows[u] >> v) & 1
+        rows[u] ^= 1 << v
+        rows[v] ^= 1 << u
+        return Graph._from_rows(
+            self._n, tuple(rows), self._m - 1 if present else self._m + 1
+        )
 
     def relabel(self, permutation: Sequence[int]) -> "Graph":
         """Return the graph with vertex ``v`` renamed ``permutation[v]``.
@@ -187,10 +305,13 @@ class Graph:
         """
         if sorted(permutation) != list(range(self._n)):
             raise ValueError("permutation must be a permutation of the vertex set")
-        return Graph(
-            self._n,
-            [(permutation[u], permutation[v]) for u, v in self._edges],
-        )
+        rows = [0] * self._n
+        for u, old_row in enumerate(self._rows):
+            new_row = 0
+            for v in iter_bits(old_row):
+                new_row |= 1 << permutation[v]
+            rows[permutation[u]] = new_row
+        return Graph._from_rows(self._n, tuple(rows), self._m)
 
     def induced_subgraph(self, vertices: Sequence[int]) -> "Graph":
         """Return the subgraph induced by ``vertices``, relabelled ``0..k-1``.
@@ -203,20 +324,32 @@ class Graph:
         keep = set(vertices)
         edges = [
             (index[u], index[v])
-            for u, v in self._edges
+            for u, v in self._iter_edges()
             if u in keep and v in keep
         ]
         return Graph(len(vertices), edges)
 
     def complement(self) -> "Graph":
         """Return the complement graph."""
-        return Graph(self._n, self.non_edges())
+        n = self._n
+        full = (1 << n) - 1
+        rows = tuple(
+            (full ^ row) & ~(1 << u) for u, row in enumerate(self._rows)
+        )
+        return Graph._from_rows(n, rows, n * (n - 1) // 2 - self._m)
 
     def add_vertex(self, neighbors: Iterable[int] = ()) -> "Graph":
         """Return a graph with one extra vertex ``n`` adjacent to ``neighbors``."""
         new = self._n
-        extra = [(u, new) for u in neighbors]
-        return Graph(self._n + 1, list(self._edges) + extra)
+        rows = list(self._rows) + [0]
+        added = 0
+        for u in set(neighbors):
+            if not 0 <= u < new:
+                raise ValueError(f"vertex {u} out of range for {new} vertices")
+            rows[u] |= 1 << new
+            rows[new] |= 1 << u
+            added += 1
+        return Graph._from_rows(new + 1, tuple(rows), self._m + added)
 
     # ------------------------------------------------------------------ #
     # Keys, equality, representation
@@ -224,7 +357,7 @@ class Graph:
 
     def edge_key(self) -> Tuple[int, Tuple[Edge, ...]]:
         """A hashable, deterministic key identifying this *labelled* graph."""
-        return (self._n, tuple(sorted(self._edges)))
+        return (self._n, tuple(self._iter_edges()))
 
     def adjacency_bitstring(self) -> int:
         """Upper-triangular adjacency encoded as an integer bitmask.
@@ -235,10 +368,12 @@ class Graph:
         """
         bits = 0
         k = 0
-        for u in range(self._n):
-            adj_u = self._adj[u]
-            for v in range(u + 1, self._n):
-                if v in adj_u:
+        n = self._n
+        rows = self._rows
+        for u in range(n):
+            row = rows[u]
+            for v in range(u + 1, n):
+                if (row >> v) & 1:
                     bits |= 1 << k
                 k += 1
         return bits
@@ -246,9 +381,11 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._n == other._n and self._edges == other._edges
+        return self._n == other._n and self._rows == other._rows
 
     def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._n, self._rows))
         return self._hash
 
     def __iter__(self) -> Iterator[int]:
@@ -258,7 +395,7 @@ class Graph:
         return self._n
 
     def __repr__(self) -> str:
-        return f"Graph(n={self._n}, m={self.num_edges})"
+        return f"Graph(n={self._n}, m={self._m})"
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -288,7 +425,7 @@ class Graph:
     def to_adjacency_matrix(self) -> List[List[int]]:
         """Return the dense 0/1 adjacency matrix as nested lists."""
         matrix = [[0] * self._n for _ in range(self._n)]
-        for u, v in self._edges:
+        for u, v in self._iter_edges():
             matrix[u][v] = 1
             matrix[v][u] = 1
         return matrix

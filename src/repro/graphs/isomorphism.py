@@ -21,12 +21,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .graph import Graph
+from .graph import Graph, iter_bits
 
 CanonicalForm = Tuple[int, int]
 
 
-def _refine_colors(adj: Sequence[frozenset], colors: List[int]) -> List[int]:
+def _refine_colors(adj: Sequence[Tuple[int, ...]], colors: List[int]) -> List[int]:
     """Run 1-WL colour refinement until the partition stabilises.
 
     Colours are renumbered after every round by sorting the (old colour,
@@ -58,7 +58,7 @@ def _is_discrete(colors: Sequence[int]) -> bool:
     return len(set(colors)) == len(colors)
 
 
-def _bitstring_for_ordering(adj: Sequence[frozenset], ordering: Sequence[int]) -> int:
+def _bitstring_for_ordering(adj: Sequence[Tuple[int, ...]], ordering: Sequence[int]) -> int:
     """Adjacency bitstring of the graph relabelled so that ``ordering[i] -> i``."""
     n = len(ordering)
     position = [0] * n
@@ -78,7 +78,11 @@ class _CanonicalSearch:
     """Backtracking search for the minimal adjacency bitstring."""
 
     def __init__(self, graph: Graph) -> None:
-        self.adj = graph.adjacency_sets()
+        # Neighbour tuples decoded straight from the bitset rows: tuple
+        # iteration is the fastest option for the refinement inner loops.
+        self.adj = tuple(
+            tuple(iter_bits(row)) for row in graph.adjacency_rows()
+        )
         self.n = graph.n
         self.best: Optional[int] = None
         self.best_ordering: Optional[List[int]] = None

@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Optional, Set, Tuple
 
-from .distances import INFINITY, bfs_distances
+from .distances import INFINITY, bitset_bfs_levels
 from .graph import Graph
 
 
@@ -40,11 +40,13 @@ def is_connected(graph: Graph) -> bool:
     """Whether the graph has a single connected component.
 
     The empty graph (0 vertices) and the single-vertex graph count as
-    connected.
+    connected.  Uses the word-parallel bitset reachability closure.
     """
-    if graph.n <= 1:
+    n = graph.n
+    if n <= 1:
         return True
-    return all(d != INFINITY for d in bfs_distances(graph, 0))
+    _, visited = bitset_bfs_levels(graph.adjacency_rows(), 0)
+    return visited.bit_count() == n
 
 
 def is_tree(graph: Graph) -> bool:
