@@ -15,10 +15,18 @@ repository root so future PRs have a perf trajectory to compare against:
   BFS per probe) vs the engine path, serial and fanned out with ``jobs``;
 * **single-edge mutation** — ``Graph.add_edge`` cost on a sparse vs a dense
   graph, asserting that mutation no longer scales with the edge count ``m``
-  (the seed rebuilt the whole edge set through ``__init__``).
+  (the seed rebuilt the whole edge set through ``__init__``);
+* **enumeration at n = 8** (schema v2) — canonical augmentation vs the PR-1
+  augment-and-deduplicate path for all 12346 classes on 8 vertices;
+* **streamed census at n = 8** (schema v2) — the sharded streaming BCG
+  census vs the materialised build, cold caches for both;
+* **streamed census at n = 9** (opt-in via ``--n9``) — the 261080-graph
+  BCG census that only the streamed path makes tractable.
 
 The script exits non-zero if the engine census path fails the acceptance
-floor (>= 3x naive, serial) or if mutation cost shows m-scaling again.
+floor (>= 3x naive, serial), if canonical augmentation fails its floor
+(>= 5x augment-and-dedup at n = 8), or if mutation cost shows m-scaling
+again.
 """
 
 from __future__ import annotations
@@ -44,8 +52,15 @@ from repro.graphs import (
     bfs_distances_with_forbidden_edge_reference,
     complete_graph,
     enumerate_connected_graphs,
+    enumerate_graphs,
+    is_connected,
     path_graph,
     random_graph,
+)
+from repro.graphs.enumeration import (
+    _augment_dedup_level,
+    _canonical_augment_level,
+    clear_cache,
 )
 
 OUTPUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
@@ -209,6 +224,94 @@ def bench_census_n7(jobs_grid: List[int]) -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------------- #
+# 3b. Enumeration at n = 8: canonical augmentation vs augment-and-dedup
+# --------------------------------------------------------------------------- #
+
+
+def bench_enumeration_n8() -> Dict[str, float]:
+    """Generate all 12346 classes on 8 vertices with both generation paths.
+
+    Parents (the 1044 classes on 7 vertices) are built once outside the
+    timed region; the timed region is one generation level — exactly the
+    part the canonical-augmentation rewrite replaced — best of two runs per
+    path to damp shared-runner noise.  Note the baseline also benefits from
+    this PR's per-instance canonical-form memo and the refinement fast
+    path, so the recorded speedup *understates* the gain over the PR-1
+    binary.
+    """
+    clear_cache()
+    parents = enumerate_graphs(7)
+
+    timed = {}
+    for label, fn in (
+        ("augment_dedup", lambda: _augment_dedup_level(parents)),
+        ("canonical_augmentation", lambda: _canonical_augment_level(parents)),
+    ):
+        best = float("inf")
+        level = None
+        for _ in range(2):
+            start = time.perf_counter()
+            level = fn()
+            best = min(best, time.perf_counter() - start)
+        timed[label] = (best, level)
+    legacy_s, legacy_level = timed["augment_dedup"]
+    new_s, new_level = timed["canonical_augmentation"]
+    assert [g.edge_key() for g in legacy_level] == [g.edge_key() for g in new_level]
+    return {
+        "classes": len(new_level),
+        "connected_classes": sum(1 for g in new_level if is_connected(g)),
+        "augment_dedup_seconds": legacy_s,
+        "canonical_augmentation_seconds": new_s,
+        "speedup": legacy_s / new_s,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 3c. Streamed, sharded census at n = 8 (and optionally n = 9)
+# --------------------------------------------------------------------------- #
+
+
+def bench_census_n8_streamed() -> Dict[str, float]:
+    """The sharded streaming BCG census vs the materialised build, both cold."""
+    clear_cache()
+    start = time.perf_counter()
+    streamed = EquilibriumCensus.build_streamed(8, include_ucg=False)
+    streamed_s = time.perf_counter() - start
+
+    clear_cache()
+    start = time.perf_counter()
+    materialised = EquilibriumCensus.build(8, include_ucg=False)
+    build_s = time.perf_counter() - start
+
+    assert len(streamed) == len(materialised) == 11117
+    assert all(
+        a.graph == b.graph for a, b in zip(streamed.records, materialised.records)
+    )
+    return {
+        "graphs": len(streamed),
+        "streamed_seconds": streamed_s,
+        "streamed_graphs_per_sec": len(streamed) / streamed_s,
+        "materialised_seconds": build_s,
+        "materialised_graphs_per_sec": len(materialised) / build_s,
+    }
+
+
+def bench_census_n9_streamed() -> Dict[str, float]:
+    """The 261080-graph n = 9 BCG census (opt-in: minutes of wall time)."""
+    start = time.perf_counter()
+    census = EquilibriumCensus.build_streamed(9, include_ucg=False)
+    seconds = time.perf_counter() - start
+    assert len(census) == 261080  # OEIS A001349
+    return {
+        "graphs": len(census),
+        "streamed_seconds": seconds,
+        "streamed_graphs_per_sec": len(census) / seconds,
+        "stable_count_alpha_2": census.equilibrium_count(2.0, "bcg"),
+        "stable_count_alpha_4": census.equilibrium_count(4.0, "bcg"),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # 4. Single-edge mutation must not scale with m
 # --------------------------------------------------------------------------- #
 
@@ -250,9 +353,17 @@ def main(argv=None) -> int:
         "--report-only",
         action="store_true",
         help=(
-            "never fail on the wall-clock speedup floor (for shared CI "
+            "never fail on the wall-clock speedup floors (for shared CI "
             "runners where the naive and engine paths degrade differently "
             "under load); the m-independence check still applies"
+        ),
+    )
+    parser.add_argument(
+        "--n9",
+        action="store_true",
+        help=(
+            "also run the n=9 BCG streamed census (261080 graphs; minutes "
+            "of wall time) and record it as census_n9_bcg_streamed"
         ),
     )
     args = parser.parse_args(argv)
@@ -262,7 +373,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v1",
+        "schema": "bench_engine/v2",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -270,7 +381,11 @@ def main(argv=None) -> int:
         "oracle_deltas": bench_oracle_deltas(),
         "census_n7_bcg": bench_census_n7(jobs_grid),
         "edge_mutation": bench_edge_mutation(),
+        "enumeration_n8": bench_enumeration_n8(),
+        "census_n8_bcg_streamed": bench_census_n8_streamed(),
     }
+    if args.n9:
+        report["census_n9_bcg_streamed"] = bench_census_n9_streamed()
 
     with open(OUTPUT_PATH, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -278,6 +393,8 @@ def main(argv=None) -> int:
 
     census = report["census_n7_bcg"]
     mutation = report["edge_mutation"]
+    enum8 = report["enumeration_n8"]
+    census8 = report["census_n8_bcg_streamed"]
     for band, stats in report["kernel_bfs"].items():
         print(f"kernel BFS ({band}): {stats['speedup']:.2f}x over reference")
     print(f"oracle deltas: {report['oracle_deltas']['speedup']:.2f}x over naive")
@@ -292,6 +409,23 @@ def main(argv=None) -> int:
             f"{census[f'engine_jobs{jobs}_seconds']:.2f}s"
         )
     print(
+        f"enumeration n=8: augment+dedup {enum8['augment_dedup_seconds']:.2f}s, "
+        f"canonical augmentation {enum8['canonical_augmentation_seconds']:.2f}s "
+        f"({enum8['speedup']:.2f}x)"
+    )
+    print(
+        f"census n=8:    streamed {census8['streamed_seconds']:.2f}s, "
+        f"materialised {census8['materialised_seconds']:.2f}s "
+        f"({census8['graphs']} graphs)"
+    )
+    if "census_n9_bcg_streamed" in report:
+        census9 = report["census_n9_bcg_streamed"]
+        print(
+            f"census n=9:    streamed {census9['streamed_seconds']:.1f}s "
+            f"({census9['graphs']} graphs, "
+            f"{census9['streamed_graphs_per_sec']:.0f}/s)"
+        )
+    print(
         f"edge mutation: sparse {mutation['sparse_ns_per_op']:.0f}ns, "
         f"dense {mutation['dense_ns_per_op']:.0f}ns "
         f"({mutation['dense_over_sparse']:.2f}x; m-independent when ~1x)"
@@ -302,6 +436,11 @@ def main(argv=None) -> int:
     if census["serial_speedup"] < 3.0 and not args.report_only:
         failures.append(
             f"serial census speedup {census['serial_speedup']:.2f}x is below the 3x floor"
+        )
+    if enum8["speedup"] < 5.0 and not args.report_only:
+        failures.append(
+            f"canonical augmentation speedup {enum8['speedup']:.2f}x at n=8 "
+            "is below the 5x floor"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

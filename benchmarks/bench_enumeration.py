@@ -15,6 +15,7 @@ from repro.graphs import (
     random_graph,
 )
 from repro.graphs.enumeration import clear_cache
+from repro.graphs.isomorphism import clear_canonical_record
 
 
 def test_enumerate_connected_graphs_n6(benchmark):
@@ -44,9 +45,19 @@ def test_enumerate_trees_n9(benchmark):
 
 
 def test_canonical_form_petersen(benchmark):
-    """Canonical labelling of a highly symmetric 10-vertex graph."""
+    """Canonical labelling of a highly symmetric 10-vertex graph.
+
+    Canonical forms are memoised per graph instance, so the memo is dropped
+    inside the timed callable to keep measuring the search itself (graph
+    construction stays outside the timing).
+    """
     graph = petersen_graph()
-    form = benchmark(canonical_form, graph)
+
+    def search():
+        clear_canonical_record(graph)
+        return canonical_form(graph)
+
+    form = benchmark(search)
     assert form[0] == 10
 
 
@@ -55,5 +66,10 @@ def test_canonical_form_random_graph(benchmark):
     import random
 
     graph = random_graph(8, 0.4, random.Random(5))
-    form = benchmark(canonical_form, graph)
+
+    def search():
+        clear_canonical_record(graph)
+        return canonical_form(graph)
+
+    form = benchmark(search)
     assert form[0] == 8

@@ -31,7 +31,16 @@ from ..engine import (
     parallel_map,
     resolve_jobs,
 )
-from ..graphs import Graph, enumerate_connected_graphs
+from ..graphs import (
+    Graph,
+    canonical_graph,
+    enumerate_connected_graphs,
+    enumerate_graphs,
+    is_connected,
+    iter_graphs_from,
+)
+from ..graphs.enumeration import _class_sort_key
+from ..graphs.isomorphism import clear_canonical_record
 
 
 @dataclass
@@ -100,6 +109,48 @@ class EquilibriumCensus:
         ]
         return cls(n=n, records=records, include_ucg=include_ucg)
 
+    @classmethod
+    def build_streamed(
+        cls,
+        n: int,
+        include_ucg: bool = True,
+        jobs: Optional[int] = None,
+        shard_level: Optional[int] = None,
+        batch_size: int = 512,
+    ) -> "EquilibriumCensus":
+        """Build the census by streaming the canonical-augmentation tree.
+
+        Instead of materialising ``enumerate_connected_graphs(n)`` up front
+        (and, with ``jobs > 1``, pickling every graph through the pool), the
+        generation tree is **sharded**: its level-``shard_level`` class
+        representatives become roots, each worker re-generates the subtrees
+        below its chunk of roots in-process (subtrees are disjoint and
+        jointly exhaustive, so there is no cross-worker deduplication), and
+        analyses graphs in bounded batches as they stream past.  Only the
+        per-graph summaries travel back through the pool.
+
+        The result is element-for-element identical to :meth:`build` — same
+        canonical representatives in the same deterministic order, with
+        bit-identical profiles — which the test suite asserts.  This is the
+        path that makes the ``n = 9`` BCG census tractable.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        workers = resolve_jobs(jobs)
+        if shard_level is None:
+            shard_level = max(0, min(6, n - 2))
+        shard_level = max(0, min(shard_level, n))
+        roots = enumerate_graphs(shard_level)
+        chunks = chunk_evenly(roots, max(1, workers * 4))
+        tasks = [(chunk, n, include_ucg, batch_size) for chunk in chunks]
+        records = [
+            record
+            for chunk_records in parallel_map(_stream_chunk, tasks, jobs=jobs)
+            for record in chunk_records
+        ]
+        records.sort(key=lambda record: _class_sort_key(record.graph))
+        return cls(n=n, records=records, include_ucg=include_ucg)
+
     # ------------------------------------------------------------------ #
     # Equilibrium sets at a given link cost
     # ------------------------------------------------------------------ #
@@ -165,16 +216,16 @@ class EquilibriumCensus:
         return len(self.records)
 
 
-def _analyse_chunk(task: Tuple[List[Graph], bool]) -> List[GraphRecord]:
-    """Deviation analysis for a chunk of graphs (module-level for the pool).
+def _make_records(
+    graphs: List[Graph], include_ucg: bool, oracle
+) -> List[GraphRecord]:
+    """Deviation analysis for a batch of graphs.
 
     The BCG side goes through the vectorised
-    :func:`repro.engine.batch_stability_deltas` kernel for the whole chunk at
-    once; the UCG orientation search stays per-graph against the worker's
-    process-wide oracle.
+    :func:`repro.engine.batch_stability_deltas` kernel for the whole batch
+    at once (orbit-pruned on its per-graph paths); the UCG orientation
+    search stays per-graph against the worker's process-wide oracle.
     """
-    graphs, include_ucg = task
-    oracle = get_default_oracle()
     deltas = batch_stability_deltas(graphs, oracle=oracle)
     records = []
     for graph, (removal, addition) in zip(graphs, deltas):
@@ -191,6 +242,46 @@ def _analyse_chunk(task: Tuple[List[Graph], bool]) -> List[GraphRecord]:
                 ),
             )
         )
+    return records
+
+
+def _analyse_chunk(task: Tuple[List[Graph], bool]) -> List[GraphRecord]:
+    """Deviation analysis for a chunk of graphs (module-level for the pool)."""
+    graphs, include_ucg = task
+    return _make_records(graphs, include_ucg, get_default_oracle())
+
+
+def _stream_chunk(task: Tuple[List[Graph], int, bool, int]) -> List[GraphRecord]:
+    """Generate-and-analyse one shard of the generation tree (pool worker).
+
+    Walks the canonical-augmentation subtrees below the chunk's roots,
+    canonicalises the connected level-``n`` graphs as they stream past (the
+    canonical search also yields the orbits the per-graph probe paths can
+    prune on), and analyses them in bounded batches so the worker never
+    materialises its shard.
+    """
+    roots, n, include_ucg, batch_size = task
+    oracle = get_default_oracle()
+    records: List[GraphRecord] = []
+    pending: List[Graph] = []
+
+    def flush() -> None:
+        records.extend(_make_records(pending, include_ucg, oracle))
+        for graph in pending:
+            # The memoised canonical record has served its purpose; census
+            # records live long, so don't pin a quarter-million of them.
+            clear_canonical_record(graph)
+        pending.clear()
+
+    for root in roots:
+        for graph in iter_graphs_from(root, n):
+            if not is_connected(graph):
+                continue
+            pending.append(canonical_graph(graph))
+            if len(pending) >= batch_size:
+                flush()
+    if pending:
+        flush()
     return records
 
 

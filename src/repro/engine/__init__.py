@@ -32,8 +32,15 @@ both, so the core/analysis/experiments layers never re-derive them ad hoc:
 :func:`batch_stability_deltas`
     A vectorised NumPy backend that answers *every* single-link deviation
     probe of a whole batch of graphs with a handful of batched boolean
-    matrix products (see :mod:`repro.engine.batch`).  Numerically identical
-    to the oracle path; falls back to it when NumPy is unavailable.
+    matrix products (see :mod:`repro.engine.batch`).  Probes can be
+    orbit-pruned (one representative per orbit of ordered vertex pairs,
+    results expanded across the orbit): the per-graph BFS paths (no NumPy,
+    or ``n > 63``) prune automatically whenever automorphism data is
+    memoised on the graph, while the vectorised path keeps full tensor
+    probing unless ``use_orbits=True`` is passed — a tensor-slice probe is
+    cheaper than the per-orbit bookkeeping (see the batch module docstring
+    for the measured economics).  Numerically identical to the oracle path
+    for every setting; falls back to it when NumPy is unavailable.
 
 :func:`parallel_map`
     A process-pool fan-out with a deterministic serial fallback.  ``jobs``

@@ -1,10 +1,11 @@
-"""Vectorised batch backend for stability-delta computation.
+"""Vectorised, orbit-pruned batch backend for stability-delta computation.
 
 The exhaustive censuses ask the same question — "all single-link deviation
-payoffs of this graph" — hundreds of times for same-sized graphs.  Instead
-of running thousands of tiny per-probe BFS traversals in the interpreter,
-this module stacks *every probe of every graph* into dense NumPy tensors and
-runs the whole census as a handful of batched boolean matrix products:
+payoffs of this graph" — hundreds of thousands of times for same-sized
+graphs.  Instead of running thousands of tiny per-probe BFS traversals in the
+interpreter, this module stacks *every probe of every graph* into dense NumPy
+tensors and runs the whole census as a handful of batched boolean matrix
+products:
 
 * all-pairs hop distances for a group of ``G`` graphs on ``n`` vertices are
   ``diameter``-many batched ``(G, n, n) @ (G, n, n)`` frontier expansions;
@@ -13,11 +14,33 @@ runs the whole census as a handful of batched boolean matrix products:
 * every edge-addition probe is answered with one vectorised
   ``min(d_u, 1 + d_v)`` reduction over the all-pairs matrix — no BFS at all.
 
+On top of the tensorisation, probes can be **orbit-pruned**: the deviation
+payoff of endpoint ``u`` toggling ``{u, v}`` is constant on each automorphism
+orbit of ordered vertex pairs (see
+:func:`repro.graphs.isomorphism.ordered_pair_orbits`), so only one
+representative per orbit needs evaluating, with the result expanded across
+the orbit — cutting the probe count by the graph's symmetry factor.  Where
+pruning pays depends on the backend, and the ``use_orbits=None`` default
+follows the measured economics:
+
+* on the **per-graph paths** (NumPy missing, or ``n > 63``) every removal
+  probe is a real BFS, so pruning engages automatically whenever the
+  symmetry data is already memoised on the graph instance (as it is for
+  every graph produced by the canonical-augmentation enumerator) — no
+  caller ever pays a canonical search it did not already need;
+* on the **vectorised path** a probe is one slice of a batched tensor and
+  costs less than the per-orbit Python bookkeeping it would save
+  (benchmarked at n = 7..9), so the default keeps full tensor probing and
+  pruning runs only on explicit request (``use_orbits=True``).
+
 The numeric contract is identical to :class:`repro.engine.DistanceOracle`
 (and therefore to the seed's per-probe BFS): hop counts, ``inf`` for
-unreachable pairs, and the ``∞ - ∞ = 0`` delta convention.  When NumPy is
-unavailable the functions transparently fall back to the per-graph oracle
-path, so the engine never *requires* the dependency.
+unreachable pairs, and the ``∞ - ∞ = 0`` delta convention.  Orbit expansion
+is exact, not approximate: orbit-mates are relabellings of the same probe and
+all quantities are integer-valued (or infinite), so expanded tables are
+bit-identical to full probing.  When NumPy is unavailable the functions
+transparently fall back to the per-graph oracle path, so the engine never
+*requires* the dependency.
 """
 
 from __future__ import annotations
@@ -29,11 +52,33 @@ try:  # NumPy ships with the toolchain but the engine must not require it.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
-from ..graphs.distances import INFINITY
 from ..graphs.graph import Graph
-from .oracle import DeltaTables, DistanceOracle, get_default_oracle
+from ..graphs.isomorphism import (
+    cached_canonical_record,
+    canonical_record,
+    ordered_pair_orbits,
+)
+from ..graphs.properties import bridges
+from .oracle import (
+    DeltaTables,
+    DistanceOracle,
+    addition_probe,
+    get_default_oracle,
+    removal_probe,
+)
 
 Edge = Tuple[int, int]
+
+#: Per-n interned ``((u, v), endpoint)`` key tuples.  The n = 9 census holds
+#: profiles for ~261k graphs whose delta tables all share the same key space;
+#: interning the tuples keeps one copy per (pair, endpoint) instead of one
+#: per graph.
+_KEY_TABLES: Dict[int, Dict[Tuple[int, int, int], Tuple[Edge, int]]] = {}
+
+#: An orbit-pruned probe plan: ``(removal_orbits, addition_orbits)`` where
+#: each orbit is a list of ordered pairs ``(endpoint, other)`` sharing one
+#: deviation value.
+ProbePlan = Tuple[List[List[Tuple[int, int]]], List[List[Tuple[int, int]]]]
 
 
 def numpy_available() -> bool:
@@ -41,20 +86,72 @@ def numpy_available() -> bool:
     return _np is not None
 
 
+def _endpoint_keys(n: int) -> Dict[Tuple[int, int, int], Tuple[Edge, int]]:
+    table = _KEY_TABLES.get(n)
+    if table is None:
+        table = {}
+        for u in range(n):
+            for v in range(u + 1, n):
+                edge = (u, v)
+                table[(u, v, u)] = (edge, u)
+                table[(u, v, v)] = (edge, v)
+        _KEY_TABLES[n] = table
+    return table
+
+
+def _orbit_key(keys, a: int, b: int) -> Tuple[Edge, int]:
+    """Interned ``((min, max), a)`` key for the ordered probe pair ``(a, b)``."""
+    return keys[(a, b, a) if a < b else (b, a, a)]
+
+
+def _probe_plan(graph: Graph, use_orbits: Optional[bool]) -> Optional[ProbePlan]:
+    """The orbit-pruned probe plan for ``graph``, or ``None`` for full probing.
+
+    ``use_orbits=None`` (auto) prunes only when the canonical record is
+    already memoised on the instance; ``True`` forces the canonical search;
+    ``False`` disables pruning.  Graphs with a trivial automorphism group
+    gain nothing from pruning and always use full probing.
+    """
+    if use_orbits is False or graph.n <= 1:
+        return None
+    record = (
+        canonical_record(graph) if use_orbits else cached_canonical_record(graph)
+    )
+    if record is None or not record.generators:
+        return None
+    removal: List[List[Tuple[int, int]]] = []
+    addition: List[List[Tuple[int, int]]] = []
+    for orbit in ordered_pair_orbits(graph, record):
+        u, v = orbit[0]
+        (removal if graph.has_edge(u, v) else addition).append(orbit)
+    return (removal, addition)
+
+
 def batch_stability_deltas(
-    graphs: Sequence[Graph], oracle: Optional[DistanceOracle] = None
+    graphs: Sequence[Graph],
+    oracle: Optional[DistanceOracle] = None,
+    use_orbits: Optional[bool] = None,
 ) -> List[DeltaTables]:
     """``[oracle.stability_deltas(g) for g in graphs]``, but batched.
 
     Graphs are grouped by vertex count and each group is processed with the
-    tensorised kernels below; outputs are numerically identical to the
-    per-graph oracle path and returned in input order.  Falls back to the
-    oracle when NumPy is missing.
+    tensorised kernels below; the per-graph paths (no NumPy, or ``n > 63``)
+    probe one representative per automorphism orbit where symmetry data is
+    available (see :func:`_probe_plan` and the module docstring for the
+    ``use_orbits`` semantics).  Outputs are numerically identical to the
+    per-graph oracle path for every setting and returned in input order.
     """
     if _np is None:
         if oracle is None:
             oracle = get_default_oracle()
-        return [oracle.stability_deltas(g) for g in graphs]
+        return [
+            _per_graph_deltas(graph, _probe_plan(graph, use_orbits), oracle)
+            for graph in graphs
+        ]
+
+    # On the vectorised path a probe is one tensor slice: cheaper than the
+    # per-orbit bookkeeping pruning would add, so auto mode probes fully.
+    vector_orbits = True if use_orbits else False
 
     results: List[Optional[DeltaTables]] = [None] * len(graphs)
     groups: Dict[int, List[int]] = {}
@@ -71,18 +168,113 @@ def batch_stability_deltas(
             if oracle is None:
                 oracle = get_default_oracle()
             for index in indices:
-                results[index] = oracle.stability_deltas(graphs[index])
+                graph = graphs[index]
+                results[index] = _per_graph_deltas(
+                    graph, _probe_plan(graph, use_orbits), oracle
+                )
             continue
-        tables = _batch_group([graphs[i] for i in indices], n)
+        group = [graphs[i] for i in indices]
+        plans = [_probe_plan(graph, vector_orbits) for graph in group]
+        tables = _batch_group(group, n, plans)
         for index, table in zip(indices, tables):
             results[index] = table
     return results
 
 
-def _batch_group(graphs: Sequence[Graph], n: int) -> List[DeltaTables]:
+def _per_graph_deltas(
+    graph: Graph, plan: Optional[ProbePlan], oracle: DistanceOracle
+) -> DeltaTables:
+    """Per-graph deviation tables, honouring an orbit-pruned probe plan.
+
+    The pruned path evaluates the same per-probe primitives as
+    :meth:`DistanceOracle.stability_deltas`
+    (:func:`repro.engine.oracle.removal_probe` /
+    :func:`~repro.engine.oracle.addition_probe`, so the exact-delta contract
+    lives in one place) — but only one representative per orbit, so it does
+    strictly less work than full probing whenever the graph has any
+    symmetry.
+    """
+    if plan is None:
+        return oracle.stability_deltas(graph)
+    cached = oracle.cached_stability_deltas(graph)
+    if cached is not None:
+        return cached
+    keys = _endpoint_keys(graph.n)
+    removal_orbits, addition_orbits = plan
+    vectors: Dict[int, List[float]] = {}
+    shifted: Dict[int, List[float]] = {}
+    sums: Dict[int, float] = {}
+
+    def base_sum(vertex: int) -> float:
+        value = sums.get(vertex)
+        if value is None:
+            vector = oracle.distance_vector(graph, vertex)
+            vectors[vertex] = vector
+            value = sum(vector)
+            sums[vertex] = value
+        return value
+
+    removal: Dict[Tuple[Edge, int], float] = {}
+    bridge_edges = set(bridges(graph)) if removal_orbits else set()
+    for orbit in removal_orbits:
+        u, v = orbit[0]
+        edge = (u, v) if u < v else (v, u)
+        value = removal_probe(graph, edge, u, base_sum(u), bridge_edges)
+        for a, b in orbit:
+            removal[_orbit_key(keys, a, b)] = value
+
+    addition: Dict[Tuple[Edge, int], float] = {}
+    for orbit in addition_orbits:
+        u, v = orbit[0]
+        base = base_sum(u)
+        base_sum(v)
+        shifted_v = shifted.get(v)
+        if shifted_v is None:
+            shifted_v = [d + 1 for d in vectors[v]]
+            shifted[v] = shifted_v
+        value = addition_probe(vectors[u], shifted_v, base)
+        for a, b in orbit:
+            addition[_orbit_key(keys, a, b)] = value
+    oracle.store_stability_deltas(graph, removal, addition)
+    return (removal, addition)
+
+
+def _removal_without_sums(A, n, probe_g, probe_u, probe_v, sources):
+    """Post-removal distance sums for a batch of (graph, edge, source) probes.
+
+    Deletes edge ``(probe_u, probe_v)`` from each probe's adjacency slice and
+    runs all the single-source BFS levels in lock-step; returns the new
+    distance sum per probe (``inf`` when the source no longer reaches every
+    vertex).
+    """
+    np = _np
+    P = probe_g.size
+    T = A[probe_g].copy()
+    arange = np.arange(P)
+    T[arange, probe_u, probe_v] = 0
+    T[arange, probe_v, probe_u] = 0
+
+    reach = np.zeros((P, n), dtype=bool)
+    reach[arange, sources] = True
+    front = reach.astype(A.dtype)
+    totals = np.zeros(P)
+    for level in range(1, n):
+        nxt = (np.matmul(front[:, None, :], T)[:, 0, :] > 0) & ~reach
+        if not nxt.any():
+            break
+        totals += level * nxt.sum(axis=1)
+        reach |= nxt
+        front = nxt.astype(A.dtype)
+    return np.where(reach.sum(axis=1) == n, totals, np.inf)
+
+
+def _batch_group(
+    graphs: Sequence[Graph], n: int, plans: Sequence[Optional[ProbePlan]]
+) -> List[DeltaTables]:
     """Stability deltas for a group of graphs that share a vertex count."""
     np = _np
     G = len(graphs)
+    keys = _endpoint_keys(n)
 
     # (G, n) adjacency rows as integers -> (G, n, n) dense 0/1 tensor.  The
     # caller guarantees n <= 63, so every row fits an int64 lane and uint8
@@ -111,10 +303,17 @@ def _batch_group(graphs: Sequence[Graph], n: int) -> List[DeltaTables]:
     removal_tables: List[Dict] = [{} for _ in range(G)]
     addition_tables: List[Dict] = [{} for _ in range(G)]
 
+    plain = np.zeros(G, dtype=bool)
+    for i, plan in enumerate(plans):
+        if plan is None:
+            plain[i] = True
+
     # ------------------------------------------------------------------ #
-    # Removal probes: one tensor slice per (edge, endpoint).
+    # Plain graphs — full probing: one tensor slice per (edge, endpoint).
     # ------------------------------------------------------------------ #
-    edge_g, edge_u, edge_v = np.nonzero((A > 0) & triu[None, :, :])
+    edge_g, edge_u, edge_v = np.nonzero(
+        (A > 0) & triu[None, :, :] & plain[:, None, None]
+    )
     E = edge_g.size
     if E:
         # Both endpoints of every edge: probe p and probe p + E share an edge.
@@ -122,25 +321,7 @@ def _batch_group(graphs: Sequence[Graph], n: int) -> List[DeltaTables]:
         probe_u = np.concatenate([edge_u, edge_u])
         probe_v = np.concatenate([edge_v, edge_v])
         sources = np.concatenate([edge_u, edge_v])
-        P = probe_g.size
-
-        T = A[probe_g].copy()
-        arange = np.arange(P)
-        T[arange, probe_u, probe_v] = 0
-        T[arange, probe_v, probe_u] = 0
-
-        reach = np.zeros((P, n), dtype=bool)
-        reach[arange, sources] = True
-        front = reach.astype(count_dtype)
-        totals = np.zeros(P)
-        for level in range(1, n):
-            nxt = (np.matmul(front[:, None, :], T)[:, 0, :] > 0) & ~reach
-            if not nxt.any():
-                break
-            totals += level * nxt.sum(axis=1)
-            reach |= nxt
-            front = nxt.astype(count_dtype)
-        without = np.where(reach.sum(axis=1) == n, totals, np.inf)
+        without = _removal_without_sums(A, n, probe_g, probe_u, probe_v, sources)
 
         base = S[probe_g, sources]
         with np.errstate(invalid="ignore"):
@@ -149,7 +330,7 @@ def _batch_group(graphs: Sequence[Graph], n: int) -> List[DeltaTables]:
             )
 
         # One pass over the edges assembles both endpoint entries, sharing
-        # the edge tuple between the two keys.
+        # the interned key tuples between graphs.
         for g_i, u_i, v_i, delta_u, delta_v in zip(
             edge_g.tolist(),
             edge_u.tolist(),
@@ -157,15 +338,15 @@ def _batch_group(graphs: Sequence[Graph], n: int) -> List[DeltaTables]:
             deltas[:E].tolist(),
             deltas[E:].tolist(),
         ):
-            edge = (u_i, v_i)
             table = removal_tables[g_i]
-            table[(edge, u_i)] = delta_u
-            table[(edge, v_i)] = delta_v
+            table[keys[(u_i, v_i, u_i)]] = delta_u
+            table[keys[(u_i, v_i, v_i)]] = delta_v
 
-    # ------------------------------------------------------------------ #
-    # Addition probes: pure reductions over the all-pairs matrix.
-    # ------------------------------------------------------------------ #
-    non_g, non_u, non_v = np.nonzero((A == 0) & triu[None, :, :])
+    # Addition probes for plain graphs: pure reductions over the all-pairs
+    # matrix.
+    non_g, non_u, non_v = np.nonzero(
+        (A == 0) & triu[None, :, :] & plain[:, None, None]
+    )
     if non_g.size:
         new_u = np.minimum(D[non_g, non_u, :], 1.0 + D[non_g, non_v, :]).sum(axis=1)
         new_v = np.minimum(D[non_g, non_v, :], 1.0 + D[non_g, non_u, :]).sum(axis=1)
@@ -182,9 +363,55 @@ def _batch_group(graphs: Sequence[Graph], n: int) -> List[DeltaTables]:
             save_u.tolist(),
             save_v.tolist(),
         ):
-            edge = (u_i, v_i)
             table = addition_tables[g_i]
-            table[(edge, u_i)] = s_u
-            table[(edge, v_i)] = s_v
+            table[keys[(u_i, v_i, u_i)]] = s_u
+            table[keys[(u_i, v_i, v_i)]] = s_v
+
+    # ------------------------------------------------------------------ #
+    # Orbit-pruned graphs: one probe per orbit representative, results
+    # expanded across the orbit.
+    # ------------------------------------------------------------------ #
+    rem_refs: List[Tuple[int, List[Tuple[int, int]]]] = []
+    add_refs: List[Tuple[int, List[Tuple[int, int]]]] = []
+    for i, plan in enumerate(plans):
+        if plan is None:
+            continue
+        removal_orbits, addition_orbits = plan
+        for orbit in removal_orbits:
+            rem_refs.append((i, orbit))
+        for orbit in addition_orbits:
+            add_refs.append((i, orbit))
+
+    if rem_refs:
+        probe_g = np.array([i for i, orbit in rem_refs], dtype=np.intp)
+        probe_u = np.array([orbit[0][0] for _, orbit in rem_refs], dtype=np.intp)
+        probe_v = np.array([orbit[0][1] for _, orbit in rem_refs], dtype=np.intp)
+        without = _removal_without_sums(A, n, probe_g, probe_u, probe_v, probe_u)
+        base = S[probe_g, probe_u]
+        with np.errstate(invalid="ignore"):
+            deltas = np.where(
+                np.isinf(without) & np.isinf(base), 0.0, without - base
+            )
+        for (g_i, orbit), delta in zip(rem_refs, deltas.tolist()):
+            table = removal_tables[g_i]
+            for a, b in orbit:
+                table[_orbit_key(keys, a, b)] = delta
+
+    if add_refs:
+        probe_g = np.array([i for i, orbit in add_refs], dtype=np.intp)
+        probe_u = np.array([orbit[0][0] for _, orbit in add_refs], dtype=np.intp)
+        probe_v = np.array([orbit[0][1] for _, orbit in add_refs], dtype=np.intp)
+        new_sum = np.minimum(
+            D[probe_g, probe_u, :], 1.0 + D[probe_g, probe_v, :]
+        ).sum(axis=1)
+        base = S[probe_g, probe_u]
+        with np.errstate(invalid="ignore"):
+            savings = np.where(
+                np.isinf(base) & np.isinf(new_sum), 0.0, base - new_sum
+            )
+        for (g_i, orbit), saving in zip(add_refs, savings.tolist()):
+            table = addition_tables[g_i]
+            for a, b in orbit:
+                table[_orbit_key(keys, a, b)] = saving
 
     return list(zip(removal_tables, addition_tables))

@@ -39,6 +39,37 @@ def distance_delta(after: float, before: float) -> float:
     return after - before
 
 
+def removal_probe(
+    graph: Graph, edge: Edge, source: int, base: float, bridge_edges
+) -> float:
+    """Exact removal increase for one ``(edge, source)`` probe.
+
+    The single authoritative per-probe implementation shared by the oracle's
+    batched :meth:`DistanceOracle.stability_deltas` pass and the
+    orbit-pruned path of :mod:`repro.engine.batch`: severing a *bridge*
+    disconnects the source from the far side (``∞``, or 0 when the source's
+    cost was already infinite); any other edge costs one forbidden-edge
+    bitset BFS.
+    """
+    if edge in bridge_edges:
+        return INFINITY if base != INFINITY else 0.0
+    masked = _rows_without_edge(graph, edge)
+    return distance_delta(bitset_distance_sum(masked, graph.n, source), base)
+
+
+def addition_probe(
+    vector: List[float], shifted_other: List[float], base: float
+) -> float:
+    """Exact addition saving for one ``(non-edge, source)`` probe.
+
+    ``shifted_other`` is the other endpoint's distance vector plus one; with
+    a single new edge the updated distances from the source are exactly
+    ``min(d_source, 1 + d_other)``, so no BFS is needed.  Shared by the
+    oracle and the orbit-pruned batch path.
+    """
+    return distance_delta(base, sum(map(min, vector, shifted_other)))
+
+
 class _GraphEntry:
     """Per-graph memo: distance vectors, distance sums, toggle-delta tables."""
 
@@ -182,6 +213,38 @@ class DistanceOracle:
             self.hits += 1
         return value
 
+    def cached_stability_deltas(self, graph: Graph) -> Optional[DeltaTables]:
+        """The memoised deviation tables if present (fresh copies), else ``None``.
+
+        Lets external probe strategies (e.g. the orbit-pruned per-graph path
+        of :mod:`repro.engine.batch`) reuse a profile that
+        :meth:`stability_deltas` already computed without recomputing it.
+        """
+        entry = self._entries.get(graph)
+        if entry is None or entry.profile is None:
+            return None
+        self._entries.move_to_end(graph)
+        self.hits += 1
+        return (dict(entry.profile[0]), dict(entry.profile[1]))
+
+    def store_stability_deltas(
+        self,
+        graph: Graph,
+        removal: Dict[EndpointKey, float],
+        addition: Dict[EndpointKey, float],
+    ) -> None:
+        """Seed the per-graph profile memo with externally computed tables.
+
+        The inverse of :meth:`cached_stability_deltas`: a caller that derived
+        the complete deviation tables some other exact way (orbit expansion,
+        the vectorised batch kernel) deposits them so later
+        :meth:`stability_deltas` calls hit the cache.  Stored copies are
+        private to the oracle.
+        """
+        entry = self._entry(graph)
+        if entry.profile is None:
+            entry.profile = (dict(removal), dict(addition))
+
     def stability_deltas(self, graph: Graph) -> DeltaTables:
         """All single-link deviation payoffs of ``graph`` in one batched pass.
 
@@ -223,26 +286,15 @@ class DistanceOracle:
         removal: Dict[EndpointKey, float] = {}
         bridge_edges = set(bridges(graph))
         for (u, v) in graph.sorted_edges():
-            is_bridge = (u, v) in bridge_edges
             for endpoint in (u, v):
-                base = sums[endpoint]
-                if is_bridge:
-                    # The far side of a bridge becomes unreachable: the sum is
-                    # infinite, so the delta is ∞ (or 0 if base was already ∞).
-                    removal[((u, v), endpoint)] = (
-                        INFINITY if base != INFINITY else 0.0
-                    )
-                else:
-                    masked = _rows_without_edge(graph, (u, v))
-                    without = bitset_distance_sum(masked, n, endpoint)
-                    removal[((u, v), endpoint)] = distance_delta(without, base)
+                removal[((u, v), endpoint)] = removal_probe(
+                    graph, (u, v), endpoint, sums[endpoint], bridge_edges
+                )
 
         addition: Dict[EndpointKey, float] = {}
         for (u, v) in graph.non_edges():
-            new_u = sum(map(min, vectors[u], shifted[v]))
-            addition[((u, v), u)] = distance_delta(sums[u], new_u)
-            new_v = sum(map(min, vectors[v], shifted[u]))
-            addition[((u, v), v)] = distance_delta(sums[v], new_v)
+            addition[((u, v), u)] = addition_probe(vectors[u], shifted[v], sums[u])
+            addition[((u, v), v)] = addition_probe(vectors[v], shifted[u], sums[v])
 
         entry.profile = (removal, addition)
         return (dict(removal), dict(addition))

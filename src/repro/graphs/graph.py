@@ -88,7 +88,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_rows", "_m", "_edges", "_adj", "_hash")
+    __slots__ = ("_n", "_rows", "_m", "_edges", "_adj", "_hash", "_canon")
 
     def __init__(self, n_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if n_vertices < 0:
@@ -112,6 +112,8 @@ class Graph:
         self._edges: Optional[FrozenSet[Edge]] = None
         self._adj: Optional[Tuple[FrozenSet[int], ...]] = None
         self._hash: Optional[int] = None
+        #: Memoised canonical-search result (set by repro.graphs.isomorphism).
+        self._canon = None
 
     @classmethod
     def _from_rows(cls, n: int, rows: Tuple[int, ...], m: int) -> "Graph":
@@ -128,6 +130,7 @@ class Graph:
         graph._edges = None
         graph._adj = None
         graph._hash = None
+        graph._canon = None
         return graph
 
     def __reduce__(self):

@@ -1,5 +1,7 @@
 """Unit tests for exhaustive graph enumeration up to isomorphism."""
 
+import os
+
 import pytest
 
 from repro.graphs import (
@@ -15,15 +17,25 @@ from repro.graphs import (
     enumerate_trees,
     is_connected,
     is_tree,
+    iter_connected_graphs,
+    iter_graphs,
+    iter_graphs_from,
 )
-from repro.graphs.enumeration import clear_cache
+from repro.graphs.enumeration import (
+    _augment_dedup_level,
+    _canonical_augment_level,
+    clear_cache,
+)
 
 # OEIS A000088: number of graphs on n unlabelled nodes.
-GRAPH_COUNTS = {0: 1, 1: 1, 2: 2, 3: 4, 4: 11, 5: 34, 6: 156, 7: 1044}
+GRAPH_COUNTS = {0: 1, 1: 1, 2: 2, 3: 4, 4: 11, 5: 34, 6: 156, 7: 1044, 8: 12346}
 # OEIS A001349: number of connected graphs on n unlabelled nodes.
-CONNECTED_COUNTS = {1: 1, 2: 1, 3: 2, 4: 6, 5: 21, 6: 112, 7: 853}
+CONNECTED_COUNTS = {1: 1, 2: 1, 3: 2, 4: 6, 5: 21, 6: 112, 7: 853, 8: 11117}
 # OEIS A000055: number of trees with n unlabelled nodes.
-TREE_COUNTS = {1: 1, 2: 1, 3: 1, 4: 2, 5: 3, 6: 6, 7: 11, 8: 23, 9: 47, 10: 106}
+TREE_COUNTS = {
+    1: 1, 2: 1, 3: 1, 4: 2, 5: 3, 6: 6, 7: 11, 8: 23, 9: 47, 10: 106,
+    11: 235, 12: 551,
+}
 
 
 @pytest.mark.parametrize("n,expected", sorted(GRAPH_COUNTS.items()))
@@ -84,3 +96,77 @@ def test_negative_n_rejected():
         enumerate_graphs(-1)
     with pytest.raises(ValueError):
         enumerate_trees(-1)
+    with pytest.raises(ValueError):
+        list(iter_graphs(-1))
+
+
+def test_tree_cache_survives_clear():
+    clear_cache()
+    first = enumerate_trees(6)
+    cached = enumerate_trees(6)
+    assert [t.edge_key() for t in first] == [t.edge_key() for t in cached]
+    clear_cache()
+    cold = enumerate_trees(6)
+    assert [t.edge_key() for t in first] == [t.edge_key() for t in cold]
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("n", range(0, 7))
+    def test_streamed_classes_match_materialised(self, n):
+        streamed = sorted(canonical_form(g) for g in iter_graphs(n))
+        materialised = sorted(canonical_form(g) for g in enumerate_graphs(n))
+        assert streamed == materialised
+
+    def test_streamed_connected_filter(self):
+        streamed = sorted(canonical_form(g) for g in iter_connected_graphs(6))
+        materialised = sorted(
+            canonical_form(g) for g in enumerate_connected_graphs(6)
+        )
+        assert streamed == materialised
+
+    def test_streaming_yields_no_duplicates_cold(self):
+        clear_cache()
+        forms = [canonical_form(g) for g in iter_graphs(6)]
+        assert len(forms) == len(set(forms)) == 156
+
+    def test_sharded_subtrees_partition_the_level(self):
+        # Every level-7 class must be generated below exactly one level-4 root.
+        roots = enumerate_graphs(4)
+        forms = [
+            canonical_form(g)
+            for root in roots
+            for g in iter_graphs_from(root, 7)
+        ]
+        assert len(forms) == len(set(forms)) == 1044
+
+    def test_iter_graphs_from_level_boundaries(self):
+        roots = enumerate_graphs(3)
+        assert [canonical_form(g) for root in roots for g in iter_graphs_from(root, 3)] == [
+            canonical_form(root) for root in roots
+        ]
+        with pytest.raises(ValueError):
+            list(iter_graphs_from(enumerate_graphs(4)[0], 3))
+
+
+def test_canonical_augmentation_matches_augment_dedup():
+    # The orderly generator must produce exactly the classes of the retained
+    # PR-1 augment-and-deduplicate path, in the same order.
+    parents = enumerate_graphs(5)
+    legacy = _augment_dedup_level(parents)
+    orderly = _canonical_augment_level(parents)
+    assert [g.edge_key() for g in legacy] == [g.edge_key() for g in orderly]
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW_TESTS"),
+    reason="n=9 sweep takes ~30s; set REPRO_SLOW_TESTS=1 to run",
+)
+def test_oeis_counts_n9():
+    total = 0
+    connected = 0
+    for g in iter_graphs(9):
+        total += 1
+        if is_connected(g):
+            connected += 1
+    assert total == 274668  # A000088
+    assert connected == 261080  # A001349
