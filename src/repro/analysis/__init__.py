@@ -24,7 +24,19 @@ from .figure_series import (
     census_figure_series,
     sampled_figure_series,
 )
-from .report import format_ascii_series, format_figure, format_table
+from .report import (
+    format_ascii_series,
+    format_figure,
+    format_store_summary,
+    format_table,
+)
+from .store import (
+    CensusStore,
+    bcg_alpha_columns,
+    cached_store,
+    clear_store_cache,
+    store_available,
+)
 from .sampling import (
     SampledEquilibria,
     deduplicate_up_to_isomorphism,
@@ -55,6 +67,11 @@ __all__ = [
     "GraphRecord",
     "cached_census",
     "clear_census_cache",
+    "CensusStore",
+    "bcg_alpha_columns",
+    "cached_store",
+    "clear_store_cache",
+    "store_available",
     "FigureData",
     "FigureSeries",
     "SeriesPoint",
@@ -62,6 +79,7 @@ __all__ = [
     "sampled_figure_series",
     "format_table",
     "format_figure",
+    "format_store_summary",
     "format_ascii_series",
     "SampledEquilibria",
     "deduplicate_up_to_isomorphism",

@@ -34,12 +34,12 @@ from ..engine import (
 from ..graphs import (
     Graph,
     canonical_graph,
+    class_sort_key,
     enumerate_connected_graphs,
     enumerate_graphs,
     is_connected,
     iter_graphs_from,
 )
-from ..graphs.enumeration import _class_sort_key
 from ..graphs.isomorphism import clear_canonical_record
 
 
@@ -148,7 +148,7 @@ class EquilibriumCensus:
             for chunk_records in parallel_map(_stream_chunk, tasks, jobs=jobs)
             for record in chunk_records
         ]
-        records.sort(key=lambda record: _class_sort_key(record.graph))
+        records.sort(key=lambda record: class_sort_key(record.graph))
         return cls(n=n, records=records, include_ucg=include_ucg)
 
     # ------------------------------------------------------------------ #

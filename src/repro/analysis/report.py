@@ -87,6 +87,32 @@ def format_figure(figure: FigureData, title: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def format_store_summary(store, source: Optional[str] = None) -> str:
+    """Render a :class:`~repro.analysis.store.CensusStore` artifact summary.
+
+    One line of provenance plus a per-column size table — what the CLI
+    ``census`` subcommand prints so operators can see what an artifact
+    holds (and costs in resident memory) without loading records.
+    """
+    summary = store.summary()
+    lines = [
+        (
+            f"census store: n = {summary['n']}, {summary['classes']} classes, "
+            f"ucg = {'yes' if summary['include_ucg'] else 'no'}, "
+            f"format v{summary['format_version']}, "
+            f"{summary['nbytes'] / 1e6:.2f} MB resident"
+        )
+    ]
+    if source:
+        lines.append(f"source: {source}")
+    rows = [
+        [name, size, f"{size / max(1, summary['classes']):.1f}"]
+        for name, size in sorted(summary["column_bytes"].items())
+    ]
+    lines.append(format_table(["column", "bytes", "bytes/class"], rows))
+    return "\n".join(lines)
+
+
 def format_ascii_series(
     values: Sequence[float], width: int = 40, label: str = ""
 ) -> str:

@@ -1,0 +1,874 @@
+"""Columnar, persistent census store with vectorised α-grid queries.
+
+:class:`~repro.analysis.census.EquilibriumCensus` keeps one
+:class:`~repro.analysis.census.GraphRecord` per isomorphism class — a full
+:class:`Graph` plus two dict-of-dicts — which makes the ``n = 9`` census a
+multi-gigabyte object graph and forces every Figure 2/3 grid point to walk
+all records in Python.  :class:`CensusStore` is the struct-of-arrays
+refactor of the same information:
+
+* **columns, not objects** — per class: a packed upper-triangle certificate
+  (enough to rebuild the canonical representative), the edge count, the
+  total ordered-pair distance sum, the exact BCG α-decision data (per-edge
+  minimum removal increase and per-non-edge ``(min, max)`` addition-saving
+  pairs in ragged CSR layout) and the UCG
+  :class:`~repro.core.stability_intervals.AlphaIntervalSet` endpoints;
+* **whole-grid queries** — Definition 3 stability masks, Nash masks,
+  equilibrium counts, average/worst price of anarchy and link-count
+  aggregates for an entire α-grid in a few segmented NumPy reductions
+  (:mod:`repro.engine.columnar`), **bit-identical** to the per-record path
+  (the BCG deviation payoffs are integer-valued floats, so the compact
+  float32 columns and the reductions are exact; scalar float expressions
+  are replicated operation for operation);
+* **a versioned on-disk format** — one ``.npz`` (or a directory of
+  memory-mappable ``.npy`` columns), resumable shard-by-shard when built
+  with :meth:`build_streamed`.
+
+:class:`EquilibriumCensus` remains the readable reference implementation and
+compatibility view; the test suite asserts the store's answers equal the
+record path element for element, including across a save → load round trip
+in a separate process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # NumPy backs every column; the store refuses to build without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+from ..core.efficiency import efficient_social_cost
+from ..core.stability_intervals import AlphaIntervalSet, PairwiseStabilityProfile
+from ..core.unilateral import ucg_nash_alpha_set
+from ..engine import (
+    batch_stability_deltas,
+    chunk_evenly,
+    get_default_oracle,
+    parallel_map,
+    resolve_jobs,
+)
+from ..engine.columnar import (
+    bcg_stable_mask,
+    canonical_sort_indices,
+    certificate_to_graph,
+    certificate_words,
+    concat_csr,
+    gather_segments,
+    pack_certificates,
+    segment_min,
+    stability_windows,
+    ucg_nash_mask,
+)
+from ..graphs import Graph, enumerate_connected_graphs, enumerate_graphs, is_connected
+from ..graphs import canonical_graph, iter_graphs_from, total_distance
+from ..graphs.isomorphism import clear_canonical_record
+
+#: On-disk format version; bump on any incompatible schema change.
+FORMAT_VERSION = 1
+
+#: Schema tag written into every artifact (guards against loading foreign files).
+SCHEMA = "repro-census-store"
+
+#: Dense per-class columns (name → dtype); ragged columns are listed below.
+_DENSE_COLUMNS = ("num_edges", "dist_total", "cert_words")
+_BCG_COLUMNS = ("rem_values", "rem_indptr", "add_lo", "add_hi", "add_indptr")
+_UCG_COLUMNS = ("ucg_lo", "ucg_hi", "ucg_indptr")
+
+
+def store_available() -> bool:
+    """Whether the columnar store can be used (NumPy importable)."""
+    return _np is not None
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "CensusStore requires NumPy; install numpy or use the "
+            "per-record EquilibriumCensus path instead"
+        )
+    return _np
+
+
+def _check_game(game: str) -> str:
+    game = game.lower()
+    if game not in ("bcg", "ucg"):
+        raise ValueError("game must be 'bcg' or 'ucg'")
+    return game
+
+
+class CensusStore:
+    """All connected topologies on ``n`` vertices, as queryable columns.
+
+    Instances are produced by :meth:`build`, :meth:`build_streamed`,
+    :meth:`from_census` or :meth:`load`; the constructor just wires up
+    pre-validated columns.  Classes are kept in the library's canonical
+    census order (:func:`repro.graphs.class_sort_key`), so row ``i`` of the
+    store and ``census.records[i]`` describe the same isomorphism class.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        include_ucg: bool,
+        num_edges,
+        dist_total,
+        cert_words,
+        rem_values,
+        rem_indptr,
+        add_lo,
+        add_hi,
+        add_indptr,
+        ucg_lo=None,
+        ucg_hi=None,
+        ucg_indptr=None,
+    ) -> None:
+        _require_numpy()
+        self.n = int(n)
+        self.include_ucg = bool(include_ucg)
+        self.num_edges = num_edges
+        self.dist_total = dist_total
+        self.cert_words = cert_words
+        self.rem_values = rem_values
+        self.rem_indptr = rem_indptr
+        self.add_lo = add_lo
+        self.add_hi = add_hi
+        self.add_indptr = add_indptr
+        self.ucg_lo = ucg_lo
+        self.ucg_hi = ucg_hi
+        self.ucg_indptr = ucg_indptr
+        self._rem_min = None  # lazy per-class α_max column
+        self._m64 = None  # lazy float64 view of num_edges
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls, n: int, include_ucg: bool = True, jobs: Optional[int] = None
+    ) -> "CensusStore":
+        """Enumerate all connected graphs on ``n`` vertices into columns.
+
+        The enumeration and analysis mirror
+        :meth:`EquilibriumCensus.build` exactly — same graphs, same order,
+        same deviation analysis — but each pool worker emits **column
+        chunks** (a dict of NumPy arrays) instead of pickled
+        ``GraphRecord`` objects, so the artifact never exists in
+        array-of-objects form.
+        """
+        _require_numpy()
+        graphs = enumerate_connected_graphs(n)
+        workers = resolve_jobs(jobs)
+        chunks = chunk_evenly(graphs, max(1, workers * 4))
+        tasks = [(chunk, n, include_ucg) for chunk in chunks]
+        parts = parallel_map(_columns_chunk, tasks, jobs=jobs)
+        # enumerate_connected_graphs is already canonically sorted and the
+        # chunks preserve order, so no global sort is needed here.
+        return cls._from_parts(n, include_ucg, parts)
+
+    @classmethod
+    def build_streamed(
+        cls,
+        n: int,
+        include_ucg: bool = True,
+        jobs: Optional[int] = None,
+        shard_level: Optional[int] = None,
+        batch_size: int = 512,
+        shard_dir: Optional[str] = None,
+    ) -> "CensusStore":
+        """Build the columns by streaming the canonical-augmentation tree.
+
+        The sharding scheme is identical to
+        :meth:`EquilibriumCensus.build_streamed` (disjoint, jointly
+        exhaustive subtrees below level-``shard_level`` roots), but workers
+        return column chunks.  With ``shard_dir`` every finished shard is
+        persisted as ``shard_XXXX_of_YYYY.npz`` and an interrupted build
+        **resumes** by loading the shards already on disk (the shard count
+        is part of the file name, so a resume with a different ``jobs`` or
+        ``shard_level`` simply recomputes).  The merged store is sorted
+        into canonical census order, element-for-element identical to
+        :meth:`build`.
+        """
+        _require_numpy()
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        workers = resolve_jobs(jobs)
+        if shard_level is None:
+            shard_level = max(0, min(6, n - 2))
+        shard_level = max(0, min(shard_level, n))
+        roots = enumerate_graphs(shard_level)
+        chunks = chunk_evenly(roots, max(1, workers * 4))
+        tasks = [(chunk, n, include_ucg, batch_size) for chunk in chunks]
+
+        if shard_dir is None:
+            parts = parallel_map(_stream_columns_chunk, tasks, jobs=jobs)
+        else:
+            os.makedirs(shard_dir, exist_ok=True)
+            paths = [
+                os.path.join(
+                    shard_dir, f"shard_{i:04d}_of_{len(tasks):04d}.npz"
+                )
+                for i in range(len(tasks))
+            ]
+            loaded: Dict[int, dict] = {}
+            missing: List[int] = []
+            for index, path in enumerate(paths):
+                part = _load_part_if_valid(path, n, include_ucg)
+                if part is None:
+                    missing.append(index)
+                else:
+                    loaded[index] = part
+            computed = parallel_map(
+                _stream_columns_chunk, [tasks[i] for i in missing], jobs=jobs
+            )
+            for index, part in zip(missing, computed):
+                _save_part(paths[index], part, n, include_ucg)
+                loaded[index] = part
+            parts = [loaded[index] for index in range(len(tasks))]
+
+        store = cls._from_parts(n, include_ucg, parts)
+        return store.sort_canonical()
+
+    @classmethod
+    def from_census(cls, census) -> "CensusStore":
+        """Convert a built :class:`EquilibriumCensus` into columns.
+
+        Distance totals are recomputed (exact integers, so the build path
+        does not matter); the deviation data is read straight out of the
+        record profiles.
+        """
+        _require_numpy()
+        cols = _ColumnAccumulator(census.include_ucg)
+        for record in census.records:
+            cols.append(
+                record.graph,
+                record.bcg_profile.removal_increase,
+                record.bcg_profile.addition_saving,
+                total_distance(record.graph),
+                record.ucg_alpha_set,
+            )
+        return cls._from_parts(census.n, census.include_ucg, [cols.arrays(census.n)])
+
+    @classmethod
+    def _from_parts(cls, n: int, include_ucg: bool, parts: List[dict]) -> "CensusStore":
+        np = _require_numpy()
+        parts = [part for part in parts if part["num_edges"].shape[0]] or [
+            _ColumnAccumulator(include_ucg).arrays(n)
+        ]
+        rem_values, rem_indptr = concat_csr(
+            [(p["rem_values"], p["rem_indptr"]) for p in parts]
+        )
+        add_lo, add_indptr = concat_csr(
+            [(p["add_lo"], p["add_indptr"]) for p in parts]
+        )
+        add_hi = np.concatenate([p["add_hi"] for p in parts])
+        kwargs = {}
+        if include_ucg:
+            ucg_lo, ucg_indptr = concat_csr(
+                [(p["ucg_lo"], p["ucg_indptr"]) for p in parts]
+            )
+            kwargs = {
+                "ucg_lo": ucg_lo,
+                "ucg_hi": np.concatenate([p["ucg_hi"] for p in parts]),
+                "ucg_indptr": ucg_indptr,
+            }
+        return cls(
+            n=n,
+            include_ucg=include_ucg,
+            num_edges=np.concatenate([p["num_edges"] for p in parts]),
+            dist_total=np.concatenate([p["dist_total"] for p in parts]),
+            cert_words=np.concatenate([p["cert_words"] for p in parts]),
+            rem_values=rem_values,
+            rem_indptr=rem_indptr,
+            add_lo=add_lo,
+            add_hi=add_hi,
+            add_indptr=add_indptr,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ordering
+    # ------------------------------------------------------------------ #
+
+    def sort_canonical(self) -> "CensusStore":
+        """A copy of the store in canonical census order (stable no-op key)."""
+        order = canonical_sort_indices(self.num_edges, self.cert_words, self.n)
+        return self.permute(order)
+
+    def permute(self, order) -> "CensusStore":
+        """A copy with class ``order[i]`` moved to row ``i`` (all columns)."""
+        rem_values, rem_indptr = gather_segments(
+            self.rem_values, self.rem_indptr, order
+        )
+        add_lo, add_indptr = gather_segments(self.add_lo, self.add_indptr, order)
+        add_hi, _ = gather_segments(self.add_hi, self.add_indptr, order)
+        kwargs = {}
+        if self.include_ucg:
+            ucg_lo, ucg_indptr = gather_segments(
+                self.ucg_lo, self.ucg_indptr, order
+            )
+            ucg_hi, _ = gather_segments(self.ucg_hi, self.ucg_indptr, order)
+            kwargs = {
+                "ucg_lo": ucg_lo,
+                "ucg_hi": ucg_hi,
+                "ucg_indptr": ucg_indptr,
+            }
+        return CensusStore(
+            n=self.n,
+            include_ucg=self.include_ucg,
+            num_edges=self.num_edges[order],
+            dist_total=self.dist_total[order],
+            cert_words=self.cert_words[order],
+            rem_values=rem_values,
+            rem_indptr=rem_indptr,
+            add_lo=add_lo,
+            add_hi=add_hi,
+            add_indptr=add_indptr,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vectorised α-grid queries
+    # ------------------------------------------------------------------ #
+
+    def _rem_min_column(self):
+        if self._rem_min is None:
+            self._rem_min = segment_min(self.rem_values, self.rem_indptr)
+        return self._rem_min
+
+    def stable_mask(self, alphas: Sequence[float], game: str = "bcg"):
+        """``bool[n_classes, n_alphas]`` equilibrium membership on a grid.
+
+        ``game="bcg"`` gives exact Definition 3 pairwise stability,
+        ``game="ucg"`` Nash-supportability — bit-identical per element to
+        :meth:`GraphRecord.is_bcg_stable_at` /
+        :meth:`GraphRecord.is_ucg_nash_at`.
+        """
+        game = _check_game(game)
+        if game == "bcg":
+            return bcg_stable_mask(
+                self._rem_min_column(),
+                self.add_lo,
+                self.add_hi,
+                self.add_indptr,
+                alphas,
+            )
+        if not self.include_ucg:
+            raise ValueError("census was built without the UCG analysis")
+        return ucg_nash_mask(self.ucg_lo, self.ucg_hi, self.ucg_indptr, alphas)
+
+    def equilibrium_counts(self, alphas: Sequence[float], game: str):
+        """Number of equilibrium classes at every grid point."""
+        return self.stable_mask(alphas, game).sum(axis=0)
+
+    def stability_windows(self):
+        """Per-class Lemma 2 ``(α_min, α_max)`` arrays (BCG)."""
+        return stability_windows(self._rem_min_column(), self.add_lo, self.add_indptr)
+
+    def _poa_column(self, alpha: float, game: str):
+        """Per-class ``ρ(G, α)``, replicating the scalar float expressions.
+
+        ``social_cost`` is ``per_edge·α·m + Σd`` evaluated elementwise with
+        the exact operation order of :func:`repro.core.costs.social_cost_bcg`
+        (IEEE elementwise ops equal the scalar ops, so each entry is
+        bit-identical to :func:`repro.core.anarchy.price_of_anarchy`).
+        """
+        np = _np
+        if self._m64 is None:
+            self._m64 = self.num_edges.astype(np.float64)
+        per_edge = 2.0 if game == "bcg" else 1.0
+        optimum = efficient_social_cost(self.n, alpha, game)
+        cost = (per_edge * alpha) * self._m64 + self.dist_total
+        if optimum == 0:
+            return np.ones_like(cost)
+        return cost / optimum
+
+    def grid_aggregates(self, alphas: Sequence[float], game: str) -> Dict[str, list]:
+        """Whole-grid Figure 2/3 aggregates in one vectorised pass.
+
+        Returns ``counts``, ``average_poa``, ``worst_poa`` and
+        ``average_links`` lists (one entry per grid point), each equal to
+        the corresponding :class:`EquilibriumCensus` aggregate — including
+        the sequential left-to-right float summation of the record path,
+        so averages match to the last bit, and ``nan`` for empty
+        equilibrium sets.
+        """
+        np = _np
+        game = _check_game(game)
+        mask = self.stable_mask(alphas, game)
+        counts: List[int] = []
+        average_poa: List[float] = []
+        worst_poa: List[float] = []
+        average_links: List[float] = []
+        for column, alpha in enumerate(alphas):
+            selected = mask[:, column]
+            count = int(selected.sum())
+            counts.append(count)
+            if count == 0:
+                average_poa.append(float("nan"))
+                worst_poa.append(float("nan"))
+                average_links.append(float("nan"))
+                continue
+            poa = self._poa_column(float(alpha), game)[selected]
+            total = 0
+            for value in poa.tolist():  # class order == record order
+                total = total + value
+            average_poa.append(total / count)
+            worst_poa.append(float(poa.max()))
+            links = int(self.num_edges[selected].sum(dtype=np.int64))
+            average_links.append(links / count)
+        return {
+            "counts": counts,
+            "average_poa": average_poa,
+            "worst_poa": worst_poa,
+            "average_links": average_links,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scalar compatibility API (mirrors EquilibriumCensus)
+    # ------------------------------------------------------------------ #
+
+    def equilibrium_count(self, alpha: float, game: str) -> int:
+        """Number of equilibrium topologies at ``alpha``."""
+        return int(self.stable_mask([alpha], game).sum())
+
+    def average_price_of_anarchy(self, alpha: float, game: str) -> float:
+        """Mean ``ρ(G)`` over the equilibrium topologies at ``alpha``."""
+        return self.grid_aggregates([alpha], game)["average_poa"][0]
+
+    def worst_price_of_anarchy(self, alpha: float, game: str) -> float:
+        """Maximum ``ρ(G)`` over the equilibrium topologies at ``alpha``."""
+        return self.grid_aggregates([alpha], game)["worst_poa"][0]
+
+    def average_num_links(self, alpha: float, game: str) -> float:
+        """Mean edge count over the equilibrium topologies at ``alpha``."""
+        return self.grid_aggregates([alpha], game)["average_links"][0]
+
+    def edge_count_histogram(self, alpha: float, game: str) -> Dict[int, int]:
+        """Histogram of edge counts over the equilibrium topologies."""
+        np = _np
+        selected = self.stable_mask([alpha], game)[:, 0]
+        values, counts = np.unique(self.num_edges[selected], return_counts=True)
+        return {int(v): int(c) for v, c in zip(values.tolist(), counts.tolist())}
+
+    def graph_at(self, index: int) -> Graph:
+        """Rebuild the canonical representative stored at row ``index``."""
+        return certificate_to_graph(self.cert_words[index], self.n)
+
+    def graphs(self) -> List[Graph]:
+        """Rebuild every stored representative (canonical census order)."""
+        return [self.graph_at(i) for i in range(len(self))]
+
+    def equilibrium_graphs(self, alpha: float, game: str) -> List[Graph]:
+        """Equilibrium topologies of either game at ``alpha`` (decoded)."""
+        np = _np
+        selected = self.stable_mask([alpha], game)[:, 0]
+        return [self.graph_at(int(i)) for i in np.nonzero(selected)[0]]
+
+    def stable_graphs_bcg(self, alpha: float) -> List[Graph]:
+        """All pairwise-stable topologies at link cost ``alpha``."""
+        return self.equilibrium_graphs(alpha, "bcg")
+
+    def nash_graphs_ucg(self, alpha: float) -> List[Graph]:
+        """All UCG-Nash topologies at link cost ``alpha``."""
+        return self.equilibrium_graphs(alpha, "ucg")
+
+    def __len__(self) -> int:
+        return int(self.num_edges.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def _columns(self) -> Dict[str, object]:
+        columns = {name: getattr(self, name) for name in _DENSE_COLUMNS}
+        columns.update({name: getattr(self, name) for name in _BCG_COLUMNS})
+        if self.include_ucg:
+            columns.update({name: getattr(self, name) for name in _UCG_COLUMNS})
+        return columns
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across every column."""
+        return sum(array.nbytes for array in self._columns().values())
+
+    def summary(self) -> Dict[str, object]:
+        """Artifact metadata (used by the CLI and the report renderer)."""
+        return {
+            "n": self.n,
+            "classes": len(self),
+            "include_ucg": self.include_ucg,
+            "format_version": FORMAT_VERSION,
+            "nbytes": self.nbytes,
+            "column_bytes": {
+                name: array.nbytes for name, array in self._columns().items()
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str, format: Optional[str] = None, compress: bool = False) -> str:
+        """Write the store to ``path``; returns the path written.
+
+        ``format="npz"`` (default for ``*.npz`` paths) writes one NumPy
+        archive; ``format="dir"`` writes a directory of raw ``.npy``
+        columns plus ``meta.json`` — the directory layout can be loaded
+        with ``mmap=True`` so multi-hundred-MB artifacts never enter
+        resident memory at once.  Both carry the schema tag and
+        :data:`FORMAT_VERSION`.
+        """
+        np = _require_numpy()
+        format = self._resolve_format(path, format)
+        if format == "npz":
+            if not str(path).endswith(".npz"):
+                # np.savez appends the suffix itself; make that explicit so
+                # the returned path is the file actually written.
+                path = f"{path}.npz"
+            payload = dict(self._columns())
+            payload["schema"] = np.str_(SCHEMA)
+            payload["format_version"] = np.int64(FORMAT_VERSION)
+            payload["n"] = np.int64(self.n)
+            payload["include_ucg"] = np.bool_(self.include_ucg)
+            writer = np.savez_compressed if compress else np.savez
+            writer(path, **payload)
+            return path
+        os.makedirs(path, exist_ok=True)
+        columns = self._columns()
+        meta = {
+            "schema": SCHEMA,
+            "format_version": FORMAT_VERSION,
+            "n": self.n,
+            "include_ucg": self.include_ucg,
+            "columns": sorted(columns),
+        }
+        with open(os.path.join(path, "meta.json"), "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for name, array in columns.items():
+            np.save(os.path.join(path, f"{name}.npy"), array)
+        return path
+
+    @staticmethod
+    def _resolve_format(path: str, format: Optional[str]) -> str:
+        if format is None:
+            format = "npz" if str(path).endswith(".npz") else "dir"
+        if format not in ("npz", "dir"):
+            raise ValueError("format must be 'npz' or 'dir'")
+        return format
+
+    @classmethod
+    def load(cls, path: str, mmap: bool = False) -> "CensusStore":
+        """Load a store written by :meth:`save`.
+
+        ``mmap=True`` memory-maps the columns and is only supported for the
+        directory format (zip archives cannot be mapped page-aligned).
+        """
+        np = _require_numpy()
+        if os.path.isdir(path):
+            with open(os.path.join(path, "meta.json")) as handle:
+                meta = json.load(handle)
+            cls._check_meta(meta.get("schema"), meta.get("format_version"), path)
+            mmap_mode = "r" if mmap else None
+            columns = {
+                name: np.load(
+                    os.path.join(path, f"{name}.npy"), mmap_mode=mmap_mode
+                )
+                for name in meta["columns"]
+            }
+            return cls(n=meta["n"], include_ucg=meta["include_ucg"], **columns)
+        if mmap:
+            raise ValueError(
+                "mmap loading requires the directory format; save with "
+                "format='dir' for memory-mappable artifacts"
+            )
+        with np.load(path, allow_pickle=False) as data:
+            schema = str(data["schema"]) if "schema" in data else None
+            version = (
+                int(data["format_version"]) if "format_version" in data else None
+            )
+            cls._check_meta(schema, version, path)
+            include_ucg = bool(data["include_ucg"])
+            columns = {name: data[name] for name in _DENSE_COLUMNS + _BCG_COLUMNS}
+            if include_ucg:
+                columns.update({name: data[name] for name in _UCG_COLUMNS})
+            return cls(n=int(data["n"]), include_ucg=include_ucg, **columns)
+
+    @staticmethod
+    def _check_meta(schema: Optional[str], version: Optional[int], path: str) -> None:
+        if schema != SCHEMA:
+            raise ValueError(f"{path!r} is not a census-store artifact")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path!r} has store format version {version}; this build "
+                f"reads version {FORMAT_VERSION}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Column assembly (shared by every build path and the pool workers)
+# --------------------------------------------------------------------------- #
+
+
+class _ColumnAccumulator:
+    """Builds the per-class columns of one chunk in plain Python lists.
+
+    The float32 value columns are exact: every BCG deviation payoff is an
+    integer-valued float (or ``±inf``) far below 2**24 (distance sums on
+    ``n <= 63`` vertices), so narrowing and widening round-trips bit-exactly.
+    The UCG endpoints come from divisions and stay float64.
+    """
+
+    def __init__(self, include_ucg: bool) -> None:
+        self.include_ucg = include_ucg
+        self.certs: List[int] = []
+        self.num_edges: List[int] = []
+        self.dist_total: List[float] = []
+        self.rem_values: List[float] = []
+        self.rem_counts: List[int] = []
+        self.add_lo: List[float] = []
+        self.add_hi: List[float] = []
+        self.add_counts: List[int] = []
+        self.ucg_lo: List[float] = []
+        self.ucg_hi: List[float] = []
+        self.ucg_counts: List[int] = []
+
+    def append(
+        self,
+        graph: Graph,
+        removal: Dict,
+        addition: Dict,
+        total: float,
+        ucg_set: Optional[AlphaIntervalSet],
+    ) -> None:
+        self.certs.append(graph.adjacency_bitstring())
+        self.num_edges.append(graph.num_edges)
+        self.dist_total.append(float(total))
+        edges = graph.sorted_edges()
+        for (u, v) in edges:
+            self.rem_values.append(
+                min(removal[((u, v), u)], removal[((u, v), v)])
+            )
+        self.rem_counts.append(len(edges))
+        non_edges = graph.non_edges()
+        for (u, v) in non_edges:
+            save_u = addition[((u, v), u)]
+            save_v = addition[((u, v), v)]
+            if save_u <= save_v:
+                self.add_lo.append(save_u)
+                self.add_hi.append(save_v)
+            else:
+                self.add_lo.append(save_v)
+                self.add_hi.append(save_u)
+        self.add_counts.append(len(non_edges))
+        if self.include_ucg:
+            intervals = ucg_set.intervals
+            for interval in intervals:
+                self.ucg_lo.append(interval.lo)
+                self.ucg_hi.append(interval.hi)
+            self.ucg_counts.append(len(intervals))
+
+    def arrays(self, n: int) -> dict:
+        np = _require_numpy()
+
+        def indptr(counts: List[int]):
+            out = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(np.asarray(counts, dtype=np.int64), out=out[1:])
+            return out
+
+        part = {
+            "num_edges": np.asarray(self.num_edges, dtype=np.int32),
+            "dist_total": np.asarray(self.dist_total, dtype=np.float64),
+            "cert_words": pack_certificates(self.certs, n),
+            "rem_values": np.asarray(self.rem_values, dtype=np.float32),
+            "rem_indptr": indptr(self.rem_counts),
+            "add_lo": np.asarray(self.add_lo, dtype=np.float32),
+            "add_hi": np.asarray(self.add_hi, dtype=np.float32),
+            "add_indptr": indptr(self.add_counts),
+        }
+        if self.include_ucg:
+            part["ucg_lo"] = np.asarray(self.ucg_lo, dtype=np.float64)
+            part["ucg_hi"] = np.asarray(self.ucg_hi, dtype=np.float64)
+            part["ucg_indptr"] = indptr(self.ucg_counts)
+        return part
+
+
+def bcg_alpha_columns(profiles: Sequence[PairwiseStabilityProfile]):
+    """BCG α-decision columns for an ad-hoc batch of stability profiles.
+
+    Returns ``(rem_min, add_lo, add_hi, add_indptr)`` ready for
+    :func:`repro.engine.columnar.bcg_stable_mask` /
+    :func:`~repro.engine.columnar.stability_windows`.  Unlike the store,
+    the graphs may have heterogeneous vertex counts (the masks never look
+    at ``n``) — this is how the Figure 1 experiment pushes its six named
+    graphs through the same vectorised kernels as the censuses.
+    """
+    np = _require_numpy()
+    rem_min: List[float] = []
+    add_lo: List[float] = []
+    add_hi: List[float] = []
+    indptr: List[int] = [0]
+    for profile in profiles:
+        removal = profile.removal_increase
+        rem_min.append(min(removal.values()) if removal else float("inf"))
+        for (u, v) in profile.graph.non_edges():
+            save_u = profile.addition_saving[((u, v), u)]
+            save_v = profile.addition_saving[((u, v), v)]
+            add_lo.append(min(save_u, save_v))
+            add_hi.append(max(save_u, save_v))
+        indptr.append(len(add_lo))
+    return (
+        np.asarray(rem_min, dtype=np.float64),
+        np.asarray(add_lo, dtype=np.float64),
+        np.asarray(add_hi, dtype=np.float64),
+        np.asarray(indptr, dtype=np.int64),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Pool workers (module-level for pickling)
+# --------------------------------------------------------------------------- #
+
+
+def _analyse_columns(graphs: List[Graph], n: int, include_ucg: bool, oracle) -> dict:
+    """Column chunk for a batch of graphs (same analysis as ``_make_records``)."""
+    results = batch_stability_deltas(graphs, oracle=oracle, return_totals=True)
+    cols = _ColumnAccumulator(include_ucg)
+    for graph, ((removal, addition), total) in zip(graphs, results):
+        ucg_set = ucg_nash_alpha_set(graph, oracle=oracle) if include_ucg else None
+        cols.append(graph, removal, addition, total, ucg_set)
+    return cols.arrays(n)
+
+
+def _columns_chunk(task: Tuple[List[Graph], int, bool]) -> dict:
+    graphs, n, include_ucg = task
+    return _analyse_columns(graphs, n, include_ucg, get_default_oracle())
+
+
+def _stream_columns_chunk(task: Tuple[List[Graph], int, bool, int]) -> dict:
+    """Generate-and-analyse one generation-tree shard into columns."""
+    roots, n, include_ucg, batch_size = task
+    oracle = get_default_oracle()
+    cols = _ColumnAccumulator(include_ucg)
+    pending: List[Graph] = []
+
+    def flush() -> None:
+        results = batch_stability_deltas(pending, oracle=oracle, return_totals=True)
+        for graph, ((removal, addition), total) in zip(pending, results):
+            ucg_set = (
+                ucg_nash_alpha_set(graph, oracle=oracle) if include_ucg else None
+            )
+            cols.append(graph, removal, addition, total, ucg_set)
+            clear_canonical_record(graph)
+        pending.clear()
+
+    for root in roots:
+        for graph in iter_graphs_from(root, n):
+            if not is_connected(graph):
+                continue
+            pending.append(canonical_graph(graph))
+            if len(pending) >= batch_size:
+                flush()
+    if pending:
+        flush()
+    return cols.arrays(n)
+
+
+def _save_part(path: str, part: dict, n: int, include_ucg: bool) -> None:
+    """Persist one shard atomically (write-then-rename).
+
+    An interrupted save must never leave a half-written file under the
+    final name: resume treats an existing readable shard as done, so a
+    torn write would otherwise wedge the shard directory.
+    """
+    np = _require_numpy()
+    tmp_path = f"{path}.tmp.npz"
+    np.savez(
+        tmp_path,
+        shard_schema=np.str_(SCHEMA),
+        shard_n=np.int64(n),
+        shard_include_ucg=np.bool_(include_ucg),
+        **part,
+    )
+    os.replace(tmp_path, path)
+
+
+def _load_part_if_valid(path: str, n: int, include_ucg: bool) -> Optional[dict]:
+    """Load one persisted shard; ``None`` when it must be (re)computed.
+
+    Missing or unreadable (e.g. truncated by a crash predating the atomic
+    rename) shards are recomputed.  A *readable* shard from a different
+    build configuration raises instead: shard file names encode only the
+    chunk index/count, so a shard directory reused across builds with
+    different ``n`` or ``include_ucg`` would otherwise be merged silently
+    into a corrupt store.
+    """
+    np = _require_numpy()
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if (
+                "shard_schema" not in data
+                or str(data["shard_schema"]) != SCHEMA
+                or int(data["shard_n"]) != n
+                or bool(data["shard_include_ucg"]) != include_ucg
+            ):
+                raise ValueError(
+                    f"{path!r} is not a shard of this build "
+                    f"(n = {n}, include_ucg = {include_ucg}); use a fresh "
+                    "shard_dir per census configuration"
+                )
+            return {
+                name: data[name]
+                for name in data.files
+                if not name.startswith("shard_")
+            }
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError):
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide store cache (mirrors cached_census)
+# --------------------------------------------------------------------------- #
+
+
+_STORE_CACHE: Dict[tuple, CensusStore] = {}
+
+
+def cached_store(
+    n: int, include_ucg: bool = True, jobs: Optional[int] = None
+) -> CensusStore:
+    """Build (or fetch) the columnar store for ``n`` vertices.
+
+    Like :func:`repro.analysis.census.cached_census`, ``jobs`` only affects
+    how a cache miss is computed; the store contents are identical for any
+    value and therefore not part of the cache key.  A record census already
+    sitting in the census cache (e.g. built by another experiment in the
+    same ``--all`` run) is converted in place rather than re-analysed —
+    :meth:`CensusStore.from_census` skips the whole deviation + UCG
+    orientation pass.
+    """
+    from .census import _CENSUS_CACHE
+
+    key = (n, include_ucg)
+    if key not in _STORE_CACHE:
+        cached = _CENSUS_CACHE.get(key)
+        if cached is not None:
+            _STORE_CACHE[key] = CensusStore.from_census(cached)
+        else:
+            _STORE_CACHE[key] = CensusStore.build(
+                n, include_ucg=include_ucg, jobs=jobs
+            )
+    return _STORE_CACHE[key]
+
+
+def clear_store_cache() -> None:
+    """Drop the store cache (used by cold-start benchmarks and tests)."""
+    _STORE_CACHE.clear()

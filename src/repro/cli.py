@@ -13,6 +13,11 @@ Reproduce Figure 2 and Lemma 6::
 Run everything (slow — builds the exhaustive censuses)::
 
     python -m repro.cli --all
+
+Build, persist and query a columnar census artifact::
+
+    python -m repro.cli census --n 7 --save census7.npz
+    python -m repro.cli census --load census7.npz --grid 24 --quantity average_poa
 """
 
 from __future__ import annotations
@@ -31,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the figures and results of Corbo & Parkes (PODC 2005), "
             "'The Price of Selfish Behavior in Bilateral Network Formation'."
+        ),
+        epilog=(
+            "Subcommand: 'census' builds, saves, loads and queries columnar "
+            "equilibrium-census artifacts — see 'census --help'."
         ),
     )
     parser.add_argument(
@@ -85,8 +94,144 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_census_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``census`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments census",
+        description=(
+            "Build, save, load and query columnar equilibrium-census "
+            "artifacts (CensusStore)."
+        ),
+    )
+    parser.add_argument(
+        "--n", type=int, default=None, metavar="N",
+        help="number of players to build the census for (omit with --load)",
+    )
+    parser.add_argument(
+        "--load", metavar="PATH", default=None,
+        help="load an existing artifact instead of building one",
+    )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="persist the store after building (*.npz or a directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("npz", "dir"), default=None,
+        help="on-disk layout for --save (default: inferred from the path)",
+    )
+    parser.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the columns when loading a directory artifact",
+    )
+    parser.add_argument(
+        "--no-ucg", action="store_true",
+        help="skip the (slower) UCG orientation analysis when building",
+    )
+    parser.add_argument(
+        "--streamed", action="store_true",
+        help="build by streaming the sharded generation tree (large n)",
+    )
+    parser.add_argument(
+        "--shard-dir", metavar="DIR", default=None,
+        help="with --streamed: persist/resume per-shard column chunks here",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the build out over N worker processes (negative: per CPU)",
+    )
+    parser.add_argument(
+        "--grid", type=int, default=0, metavar="POINTS",
+        help="also print a vectorised figure series over a log α-grid",
+    )
+    parser.add_argument(
+        "--quantity", default="average_poa",
+        choices=("average_poa", "worst_poa", "average_links"),
+        help="which figure quantity --grid tabulates (default: average_poa)",
+    )
+    return parser
+
+
+def census_main(argv: List[str]) -> int:
+    """Run the ``census`` subcommand; returns a process exit code."""
+    import zipfile
+
+    from .analysis.figure_series import census_figure_series
+    from .analysis.report import format_figure, format_store_summary
+    from .analysis.store import CensusStore, store_available
+    from .analysis.sweeps import log_spaced_alphas
+
+    parser = build_census_parser()
+    args = parser.parse_args(argv)
+    if not store_available():
+        print("the census store requires NumPy", file=sys.stderr)
+        return 2
+    if (args.n is None) == (args.load is None):
+        parser.print_usage(sys.stderr)
+        print("exactly one of --n and --load is required", file=sys.stderr)
+        return 2
+    if args.shard_dir and not args.streamed:
+        print("--shard-dir requires --streamed", file=sys.stderr)
+        return 2
+
+    if args.load is not None:
+        try:
+            store = CensusStore.load(args.load, mmap=args.mmap)
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as error:
+            print(f"cannot load {args.load}: {error}", file=sys.stderr)
+            return 2
+        source = args.load
+    else:
+        build = CensusStore.build_streamed if args.streamed else CensusStore.build
+        kwargs = {"include_ucg": not args.no_ucg, "jobs": args.jobs}
+        if args.shard_dir:
+            kwargs["shard_dir"] = args.shard_dir
+        try:
+            store = build(args.n, **kwargs)
+        except (OSError, ValueError) as error:
+            print(f"cannot build the n = {args.n} census: {error}", file=sys.stderr)
+            return 2
+        source = f"built in-process (n = {args.n})"
+    print(format_store_summary(store, source=source))
+
+    if args.save is not None:
+        try:
+            written = store.save(args.save, format=args.format)
+        except OSError as error:
+            print(f"cannot save {args.save}: {error}", file=sys.stderr)
+            return 2
+        print(f"saved to {written}")
+
+    if args.grid:
+        costs = log_spaced_alphas(0.4, 2.0 * store.n * store.n, max(2, args.grid))
+        print()
+        if store.include_ucg:
+            figure = census_figure_series(store, args.quantity, costs)
+            print(
+                format_figure(figure, f"{args.quantity} over {len(costs)} grid points")
+            )
+        else:
+            # BCG-only artifact (the include_ucg=False large-n case): print
+            # the one-game grid straight off the vectorised aggregates.
+            from .analysis.report import format_table
+
+            aggregates = store.grid_aggregates(costs, "bcg")
+            rows = [
+                [alpha, value, count]
+                for alpha, value, count in zip(
+                    costs, aggregates[args.quantity], aggregates["counts"]
+                )
+            ]
+            print(f"{args.quantity} (BCG only; artifact has no UCG columns)")
+            print(format_table(["alpha", args.quantity, "#eq_bcg"], rows))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "census":
+        return census_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -131,7 +131,8 @@ def batch_stability_deltas(
     graphs: Sequence[Graph],
     oracle: Optional[DistanceOracle] = None,
     use_orbits: Optional[bool] = None,
-) -> List[DeltaTables]:
+    return_totals: bool = False,
+):
     """``[oracle.stability_deltas(g) for g in graphs]``, but batched.
 
     Graphs are grouped by vertex count and each group is processed with the
@@ -140,14 +141,24 @@ def batch_stability_deltas(
     available (see :func:`_probe_plan` and the module docstring for the
     ``use_orbits`` semantics).  Outputs are numerically identical to the
     per-graph oracle path for every setting and returned in input order.
+
+    With ``return_totals=True`` each result is a ``(tables, total)`` pair
+    where ``total`` is the graph's total ordered-pair distance sum (equal to
+    :func:`repro.graphs.total_distance`, ``inf`` for disconnected graphs).
+    The vectorised path reads it off the all-pairs tensor it already built;
+    the per-graph paths answer it from the oracle's cached sums — either
+    way the columnar census store gets it without a second all-pairs pass.
     """
     if _np is None:
         if oracle is None:
             oracle = get_default_oracle()
-        return [
-            _per_graph_deltas(graph, _probe_plan(graph, use_orbits), oracle)
-            for graph in graphs
-        ]
+        results = []
+        for graph in graphs:
+            tables = _per_graph_deltas(graph, _probe_plan(graph, use_orbits), oracle)
+            results.append(
+                (tables, _oracle_total(graph, oracle)) if return_totals else tables
+            )
+        return results
 
     # On the vectorised path a probe is one tensor slice: cheaper than the
     # per-orbit bookkeeping pruning would add, so auto mode probes fully.
@@ -160,7 +171,7 @@ def batch_stability_deltas(
     for n, indices in groups.items():
         if n <= 1:
             for index in indices:
-                results[index] = ({}, {})
+                results[index] = (({}, {}), 0.0) if return_totals else ({}, {})
             continue
         if n > 63:
             # Adjacency rows no longer fit an int64 lane; answer these
@@ -169,16 +180,29 @@ def batch_stability_deltas(
                 oracle = get_default_oracle()
             for index in indices:
                 graph = graphs[index]
-                results[index] = _per_graph_deltas(
+                tables = _per_graph_deltas(
                     graph, _probe_plan(graph, use_orbits), oracle
+                )
+                results[index] = (
+                    (tables, _oracle_total(graph, oracle)) if return_totals else tables
                 )
             continue
         group = [graphs[i] for i in indices]
         plans = [_probe_plan(graph, vector_orbits) for graph in group]
-        tables = _batch_group(group, n, plans)
-        for index, table in zip(indices, tables):
-            results[index] = table
+        tables, totals = _batch_group(group, n, plans)
+        for index, table, total in zip(indices, tables, totals):
+            results[index] = (table, total) if return_totals else table
     return results
+
+
+def _oracle_total(graph: Graph, oracle: DistanceOracle) -> float:
+    """Total ordered-pair distance sum via the oracle's cached per-source sums.
+
+    After :func:`_per_graph_deltas` every source sum the stability pass
+    touched is already memoised, so this is at worst a handful of extra
+    single-source bitset BFS runs (none at all on the full-probe path).
+    """
+    return float(sum(oracle.distance_sum(graph, v) for v in range(graph.n)))
 
 
 def _per_graph_deltas(
@@ -270,8 +294,8 @@ def _removal_without_sums(A, n, probe_g, probe_u, probe_v, sources):
 
 def _batch_group(
     graphs: Sequence[Graph], n: int, plans: Sequence[Optional[ProbePlan]]
-) -> List[DeltaTables]:
-    """Stability deltas for a group of graphs that share a vertex count."""
+) -> Tuple[List[DeltaTables], List[float]]:
+    """Stability deltas (and total distance sums) for a same-``n`` group."""
     np = _np
     G = len(graphs)
     keys = _endpoint_keys(n)
@@ -414,4 +438,8 @@ def _batch_group(
             for a, b in orbit:
                 table[_orbit_key(keys, a, b)] = saving
 
-    return list(zip(removal_tables, addition_tables))
+    # Per-graph total distance over ordered pairs (inf when disconnected):
+    # distances are exact small integers, so the reduction order is
+    # irrelevant and the value matches repro.graphs.total_distance exactly.
+    totals = S.sum(axis=1).tolist()
+    return list(zip(removal_tables, addition_tables)), totals

@@ -1,0 +1,286 @@
+"""Columnar (struct-of-arrays) NumPy kernels for whole-α-grid census queries.
+
+The censuses of Section 5 decide, for every isomorphism class and every link
+cost on a grid, whether the class is an equilibrium.  Per
+:class:`~repro.analysis.census.GraphRecord` that is a Python loop over dicts;
+this module provides the vectorised counterpart operating on **ragged
+columnar** data: per-class variable-length payloads (per-edge minimum removal
+increases, per-non-edge saving pairs, UCG α-interval endpoints) are stored as
+flat value arrays plus a CSR-style ``indptr`` offset array, and a whole α-grid
+is answered with a handful of broadcast comparisons and segmented reductions.
+
+The numeric contract is **bit-identity** with the record path:
+
+* every comparison uses exactly the scalar expression of
+  :meth:`PairwiseStabilityProfile.violations_at` /
+  :meth:`AlphaInterval.contains` (including which side of the comparison the
+  tolerance is folded into), evaluated elementwise in float64;
+* value columns may be stored as float32 — every BCG deviation payoff is an
+  integer-valued float (or ``±inf``) far below 2**24, so the float32 round
+  trip is exact — and are upcast to float64 before any comparison.
+
+:class:`repro.analysis.store.CensusStore` is the consumer; the kernels live
+here so the engine layer owns all NumPy-heavy code and the store stays a thin
+schema + orchestration layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+try:  # NumPy ships with the dev toolchain but must stay optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+from ..graphs.graph import Graph
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "the columnar census kernels require NumPy; install numpy or use "
+            "the per-record EquilibriumCensus path instead"
+        )
+    return _np
+
+
+# --------------------------------------------------------------------------- #
+# Segmented (CSR) reductions
+# --------------------------------------------------------------------------- #
+
+
+def segment_any(flags, indptr):
+    """OR-reduce a flat boolean array over CSR segments (empty → ``False``).
+
+    ``flags[indptr[i]:indptr[i+1]]`` is segment ``i``; the result has one
+    boolean per segment.
+    """
+    np = _require_numpy()
+    counts = np.diff(indptr)
+    out = np.zeros(counts.shape[0], dtype=bool)
+    if flags.shape[0] == 0 or counts.shape[0] == 0:
+        return out
+    # reduceat over the non-empty starts only: empty segments have zero
+    # width, so consecutive non-empty starts still tile the flat array
+    # exactly (reduceat rejects start == len, and an empty start clipped
+    # into range would truncate the *preceding* segment's reduction).
+    nonempty = counts > 0
+    reduced = np.logical_or.reduceat(flags, indptr[:-1][nonempty])
+    out[nonempty] = reduced
+    return out
+
+
+def _segment_reduce(values, indptr, ufunc, empty: float):
+    np = _require_numpy()
+    counts = np.diff(indptr)
+    out = np.full(counts.shape[0], empty, dtype=np.float64)
+    if values.shape[0] == 0 or counts.shape[0] == 0:
+        return out
+    values = values.astype(np.float64, copy=False)
+    nonempty = counts > 0
+    reduced = ufunc.reduceat(values, indptr[:-1][nonempty])
+    out[nonempty] = reduced
+    return out
+
+
+def segment_min(values, indptr, empty: float = float("inf")):
+    """MIN-reduce a flat value array over CSR segments (empty → ``empty``)."""
+    np = _require_numpy()
+    return _segment_reduce(values, indptr, np.minimum, empty)
+
+
+def segment_max(values, indptr, empty: float = float("-inf")):
+    """MAX-reduce a flat value array over CSR segments (empty → ``empty``)."""
+    np = _require_numpy()
+    return _segment_reduce(values, indptr, np.maximum, empty)
+
+
+def gather_segments(values, indptr, order):
+    """Reorder CSR segments by ``order``; returns ``(values, indptr)``.
+
+    Segment ``order[j]`` of the input becomes segment ``j`` of the output —
+    the ragged-column counterpart of ``dense[order]``.
+    """
+    np = _require_numpy()
+    counts = np.diff(indptr)
+    new_counts = counts[order]
+    new_indptr = np.zeros(new_counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=new_indptr[1:])
+    total = int(new_indptr[-1])
+    if total == 0:
+        return values[:0], new_indptr
+    starts = indptr[:-1][order]
+    flat = np.repeat(starts - new_indptr[:-1], new_counts) + np.arange(
+        total, dtype=np.int64
+    )
+    return values[flat], new_indptr
+
+
+def concat_csr(columns: Sequence[Tuple]) -> Tuple:
+    """Concatenate ``(values, indptr)`` CSR columns, rebasing the offsets."""
+    np = _require_numpy()
+    if not columns:
+        return np.zeros(0), np.zeros(1, dtype=np.int64)
+    values = np.concatenate([v for v, _ in columns])
+    parts = [np.zeros(1, dtype=np.int64)]
+    offset = 0
+    for _, indptr in columns:
+        parts.append(np.asarray(indptr[1:], dtype=np.int64) + offset)
+        offset += int(indptr[-1])
+    return values, np.concatenate(parts)
+
+
+# --------------------------------------------------------------------------- #
+# α-grid equilibrium masks
+# --------------------------------------------------------------------------- #
+
+#: Tolerance of the exact Definition 3 checks (matches violations_at).
+BCG_TOL = 1e-12
+#: Tolerance of the UCG interval membership test (matches AlphaInterval.contains).
+UCG_TOL = 1e-9
+
+
+def bcg_stable_mask(rem_min, add_lo, add_hi, add_indptr, alphas):
+    """Pairwise stability (exact Definition 3) of every class at every ``α``.
+
+    Parameters
+    ----------
+    rem_min:
+        Per-class minimum removal increase over every (edge, endpoint) pair
+        (``inf`` for edgeless classes).
+    add_lo, add_hi, add_indptr:
+        Ragged per-non-edge ``(min, max)`` addition-saving pairs in CSR
+        layout, one segment per class.
+    alphas:
+        Link-cost grid.
+
+    Returns
+    -------
+    ``bool[n_classes, n_alphas]`` — bit-identical to evaluating
+    :meth:`PairwiseStabilityProfile.is_stable_at` per class per grid point:
+    a class is stable at ``α`` iff no removal increase is below ``α - tol``
+    and no non-edge has ``max > α + tol`` with ``min >= α - tol``.
+    """
+    np = _require_numpy()
+    rem_min = np.asarray(rem_min, dtype=np.float64)
+    lo = np.asarray(add_lo).astype(np.float64, copy=False)
+    hi = np.asarray(add_hi).astype(np.float64, copy=False)
+    alpha_list = [float(a) for a in alphas]
+    out = np.empty((rem_min.shape[0], len(alpha_list)), dtype=bool)
+    for column, alpha in enumerate(alpha_list):
+        below = alpha - BCG_TOL
+        above = alpha + BCG_TOL
+        severs = rem_min < below
+        adds = segment_any((hi > above) & (lo >= below), add_indptr)
+        np.logical_not(severs | adds, out=out[:, column])
+    return out
+
+
+def ucg_nash_mask(iv_lo, iv_hi, iv_indptr, alphas):
+    """UCG Nash-supportability of every class at every ``α``.
+
+    Bit-identical to :meth:`AlphaIntervalSet.contains` per class per grid
+    point: membership in any stored closed interval, with the tolerance
+    folded into the *endpoint* side of each comparison exactly as
+    :meth:`AlphaInterval.contains` does.
+    """
+    np = _require_numpy()
+    lo = np.asarray(iv_lo, dtype=np.float64) - UCG_TOL
+    hi = np.asarray(iv_hi, dtype=np.float64) + UCG_TOL
+    alpha_list = [float(a) for a in alphas]
+    n_classes = iv_indptr.shape[0] - 1
+    out = np.empty((n_classes, len(alpha_list)), dtype=bool)
+    for column, alpha in enumerate(alpha_list):
+        out[:, column] = segment_any((lo <= alpha) & (alpha <= hi), iv_indptr)
+    return out
+
+
+def stability_windows(rem_min, add_lo, add_indptr):
+    """Per-class Lemma 2 windows ``(α_min, α_max)`` from the columns.
+
+    ``α_max`` is the per-class minimum removal increase; ``α_min`` is the
+    largest least-interested-endpoint saving over the class's non-edges
+    (clamped at 0, like :attr:`PairwiseStabilityProfile.alpha_min`).
+    """
+    np = _require_numpy()
+    alpha_max = np.asarray(rem_min, dtype=np.float64)
+    alpha_min = np.maximum(segment_max(add_lo, add_indptr, empty=0.0), 0.0)
+    return alpha_min, alpha_max
+
+
+# --------------------------------------------------------------------------- #
+# Packed upper-triangle certificates
+# --------------------------------------------------------------------------- #
+
+
+def certificate_words(n: int) -> int:
+    """Number of little-endian 64-bit words per packed certificate."""
+    return (n * (n - 1) // 2 + 63) // 64
+
+
+def pack_certificates(bitstrings: Sequence[int], n: int):
+    """Pack upper-triangle adjacency bitstrings into a ``uint64[C, W]`` array.
+
+    Bit ``k`` of a bitstring (the k-th vertex pair in lexicographic order,
+    as produced by :meth:`Graph.adjacency_bitstring`) lands in bit
+    ``k % 64`` of word ``k // 64``.
+    """
+    np = _require_numpy()
+    words = certificate_words(n)
+    out = np.zeros((len(bitstrings), words), dtype=np.uint64)
+    mask = (1 << 64) - 1
+    for row, bits in enumerate(bitstrings):
+        for w in range(words):
+            out[row, w] = (bits >> (64 * w)) & mask
+    return out
+
+
+def unpack_certificate(word_row, n: int) -> int:
+    """The Python-int upper-triangle bitstring of one packed certificate."""
+    bits = 0
+    for w, word in enumerate(word_row.tolist()):
+        bits |= int(word) << (64 * w)
+    return bits
+
+
+def certificate_to_graph(word_row, n: int) -> Graph:
+    """Rebuild the labelled :class:`Graph` encoded by one packed certificate."""
+    bits = unpack_certificate(word_row, n)
+    edges = []
+    k = 0
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (bits >> k) & 1:
+                edges.append((u, v))
+            k += 1
+    return Graph(n, edges)
+
+
+def canonical_sort_indices(num_edges, cert_words, n: int):
+    """The permutation sorting classes into ``class_sort_key`` order.
+
+    :func:`repro.graphs.enumeration.class_sort_key` orders classes by edge
+    count, then lexicographically by the sorted edge list.  On packed
+    certificates the tie-break is equivalent to: at the first vertex pair
+    (in lexicographic pair order) where two classes differ, the class
+    *containing* that pair comes first.  That is an ascending lexicographic
+    comparison of the **inverted** bit sequence read from pair 0 upward, so
+    the permutation falls out of one ``np.lexsort`` over the inverted,
+    big-endian-packed certificate bytes.
+    """
+    np = _require_numpy()
+    num_edges = np.asarray(num_edges)
+    n_classes = num_edges.shape[0]
+    pair_count = n * (n - 1) // 2
+    keys: List = []
+    if pair_count and n_classes:
+        little = np.ascontiguousarray(cert_words, dtype="<u8")
+        bytes_view = little.view(np.uint8).reshape(n_classes, -1)
+        bits = np.unpackbits(bytes_view, axis=1, bitorder="little")[:, :pair_count]
+        packed = np.packbits(1 - bits, axis=1, bitorder="big")
+        # np.lexsort treats the *last* key as primary: byte 0 (pairs 0..7)
+        # is the most significant tie-break, num_edges the primary key.
+        keys.extend(packed[:, b] for b in range(packed.shape[1] - 1, -1, -1))
+    keys.append(num_edges)
+    return np.lexsort(keys)

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..core.bilateral import is_pairwise_stable
+from ..analysis.store import bcg_alpha_columns, store_available
 from ..core.convexity import is_link_convex
-from ..core.stability_intervals import pairwise_stability_interval
+from ..core.stability_intervals import pairwise_stability_profile
 from ..graphs import (
     Graph,
     desargues_graph,
@@ -67,7 +67,7 @@ _BUILDERS = {
 }
 
 
-def _stability_midpoint(graph: Graph) -> Optional[float]:
+def _stability_midpoint(alpha_min: float, alpha_max: float) -> Optional[float]:
     """A link cost at which the graph has the best chance of being stable.
 
     Uses the midpoint of the Lemma 2 window when it is non-degenerate, the
@@ -76,7 +76,6 @@ def _stability_midpoint(graph: Graph) -> Optional[float]:
     ``α_min + 1`` for graphs that stay stable for arbitrarily large link
     costs (trees and stars, whose ``α_max`` is infinite).
     """
-    alpha_min, alpha_max = pairwise_stability_interval(graph)
     if alpha_max == float("inf"):
         return alpha_min + 1.0 if alpha_min < float("inf") else None
     if alpha_min < alpha_max:
@@ -84,6 +83,24 @@ def _stability_midpoint(graph: Graph) -> Optional[float]:
     if alpha_min == alpha_max and alpha_min > 0:
         return alpha_min
     return None
+
+
+def _stability_windows(profiles) -> list:
+    """Per-graph Lemma 2 windows, via the columnar kernels when available.
+
+    With NumPy the profiles are flattened into the same ragged α-decision
+    columns the :class:`~repro.analysis.store.CensusStore` uses and the
+    windows fall out of one segmented reduction
+    (:func:`repro.engine.columnar.stability_windows`); the pure-Python
+    fallback reads the identical values off the profile properties.
+    """
+    if store_available():
+        from ..engine.columnar import stability_windows
+
+        rem_min, add_lo, _, add_indptr = bcg_alpha_columns(profiles)
+        alpha_mins, alpha_maxs = stability_windows(rem_min, add_lo, add_indptr)
+        return list(zip(alpha_mins.tolist(), alpha_maxs.tolist()))
+    return [(profile.alpha_min, profile.alpha_max) for profile in profiles]
 
 
 def run(include_hoffman_singleton: bool = True) -> ExperimentResult:
@@ -97,14 +114,23 @@ def run(include_hoffman_singleton: bool = True) -> ExperimentResult:
         experiment_id="figure1",
         title="Figure 1 — pairwise stable graphs in the BCG",
     )
+    selected = [
+        (name, builder())
+        for name, builder in _BUILDERS.items()
+        if include_hoffman_singleton or name != "hoffman_singleton"
+    ]
+    # One deviation analysis per graph; the windows are answered through
+    # the same columnar kernels as the census store (pure-Python fallback
+    # reads the identical values off the profiles).
+    profiles = [pairwise_stability_profile(graph) for _, graph in selected]
+    windows = _stability_windows(profiles)
+
     rows = []
-    for name, builder in _BUILDERS.items():
-        if name == "hoffman_singleton" and not include_hoffman_singleton:
-            continue
-        graph = builder()
-        alpha_min, alpha_max = pairwise_stability_interval(graph)
-        midpoint = _stability_midpoint(graph)
-        stable = midpoint is not None and is_pairwise_stable(graph, midpoint)
+    for (name, graph), profile, (alpha_min, alpha_max) in zip(
+        selected, profiles, windows
+    ):
+        midpoint = _stability_midpoint(alpha_min, alpha_max)
+        stable = midpoint is not None and profile.is_stable_at(midpoint)
         result.add_claim(
             description=f"{name} is pairwise stable for some link cost",
             expected="stable window with α_min < α_max",

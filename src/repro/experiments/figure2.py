@@ -24,11 +24,26 @@ from ..analysis.census import cached_census
 from ..analysis.figure_series import FigureData, census_figure_series, sampled_figure_series
 from ..analysis.report import format_figure
 from ..analysis.sampling import sample_equilibria_over_grid
+from ..analysis.store import cached_store, store_available
 from ..analysis.sweeps import log_spaced_alphas
 from .base import ExperimentResult
 
 #: Default number of players of the exhaustive census (paper: 10; see DESIGN.md).
 DEFAULT_EXHAUSTIVE_N = 6
+
+
+def exhaustive_census_source(n: int, jobs: Optional[int] = None):
+    """The exhaustive equilibrium source for the figure experiments.
+
+    The columnar :class:`~repro.analysis.store.CensusStore` when NumPy is
+    available (whole α-grids answered vectorised), otherwise the per-record
+    :class:`~repro.analysis.census.EquilibriumCensus` — the two are
+    asserted element-for-element identical by the test suite, so the figure
+    output does not depend on the backend.
+    """
+    if store_available():
+        return cached_store(n, jobs=jobs)
+    return cached_census(n, jobs=jobs)
 
 
 def compute_figure2(
@@ -37,7 +52,7 @@ def compute_figure2(
     jobs: Optional[int] = None,
 ) -> FigureData:
     """The Figure 2 dataset from the exhaustive census on ``n`` players."""
-    census = cached_census(n, jobs=jobs)
+    census = exhaustive_census_source(n, jobs=jobs)
     if total_edge_costs is None:
         total_edge_costs = log_spaced_alphas(0.4, 2.0 * n * n, 22)
     return census_figure_series(census, "average_poa", total_edge_costs)

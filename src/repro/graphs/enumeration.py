@@ -54,9 +54,20 @@ _GRAPH_CACHE: Dict[int, List[Graph]] = {}
 _TREE_CACHE: Dict[int, List[Graph]] = {}
 
 
-def _class_sort_key(graph: Graph) -> Tuple[int, List[Tuple[int, int]]]:
-    """Deterministic total order on canonical representatives."""
+def class_sort_key(graph: Graph) -> Tuple[int, List[Tuple[int, int]]]:
+    """Deterministic total order on canonical representatives.
+
+    Sorts by edge count first, then lexicographically by the sorted edge
+    list.  This is the order every materialised enumeration, census and
+    :class:`~repro.analysis.store.CensusStore` uses, so artifacts produced
+    by different build paths (materialised, streamed, sharded) line up
+    element for element.
+    """
     return (graph.num_edges, sorted(graph.edges))
+
+
+#: Backwards-compatible alias (pre-PR-3 private name).
+_class_sort_key = class_sort_key
 
 
 # --------------------------------------------------------------------------- #
@@ -259,7 +270,7 @@ def _canonical_augment_level(parents: List[Graph]) -> List[Graph]:
     """One generation level: accepted children, canonicalised and sorted."""
     return sorted(
         (canonical_graph(child) for parent in parents for child in _children(parent)),
-        key=_class_sort_key,
+        key=class_sort_key,
     )
 
 
@@ -279,7 +290,7 @@ def _augment_dedup_level(parents: List[Graph]) -> List[Graph]:
                 key = canonical_form(candidate)
                 if key not in seen:
                     seen[key] = canonical_graph(candidate)
-    return sorted(seen.values(), key=_class_sort_key)
+    return sorted(seen.values(), key=class_sort_key)
 
 
 def enumerate_graphs(n: int) -> List[Graph]:

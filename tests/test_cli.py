@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import importlib.util
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -41,3 +43,57 @@ def test_parser_has_expected_flags():
     parser = build_parser()
     args = parser.parse_args(["--all", "--summary-only"])
     assert args.all and args.summary_only and args.experiments == []
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="the census store subcommand requires NumPy",
+)
+class TestCensusSubcommand:
+
+    def test_build_save_load_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "census4.npz")
+        assert main(["census", "--n", "4", "--save", path]) == 0
+        output = capsys.readouterr().out
+        assert "census store: n = 4" in output
+        assert f"saved to {path}" in output
+
+        assert main(["census", "--load", path, "--grid", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "census store: n = 4" in output
+        assert "average_poa" in output
+
+    def test_streamed_build_without_ucg(self, capsys):
+        assert main(["census", "--n", "4", "--streamed", "--no-ucg", "--grid", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "ucg = no" in output
+        assert "BCG only" in output
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["census"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_dir_format_with_mmap(self, capsys, tmp_path):
+        path = str(tmp_path / "census4_dir")
+        assert main(["census", "--n", "4", "--no-ucg", "--save", path, "--format", "dir"]) == 0
+        capsys.readouterr()
+        assert main(["census", "--load", path, "--mmap"]) == 0
+        assert "census store: n = 4" in capsys.readouterr().out
+
+    def test_shard_dir_requires_streamed(self, capsys):
+        assert main(["census", "--n", "4", "--shard-dir", "/tmp/x"]) == 2
+        assert "--shard-dir requires --streamed" in capsys.readouterr().err
+
+    def test_load_errors_exit_cleanly(self, capsys, tmp_path):
+        assert main(["census", "--load", str(tmp_path / "missing.npz")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(b"PK\x03\x04 not actually a zip")
+        assert main(["census", "--load", str(truncated)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+        import numpy
+
+        foreign = tmp_path / "foreign.npz"
+        numpy.savez(str(foreign), data=numpy.arange(3))
+        assert main(["census", "--load", str(foreign)]) == 2
+        assert "cannot load" in capsys.readouterr().err

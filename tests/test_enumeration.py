@@ -7,6 +7,7 @@ import pytest
 from repro.graphs import (
     are_isomorphic,
     canonical_form,
+    class_sort_key,
     count_connected_graphs,
     count_graphs,
     count_trees,
@@ -170,3 +171,12 @@ def test_oeis_counts_n9():
             connected += 1
     assert total == 274668  # A000088
     assert connected == 261080  # A001349
+
+
+def test_class_sort_key_is_public_and_orders_enumerations():
+    graphs = enumerate_graphs(5)
+    keys = [class_sort_key(g) for g in graphs]
+    assert keys == sorted(keys)
+    # Edge count is the primary key, edge-list lexicographic order the tie-break.
+    assert class_sort_key(graphs[0])[0] == 0
+    assert class_sort_key(graphs[-1])[0] == 10

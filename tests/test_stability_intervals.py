@@ -69,6 +69,52 @@ class TestAlphaIntervalSet:
     def test_repr(self):
         assert "AlphaIntervalSet" in repr(AlphaIntervalSet([AlphaInterval(0, 1)]))
 
+    def test_touching_interval_merge_tolerance(self):
+        # Gaps at or below the 1e-12 merge tolerance close; larger gaps stay.
+        s = AlphaIntervalSet([AlphaInterval(0.0, 1.0), AlphaInterval(1.0 + 1e-13, 2.0)])
+        assert len(s.intervals) == 1
+        assert s.intervals[0] == AlphaInterval(0.0, 2.0)
+        s = AlphaIntervalSet([AlphaInterval(0.0, 1.0), AlphaInterval(1.0 + 1e-6, 2.0)])
+        assert len(s.intervals) == 2
+
+    def test_add_empty_interval_is_noop(self):
+        s = AlphaIntervalSet()
+        s.add(AlphaInterval(2.0, 1.0))
+        assert s.is_empty()
+        assert s.intervals == []
+        # ... and an empty add does not disturb existing components.
+        s.add(AlphaInterval(3.0, 4.0))
+        s.add(AlphaInterval(9.0, 8.0))
+        assert s.intervals == [AlphaInterval(3.0, 4.0)]
+
+    def test_min_max_alpha_on_unbounded_intervals(self):
+        infinity = float("inf")
+        s = AlphaIntervalSet([AlphaInterval(3.0, infinity)])
+        assert s.min_alpha() == 3.0
+        assert s.max_alpha() == infinity
+        assert s.contains(1e18)
+        s.add(AlphaInterval(0.0, 1.0))
+        assert s.min_alpha() == 0.0
+        assert s.max_alpha() == infinity
+        # Unbounded components merge with overlapping finite ones.
+        s.add(AlphaInterval(0.5, 5.0))
+        assert s.intervals == [AlphaInterval(0.0, infinity)]
+
+    def test_contains_at_exact_endpoints(self):
+        s = AlphaIntervalSet([AlphaInterval(1.0, 2.0)])
+        assert s.contains(1.0) and s.contains(2.0)
+        # The default tolerance is 1e-9 on either side of the endpoints.
+        assert s.contains(1.0 - 0.5e-9) and s.contains(2.0 + 0.5e-9)
+        assert not s.contains(1.0 - 2e-9) and not s.contains(2.0 + 2e-9)
+        assert s.contains(2.0 + 2e-9, tol=1e-8)
+        assert not s.contains(2.0 + 2e-9, tol=0.0)
+
+    def test_degenerate_point_interval(self):
+        s = AlphaIntervalSet([AlphaInterval(1.5, 1.5)])
+        assert not s.is_empty()
+        assert s.contains(1.5)
+        assert s.min_alpha() == s.max_alpha() == 1.5
+
 
 class TestDistanceDelta:
     def test_finite(self):
@@ -80,6 +126,46 @@ class TestDistanceDelta:
     def test_one_infinite(self):
         assert distance_delta(float("inf"), 3.0) == float("inf")
         assert distance_delta(3.0, float("inf")) == float("-inf")
+
+
+class TestAlphaMinCaching:
+    def test_alpha_min_computed_once_and_memoised(self):
+        profile = pairwise_stability_profile(cycle_graph(6))
+        first = profile.alpha_min
+        assert profile._alpha_min_cache == first
+        assert profile.alpha_min == first  # second read served from the memo
+
+    def test_mutating_inputs_is_not_silently_stale(self):
+        """The deviation tables are frozen after the first alpha_min read.
+
+        Mutating ``addition_saving`` afterwards must not silently change an
+        already-published ``alpha_min`` (callers may have cached decisions
+        on it); a profile built from the mutated tables sees the new value.
+        This test is the explicit record of that contract.
+        """
+        profile = pairwise_stability_profile(cycle_graph(6))
+        frozen = profile.alpha_min
+        bumped = dict(profile.addition_saving)
+        for key in bumped:
+            bumped[key] = 1e6
+        profile.addition_saving.update(bumped)
+        # The memo holds: no silent change after mutation...
+        assert profile.alpha_min == frozen
+        # ...while a fresh profile over the mutated tables recomputes.
+        from repro.core.stability_intervals import PairwiseStabilityProfile
+
+        fresh = PairwiseStabilityProfile(
+            graph=profile.graph,
+            removal_increase=dict(profile.removal_increase),
+            addition_saving=bumped,
+        )
+        assert fresh.alpha_min == 1e6
+        assert fresh.alpha_min != frozen
+
+    def test_cache_not_shared_between_profiles(self):
+        a = pairwise_stability_profile(cycle_graph(6))
+        b = pairwise_stability_profile(star_graph(6))
+        assert a.alpha_min != b.alpha_min
 
 
 class TestPairwiseStabilityProfile:

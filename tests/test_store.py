@@ -1,0 +1,492 @@
+"""Element-for-element parity tests for the columnar census store.
+
+The contract under test: every answer of :class:`repro.analysis.store.CensusStore`
+— stability masks, Nash masks, equilibrium counts, PoA and link-count
+aggregates, reconstructed graphs — equals the retained
+:class:`repro.analysis.census.EquilibriumCensus` record path **exactly**
+(float equality, not approximate), including after a save → load round trip
+in a separate process.
+"""
+
+import json
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.census import EquilibriumCensus
+from repro.analysis.figure_series import census_figure_series
+from repro.analysis.store import (
+    CensusStore,
+    bcg_alpha_columns,
+    cached_store,
+    clear_store_cache,
+)
+from repro.core.stability_intervals import pairwise_stability_profile
+from repro.graphs import cycle_graph, petersen_graph, star_graph
+
+#: All store columns (UCG ones included when present).
+COLUMNS = (
+    "num_edges",
+    "dist_total",
+    "cert_words",
+    "rem_values",
+    "rem_indptr",
+    "add_lo",
+    "add_hi",
+    "add_indptr",
+    "ucg_lo",
+    "ucg_hi",
+    "ucg_indptr",
+)
+
+
+def assert_columns_equal(first: CensusStore, second: CensusStore) -> None:
+    assert first.n == second.n
+    assert first.include_ucg == second.include_ucg
+    for name in COLUMNS:
+        a, b = getattr(first, name), getattr(second, name)
+        if a is None or b is None:
+            assert a is None and b is None, name
+            continue
+        assert np.array_equal(a, b), name
+
+
+def alpha_grid(census: EquilibriumCensus):
+    """A log grid plus the exact window endpoints of a few classes.
+
+    Querying *at* α_min/α_max exercises the tolerance folding of the
+    Definition 3 comparisons, where an off-by-one-ulp kernel would diverge
+    from the record path.
+    """
+    grid = [0.2 * (36 / 0.2) ** (k / 8) for k in range(9)]
+    grid += [1.0, 1.0 + 1e-9, 1.0 - 1e-9]
+    for record in census.records[:: max(1, len(census.records) // 7)]:
+        for endpoint in record.bcg_profile.stability_interval():
+            if endpoint == endpoint and endpoint not in (float("inf"),):
+                grid.append(endpoint)
+                grid.append(endpoint + 1e-13)
+    return [alpha for alpha in grid if alpha > 0]
+
+
+@pytest.fixture(scope="module")
+def census6():
+    return EquilibriumCensus.build(6)
+
+
+@pytest.fixture(scope="module")
+def store6(census6):
+    return CensusStore.from_census(census6)
+
+
+@pytest.fixture(scope="module")
+def census7():
+    return EquilibriumCensus.build(7, include_ucg=False)
+
+
+@pytest.fixture(scope="module")
+def store7(census7):
+    return CensusStore.build(7, include_ucg=False)
+
+
+class TestBuildPaths:
+    def test_build_equals_from_census(self, census6, store6):
+        assert_columns_equal(store6, CensusStore.build(6))
+
+    def test_build_identical_for_any_jobs(self, store6):
+        assert_columns_equal(store6, CensusStore.build(6, jobs=2))
+
+    @pytest.mark.parametrize("n", range(0, 6))
+    def test_streamed_equals_build(self, n):
+        assert_columns_equal(
+            CensusStore.build(n), CensusStore.build_streamed(n)
+        )
+
+    def test_streamed_any_shard_level_and_jobs(self):
+        reference = CensusStore.build(6, include_ucg=False)
+        for shard_level in (0, 3, 6):
+            assert_columns_equal(
+                reference,
+                CensusStore.build_streamed(
+                    6, include_ucg=False, shard_level=shard_level, batch_size=17
+                ),
+            )
+        assert_columns_equal(
+            reference, CensusStore.build_streamed(6, include_ucg=False, jobs=2)
+        )
+
+    def test_shard_dir_resume(self, tmp_path):
+        shard_dir = tmp_path / "shards"
+        first = CensusStore.build_streamed(
+            5, include_ucg=False, shard_dir=str(shard_dir)
+        )
+        shards = sorted(os.listdir(shard_dir))
+        assert shards and all(name.endswith(".npz") for name in shards)
+        # Second run consumes the persisted shards instead of recomputing.
+        resumed = CensusStore.build_streamed(
+            5, include_ucg=False, shard_dir=str(shard_dir)
+        )
+        assert_columns_equal(first, resumed)
+        assert_columns_equal(first, CensusStore.build(5, include_ucg=False))
+
+    def test_shard_dir_recovers_from_truncated_shard(self, tmp_path):
+        """A shard torn by a crash is recomputed, not fatal and not trusted."""
+        shard_dir = tmp_path / "shards"
+        reference = CensusStore.build_streamed(
+            5, include_ucg=False, shard_dir=str(shard_dir)
+        )
+        victim = sorted(shard_dir.iterdir())[0]
+        victim.write_bytes(victim.read_bytes()[:40])  # truncate mid-archive
+        resumed = CensusStore.build_streamed(
+            5, include_ucg=False, shard_dir=str(shard_dir)
+        )
+        assert_columns_equal(reference, resumed)
+
+    def test_cached_store_reuses_cached_census(self):
+        """cached_store converts an already-built record census in place."""
+        from unittest import mock
+
+        from repro.analysis.census import cached_census, clear_census_cache
+
+        clear_store_cache()
+        clear_census_cache()
+        census = cached_census(4)
+        with mock.patch.object(
+            CensusStore, "build", side_effect=AssertionError("rebuilt from scratch")
+        ):
+            store = cached_store(4)
+        assert_columns_equal(store, CensusStore.from_census(census))
+        clear_store_cache()
+        clear_census_cache()
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            CensusStore.build_streamed(-1)
+
+    def test_shard_dir_rejects_foreign_shards(self, tmp_path):
+        """Shards carry n/include_ucg metadata; a reused dir must not merge.
+
+        ``shard_level`` is pinned so both builds produce colliding
+        ``shard_XXXX_of_YYYY.npz`` names — the silent-corruption shape the
+        metadata check exists for.
+        """
+        shard_dir = str(tmp_path / "shards")
+        CensusStore.build_streamed(
+            4, include_ucg=False, shard_level=2, shard_dir=shard_dir
+        )
+        with pytest.raises(ValueError):
+            CensusStore.build_streamed(
+                5, include_ucg=False, shard_level=2, shard_dir=shard_dir
+            )
+        with pytest.raises(ValueError):
+            CensusStore.build_streamed(
+                4, include_ucg=True, shard_level=2, shard_dir=shard_dir
+            )
+
+    def test_graph_reconstruction_roundtrip(self, census6, store6):
+        for index, record in enumerate(census6.records):
+            assert store6.graph_at(index) == record.graph
+
+    def test_cached_store_reuses_instances(self):
+        clear_store_cache()
+        first = cached_store(4)
+        assert cached_store(4) is first
+        assert cached_store(4, include_ucg=False) is not first
+        clear_store_cache()
+
+
+class TestMaskParity:
+    def test_bcg_mask_matches_records(self, census6, store6):
+        alphas = alpha_grid(census6)
+        mask = store6.stable_mask(alphas, "bcg")
+        assert mask.shape == (len(census6), len(alphas))
+        for column, alpha in enumerate(alphas):
+            expected = [r.is_bcg_stable_at(alpha) for r in census6.records]
+            assert mask[:, column].tolist() == expected, alpha
+
+    def test_ucg_mask_matches_records(self, census6, store6):
+        alphas = alpha_grid(census6)
+        mask = store6.stable_mask(alphas, "ucg")
+        for column, alpha in enumerate(alphas):
+            expected = [r.is_ucg_nash_at(alpha) for r in census6.records]
+            assert mask[:, column].tolist() == expected, alpha
+
+    def test_bcg_mask_matches_records_n7(self, census7, store7):
+        alphas = alpha_grid(census7)
+        mask = store7.stable_mask(alphas, "bcg")
+        for column, alpha in enumerate(alphas):
+            expected = [r.is_bcg_stable_at(alpha) for r in census7.records]
+            assert mask[:, column].tolist() == expected, alpha
+
+    def test_ucg_query_requires_ucg_columns(self, store7):
+        with pytest.raises(ValueError):
+            store7.stable_mask([1.0], "ucg")
+        with pytest.raises(ValueError):
+            store7.nash_graphs_ucg(1.0)
+
+    def test_invalid_game_name(self, store6):
+        with pytest.raises(ValueError):
+            store6.stable_mask([1.0], "xyz")
+
+    def test_stability_windows_match_profiles(self, census6, store6):
+        alpha_min, alpha_max = store6.stability_windows()
+        for index, record in enumerate(census6.records):
+            assert alpha_min[index] == record.bcg_profile.alpha_min
+            assert alpha_max[index] == record.bcg_profile.alpha_max
+
+
+class TestAggregateParity:
+    @staticmethod
+    def same(a: float, b: float) -> bool:
+        """Exact equality, with nan == nan."""
+        return (a != a and b != b) or a == b
+
+    def test_aggregates_identical(self, census6, store6):
+        alphas = alpha_grid(census6)
+        for game in ("bcg", "ucg"):
+            aggregates = store6.grid_aggregates(alphas, game)
+            for k, alpha in enumerate(alphas):
+                assert aggregates["counts"][k] == census6.equilibrium_count(
+                    alpha, game
+                )
+                assert self.same(
+                    aggregates["average_poa"][k],
+                    census6.average_price_of_anarchy(alpha, game),
+                ), (alpha, game)
+                assert self.same(
+                    aggregates["worst_poa"][k],
+                    census6.worst_price_of_anarchy(alpha, game),
+                ), (alpha, game)
+                assert self.same(
+                    aggregates["average_links"][k],
+                    census6.average_num_links(alpha, game),
+                ), (alpha, game)
+
+    def test_scalar_compat_methods(self, census6, store6):
+        alpha = 2.5
+        for game in ("bcg", "ucg"):
+            assert store6.equilibrium_count(alpha, game) == census6.equilibrium_count(
+                alpha, game
+            )
+            assert self.same(
+                store6.average_price_of_anarchy(alpha, game),
+                census6.average_price_of_anarchy(alpha, game),
+            )
+            assert self.same(
+                store6.worst_price_of_anarchy(alpha, game),
+                census6.worst_price_of_anarchy(alpha, game),
+            )
+            assert self.same(
+                store6.average_num_links(alpha, game),
+                census6.average_num_links(alpha, game),
+            )
+            assert store6.edge_count_histogram(
+                alpha, game
+            ) == census6.edge_count_histogram(alpha, game)
+
+    def test_equilibrium_graphs_identical(self, census6, store6):
+        for alpha in (0.5, 1.5, 3.0, 12.0):
+            for game in ("bcg", "ucg"):
+                expected = [
+                    g.edge_key() for g in census6.equilibrium_graphs(alpha, game)
+                ]
+                observed = [
+                    g.edge_key() for g in store6.equilibrium_graphs(alpha, game)
+                ]
+                assert observed == expected
+
+    def test_figure_series_identical(self, census6, store6):
+        costs = [0.5, 1.0, 2.0, 7.0, 40.0]
+        for quantity in ("average_poa", "worst_poa", "average_links"):
+            record_fig = census_figure_series(census6, quantity, costs)
+            store_fig = census_figure_series(store6, quantity, costs)
+            assert record_fig == store_fig
+
+    def test_figure_series_rejects_unknown_quantity(self, store6):
+        with pytest.raises(ValueError):
+            census_figure_series(store6, "median_poa", [1.0])
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, store6, tmp_path):
+        path = store6.save(str(tmp_path / "census6.npz"))
+        assert_columns_equal(store6, CensusStore.load(path))
+
+    def test_npz_suffix_added(self, store6, tmp_path):
+        path = store6.save(str(tmp_path / "census6"), format="npz")
+        assert path.endswith(".npz") and os.path.exists(path)
+
+    def test_dir_roundtrip_with_mmap(self, store6, tmp_path):
+        path = store6.save(str(tmp_path / "census6_dir"), format="dir")
+        assert os.path.isdir(path)
+        loaded = CensusStore.load(path, mmap=True)
+        assert_columns_equal(store6, loaded)
+        # mmap-backed columns answer queries like resident ones.
+        assert loaded.stable_mask([2.0], "bcg").tolist() == store6.stable_mask(
+            [2.0], "bcg"
+        ).tolist()
+
+    def test_mmap_requires_dir_format(self, store6, tmp_path):
+        path = store6.save(str(tmp_path / "census6.npz"))
+        with pytest.raises(ValueError):
+            CensusStore.load(path, mmap=True)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "foreign.npz")
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(ValueError):
+            CensusStore.load(path)
+
+    def test_rejects_future_format_version(self, store6, tmp_path):
+        path = str(tmp_path / "dir_v999")
+        store6.save(path, format="dir")
+        meta_path = os.path.join(path, "meta.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta["format_version"] = 999
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        with pytest.raises(ValueError):
+            CensusStore.load(path)
+
+    def test_roundtrip_in_fresh_process(self, census6, store6, tmp_path):
+        """build → save → load in a separate interpreter → query parity."""
+        path = store6.save(str(tmp_path / "census6.npz"))
+        alphas = [0.4, 1.0, 2.0, 5.0, 20.0]
+        script = (
+            "import json, sys\n"
+            "from repro.analysis.store import CensusStore\n"
+            f"store = CensusStore.load({path!r})\n"
+            f"alphas = {alphas!r}\n"
+            "out = {\n"
+            "    'bcg': store.stable_mask(alphas, 'bcg').tolist(),\n"
+            "    'ucg': store.stable_mask(alphas, 'ucg').tolist(),\n"
+            "    'agg': store.grid_aggregates(alphas, 'bcg'),\n"
+            "}\n"
+            "json.dump(out, sys.stdout)\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        out = json.loads(result.stdout)
+        assert out["bcg"] == [
+            [r.is_bcg_stable_at(alpha) for alpha in alphas]
+            for r in census6.records
+        ]
+        assert out["ucg"] == [
+            [r.is_ucg_nash_at(alpha) for alpha in alphas]
+            for r in census6.records
+        ]
+        for k, alpha in enumerate(alphas):
+            assert out["agg"]["counts"][k] == census6.equilibrium_count(alpha, "bcg")
+            expected = census6.average_price_of_anarchy(alpha, "bcg")
+            observed = out["agg"]["average_poa"][k]
+            assert (observed != observed and expected != expected) or (
+                observed == expected
+            )
+
+
+class TestOrdering:
+    def test_permute_then_sort_restores_order(self, store6):
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(store6))
+        shuffled = store6.permute(order)
+        assert_columns_equal(shuffled.sort_canonical(), store6)
+
+    def test_canonical_order_matches_class_sort_key(self, store6):
+        from repro.graphs import class_sort_key
+
+        keys = [class_sort_key(store6.graph_at(i)) for i in range(len(store6))]
+        assert keys == sorted(keys)
+
+
+class TestSegmentKernels:
+    def test_trailing_and_interior_empty_segments(self):
+        """Empty CSR segments must not truncate their neighbours' reductions.
+
+        Regression: clipping an out-of-range start of a trailing empty
+        segment used to end the *previous* segment's reduceat one element
+        early, silently corrupting every mask/window built from a batch
+        whose last class had an empty payload (e.g. a complete graph's
+        non-edge column).
+        """
+        from repro.engine.columnar import segment_any, segment_max, segment_min
+
+        flags = np.array([False, False, True])
+        indptr = np.array([0, 3, 3])
+        assert segment_any(flags, indptr).tolist() == [True, False]
+        assert segment_any(
+            np.array([True, False]), np.array([0, 0, 1, 1, 2, 2])
+        ).tolist() == [False, True, False, False, False]
+        values = np.array([5.0, 2.0, 7.0])
+        assert segment_min(values, np.array([0, 2, 2, 3])).tolist() == [
+            2.0,
+            float("inf"),
+            7.0,
+        ]
+        assert segment_max(values, np.array([0, 3, 3]), empty=0.0).tolist() == [
+            7.0,
+            0.0,
+        ]
+
+    def test_batch_ending_with_complete_graph(self):
+        """End-to-end shape of the regression: complete graph last in batch."""
+        from repro.engine.columnar import bcg_stable_mask, stability_windows
+        from repro.graphs import Graph, complete_graph
+
+        graphs = [Graph(5, [(0, 3), (0, 1), (1, 2), (2, 4)]), complete_graph(4)]
+        profiles = [pairwise_stability_profile(g) for g in graphs]
+        rem_min, add_lo, add_hi, add_indptr = bcg_alpha_columns(profiles)
+        alpha_min, alpha_max = stability_windows(rem_min, add_lo, add_indptr)
+        mask = bcg_stable_mask(
+            rem_min, add_lo, add_hi, add_indptr, [0.5, 1.0, 3.5, 4.0, 10.0]
+        )
+        for i, profile in enumerate(profiles):
+            assert alpha_min[i] == profile.alpha_min
+            assert alpha_max[i] == profile.alpha_max
+            for a, alpha in enumerate([0.5, 1.0, 3.5, 4.0, 10.0]):
+                assert bool(mask[i, a]) == profile.is_stable_at(alpha), (i, alpha)
+
+
+class TestAdHocColumns:
+    def test_bcg_alpha_columns_heterogeneous_n(self):
+        graphs = [star_graph(8), cycle_graph(5), petersen_graph()]
+        profiles = [pairwise_stability_profile(g) for g in graphs]
+        rem_min, add_lo, add_hi, add_indptr = bcg_alpha_columns(profiles)
+        from repro.engine.columnar import bcg_stable_mask, stability_windows
+
+        alpha_min, alpha_max = stability_windows(rem_min, add_lo, add_indptr)
+        for i, profile in enumerate(profiles):
+            assert alpha_min[i] == profile.alpha_min
+            assert alpha_max[i] == profile.alpha_max
+        alphas = [0.5, 1.0, 2.0, 5.0]
+        mask = bcg_stable_mask(rem_min, add_lo, add_hi, add_indptr, alphas)
+        for i, profile in enumerate(profiles):
+            for a, alpha in enumerate(alphas):
+                assert bool(mask[i, a]) == profile.is_stable_at(alpha)
+
+
+class TestTinyN:
+    @pytest.mark.parametrize("n", (0, 1, 2))
+    def test_degenerate_sizes(self, n):
+        store = CensusStore.build(n)
+        census = EquilibriumCensus.build(n)
+        assert len(store) == len(census)
+        for alpha in (0.5, 2.0):
+            assert store.equilibrium_count(alpha, "bcg") == census.equilibrium_count(
+                alpha, "bcg"
+            )
+            avg_s = store.average_price_of_anarchy(alpha, "bcg")
+            avg_c = census.average_price_of_anarchy(alpha, "bcg")
+            assert (avg_s != avg_s and avg_c != avg_c) or avg_s == avg_c
