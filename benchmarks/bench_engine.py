@@ -26,13 +26,21 @@ repository root so future PRs have a perf trajectory to compare against:
   :class:`~repro.analysis.store.CensusStore`: artifact size (resident and
   on-disk), save/load wall time and a 24-point α-grid aggregate sweep
   (counts + average/worst PoA + link counts) against the per-record loop,
-  with results asserted element-for-element identical.
+  with results asserted element-for-element identical;
+* **weighted engine at n = 7** (schema v4) — the heterogeneous-α scenario
+  sweep: batched coefficient columns + the weighted grid mask vs a
+  per-graph ``WeightedStabilityProfile`` Python loop, decisions asserted
+  identical;
+* **mmap fan-out** (schema v4) — one memory-mapped store artifact queried
+  from a process pool (zero-copy page sharing), counts asserted equal to
+  the serial mmap sweep (report-only: no wall-clock floor).
 
 The script exits non-zero if the engine census path fails the acceptance
 floor (>= 3x naive, serial), if canonical augmentation fails its floor
 (>= 5x augment-and-dedup at n = 8), if the store grid sweep fails its
-floor (>= 10x the per-record loop at n = 8), or if mutation cost shows
-m-scaling again.
+floor (>= 10x the per-record loop at n = 8), if the weighted scenario
+sweep fails its floor (>= 10x the per-graph Python loop at n = 7), or if
+mutation cost shows m-scaling again.
 """
 
 from __future__ import annotations
@@ -405,6 +413,126 @@ def bench_census_store_n8() -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------------- #
+# 3e. Weighted engine: heterogeneous-α scenario sweep at n = 7 (schema v4)
+# --------------------------------------------------------------------------- #
+
+
+def bench_weighted_engine() -> Dict[str, float]:
+    """Vectorised weighted stability sweep vs the per-graph Python loop.
+
+    Both paths answer the same 24-point scale grid of weighted pairwise
+    stability over all 853 connected classes on 7 vertices under a seeded
+    random per-edge cost model (the ``random_weights`` scenario); decisions
+    are asserted identical before any timing is recorded.  The vectorised
+    path pairs the batched boolean-matmul deltas with per-probe coefficient
+    vectors (``batch_weighted_columns`` + ``weighted_bcg_stable_mask``);
+    the baseline runs a :class:`WeightedStabilityProfile` per graph and an
+    exact Definition 3 check per grid point.
+    """
+    from repro.analysis.scenarios import build_scenario, default_t_grid
+    from repro.analysis.weighted import weighted_python_sweep_bcg
+    from repro.engine.batch import batch_weighted_columns
+    from repro.engine.columnar import weighted_bcg_stable_mask
+
+    scenario = build_scenario("random_weights", 7, seed=3)
+    graphs = enumerate_connected_graphs(7)
+    matrix = scenario.model.matrix(7)
+    ts = default_t_grid(7, 24)
+
+    def run_vectorised():
+        columns = batch_weighted_columns(graphs, matrix, oracle=DistanceOracle())
+        return weighted_bcg_stable_mask(
+            columns["rem_w"], columns["rem_delta"], columns["rem_indptr"],
+            columns["add_w_u"], columns["add_s_u"],
+            columns["add_w_v"], columns["add_s_v"], columns["add_indptr"],
+            ts,
+        )
+
+    def run_python():
+        return weighted_python_sweep_bcg(graphs, scenario.model, ts)
+
+    vector_mask = run_vectorised()
+    python_mask = run_python()
+    assert [
+        [bool(x) for x in row] for row in vector_mask
+    ] == python_mask, "weighted vectorised/python divergence"
+
+    vector_s = _time(run_vectorised, repeats=2)
+    python_s = _time(run_python, repeats=2)
+    stable_cells = int(sum(sum(row) for row in python_mask))
+    return {
+        "graphs": len(graphs),
+        "grid_points": len(ts),
+        "stable_cells": stable_cells,
+        "python_seconds": python_s,
+        "vectorised_seconds": vector_s,
+        "speedup": python_s / vector_s,
+        "vectorised_graphs_per_sec": len(graphs) / vector_s,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 3f. mmap-shared multi-process census-store queries (schema v4)
+# --------------------------------------------------------------------------- #
+
+
+def _mmap_fanout_counts(task):
+    """Pool worker: query one α-chunk from the shared mapped artifact."""
+    from repro.analysis.store import CensusStore
+
+    path, alphas = task
+    store = CensusStore.load(path, mmap=True)
+    return [int(c) for c in store.equilibrium_counts(alphas, "bcg")]
+
+
+def bench_store_mmap_fanout(jobs: int = 2) -> Dict[str, float]:
+    """One mapped n = 7 artifact queried from many processes, zero-copy.
+
+    Every worker maps the same on-disk column directory read-only and
+    answers a slice of a 32-point α-grid; the fanned-out counts are
+    asserted equal to a serial sweep over the parent's own mmap handle.
+    Report-only (no floor): on small-``n`` artifacts the pool spawn cost
+    dominates — the section exists to keep the zero-copy path exercised
+    and its wall time on the perf trajectory.
+    """
+    import tempfile
+
+    from repro.analysis.store import CensusStore
+    from repro.analysis.sweeps import log_spaced_alphas
+    from repro.engine import chunk_evenly, parallel_map
+
+    store = CensusStore.build(7, include_ucg=False)
+    alphas = log_spaced_alphas(0.2, 49.0, 32)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "census7_dir")
+        store.save(path, format="dir")
+        disk_bytes = sum(
+            os.path.getsize(os.path.join(path, name)) for name in os.listdir(path)
+        )
+        mapped = CensusStore.load(path, mmap=True)
+        start = time.perf_counter()
+        serial = [int(c) for c in mapped.equilibrium_counts(alphas, "bcg")]
+        serial_s = time.perf_counter() - start
+
+        tasks = [(path, chunk) for chunk in chunk_evenly(alphas, jobs * 2)]
+        start = time.perf_counter()
+        fanned: List[int] = []
+        for part in parallel_map(_mmap_fanout_counts, tasks, jobs=jobs):
+            fanned.extend(part)
+        fanout_s = time.perf_counter() - start
+    assert fanned == serial, "mmap fan-out diverged from the serial mmap sweep"
+    return {
+        "classes": len(store),
+        "grid_points": len(alphas),
+        "workers": jobs,
+        "disk_bytes_dir": disk_bytes,
+        "serial_mmap_seconds": serial_s,
+        "fanout_seconds": fanout_s,
+        "counts_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # 4. Single-edge mutation must not scale with m
 # --------------------------------------------------------------------------- #
 
@@ -466,7 +594,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v3",
+        "schema": "bench_engine/v4",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -477,6 +605,8 @@ def main(argv=None) -> int:
         "enumeration_n8": bench_enumeration_n8(),
         "census_n8_bcg_streamed": bench_census_n8_streamed(),
         "census_store": bench_census_store_n8(),
+        "weighted_engine": bench_weighted_engine(),
+        "census_store_mmap_fanout": bench_store_mmap_fanout(),
     }
     if args.n9:
         report["census_n9_bcg_streamed"] = bench_census_n9_streamed()
@@ -522,6 +652,20 @@ def main(argv=None) -> int:
         f"(save {store8['save_seconds']*1e3:.0f}ms, "
         f"load {store8['load_seconds']*1e3:.0f}ms)"
     )
+    weighted = report["weighted_engine"]
+    print(
+        f"weighted engine: n=7 scenario sweep vectorised "
+        f"{weighted['vectorised_seconds']*1e3:.0f}ms vs python loop "
+        f"{weighted['python_seconds']:.2f}s ({weighted['speedup']:.1f}x, "
+        f"{weighted['graphs']} graphs x {weighted['grid_points']} scales)"
+    )
+    fanout = report["census_store_mmap_fanout"]
+    print(
+        f"mmap fan-out:  n=7 {fanout['grid_points']}-pt grid serial "
+        f"{fanout['serial_mmap_seconds']*1e3:.1f}ms, "
+        f"{fanout['workers']} workers {fanout['fanout_seconds']*1e3:.0f}ms "
+        f"(counts identical)"
+    )
     if "census_n9_bcg_streamed" in report:
         census9 = report["census_n9_bcg_streamed"]
         print(
@@ -550,6 +694,11 @@ def main(argv=None) -> int:
         failures.append(
             f"census store grid sweep speedup {store8['grid_speedup']:.1f}x "
             "at n=8 is below the 10x floor"
+        )
+    if weighted["speedup"] < 10.0 and not args.report_only:
+        failures.append(
+            f"weighted engine speedup {weighted['speedup']:.1f}x at n=7 "
+            "is below the 10x floor"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

@@ -1,0 +1,72 @@
+"""Smoke test: mmap-shared census-store queries from a process-pool fan-out.
+
+Builds a small BCG census store, persists it in the memory-mappable
+directory layout, then answers one α-grid from many worker processes — each
+worker ``CensusStore.load(path, mmap=True)``-ing the *same* on-disk columns
+(zero-copy page sharing through the OS cache) and querying its own slice of
+the grid.  The fanned-out counts must equal a serial sweep over the parent's
+own mmap handle, and both must equal the non-mmap in-memory store.
+
+Run from the repository root (CI runs it with ``--n 6 --jobs 2``)::
+
+    PYTHONPATH=src python benchmarks/smoke_mmap_fanout.py --n 6 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.store import CensusStore
+from repro.analysis.sweeps import log_spaced_alphas
+from repro.engine import chunk_evenly, parallel_map
+
+
+def _mmap_counts_task(task: Tuple[str, List[float]]) -> List[int]:
+    """Pool worker: map the artifact read-only and count equilibria."""
+    path, alphas = task
+    store = CensusStore.load(path, mmap=True)
+    return [int(c) for c in store.equilibrium_counts(alphas, "bcg")]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=6, help="census size (default 6)")
+    parser.add_argument("--jobs", type=int, default=2, help="pool workers (default 2)")
+    parser.add_argument("--grid", type=int, default=16, help="α-grid points (default 16)")
+    args = parser.parse_args(argv)
+
+    store = CensusStore.build(args.n, include_ucg=False)
+    alphas = log_spaced_alphas(0.2, float(args.n * args.n), max(2, args.grid))
+    expected = [int(c) for c in store.equilibrium_counts(alphas, "bcg")]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, f"census{args.n}_dir")
+        store.save(path, format="dir")
+
+        mapped = CensusStore.load(path, mmap=True)
+        serial = [int(c) for c in mapped.equilibrium_counts(alphas, "bcg")]
+        assert serial == expected, "mmap serial sweep diverged from the in-memory store"
+
+        chunks = chunk_evenly(alphas, max(1, args.jobs * 2))
+        tasks = [(path, chunk) for chunk in chunks]
+        fanned: List[int] = []
+        for part in parallel_map(_mmap_counts_task, tasks, jobs=args.jobs):
+            fanned.extend(part)
+        assert fanned == expected, "mmap fan-out sweep diverged from the serial sweep"
+
+    print(
+        f"mmap fan-out smoke OK: n = {args.n}, {len(store)} classes, "
+        f"{len(alphas)}-point grid over {args.jobs} workers "
+        f"({len(tasks)} chunks), counts identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,18 @@ from .core import (
     ucg_nash_alpha_set,
     worst_case_price_of_anarchy,
 )
+from .costmodels import (
+    CostModel,
+    PerEdgeCost,
+    PerPlayerCost,
+    ScaledCost,
+    UniformCost,
+    WeightedBilateralGame,
+    WeightedStabilityProfile,
+    WeightedUnilateralGame,
+    weighted_stability_profile,
+    weighted_ucg_nash_t_set,
+)
 from .engine import DistanceOracle, get_default_oracle, parallel_map
 from .graphs import (
     Graph,
@@ -116,6 +128,17 @@ __all__ = [
     "DynamicsResult",
     "best_response_dynamics_ucg",
     "pairwise_dynamics_bcg",
+    # heterogeneous link costs
+    "CostModel",
+    "UniformCost",
+    "PerPlayerCost",
+    "PerEdgeCost",
+    "ScaledCost",
+    "WeightedBilateralGame",
+    "WeightedUnilateralGame",
+    "WeightedStabilityProfile",
+    "weighted_stability_profile",
+    "weighted_ucg_nash_t_set",
     # engine
     "DistanceOracle",
     "get_default_oracle",

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dynamics import sample_nash_networks_ucg, sample_stable_networks_bcg
 from ..core.equilibria import is_nash_graph_ucg, is_pairwise_stable
+from ..core.stability_intervals import PairwiseStabilityProfile
+from ..engine import DistanceOracle, batch_stability_deltas, numpy_available
 from ..graphs import Graph, canonical_form
 from .sweeps import aligned_link_costs, map_over_grid
 
@@ -30,6 +32,80 @@ def deduplicate_up_to_isomorphism(graphs: Sequence[Graph]) -> List[Graph]:
             seen.add(key)
             unique.append(graph)
     return unique
+
+
+# --------------------------------------------------------------------------- #
+# Store-backed sampling: columnar α-grid queries over sampled graph lists
+# --------------------------------------------------------------------------- #
+
+
+def sampled_bcg_profiles(
+    graphs: Sequence[Graph], oracle: Optional[DistanceOracle] = None
+) -> List[PairwiseStabilityProfile]:
+    """Stability profiles of an ad-hoc graph list via the batched engine.
+
+    One call to :func:`repro.engine.batch_stability_deltas` answers every
+    single-link deviation probe of every sampled graph (batched boolean
+    matmuls where NumPy is available), instead of a per-graph BFS loop.
+    """
+    results = batch_stability_deltas(list(graphs), oracle=oracle)
+    return [
+        PairwiseStabilityProfile(
+            graph=graph, removal_increase=removal, addition_saving=addition
+        )
+        for graph, (removal, addition) in zip(graphs, results)
+    ]
+
+
+def sampled_bcg_columns(
+    graphs: Sequence[Graph], oracle: Optional[DistanceOracle] = None
+):
+    """BCG α-decision columns for a sampled graph list.
+
+    Routes the sampled graphs through
+    :func:`repro.analysis.store.bcg_alpha_columns`, so dynamics-sampled runs
+    get the same vectorised whole-α-grid queries as the exhaustive census
+    store; returns ``(rem_min, add_lo, add_hi, add_indptr)``.  Requires
+    NumPy (like every columnar consumer).
+    """
+    from .store import bcg_alpha_columns
+
+    return bcg_alpha_columns(sampled_bcg_profiles(graphs, oracle=oracle))
+
+
+def sampled_stable_mask(
+    graphs: Sequence[Graph],
+    alphas: Sequence[float],
+    oracle: Optional[DistanceOracle] = None,
+):
+    """``bool[n_graphs, n_alphas]`` pairwise-stability mask of sampled graphs.
+
+    Vectorised through :func:`repro.engine.columnar.bcg_stable_mask` when
+    NumPy is importable (bit-identical to the per-graph Definition 3
+    check); a per-profile Python loop otherwise.
+    """
+    if not numpy_available():
+        profiles = sampled_bcg_profiles(graphs, oracle=oracle)
+        return [
+            [profile.is_stable_at(alpha) for alpha in alphas]
+            for profile in profiles
+        ]
+    from ..engine.columnar import bcg_stable_mask
+
+    rem_min, add_lo, add_hi, add_indptr = sampled_bcg_columns(graphs, oracle=oracle)
+    return bcg_stable_mask(rem_min, add_lo, add_hi, add_indptr, alphas)
+
+
+def sampled_stable_counts(
+    graphs: Sequence[Graph],
+    alphas: Sequence[float],
+    oracle: Optional[DistanceOracle] = None,
+) -> List[int]:
+    """Stable-graph counts of a sampled list at every grid point."""
+    mask = sampled_stable_mask(graphs, alphas, oracle=oracle)
+    return [
+        sum(1 for row in mask if row[column]) for column in range(len(alphas))
+    ]
 
 
 @dataclass

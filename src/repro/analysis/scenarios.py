@@ -1,0 +1,196 @@
+"""Scenario library: named heterogeneous link-cost configurations.
+
+Each scenario packages a player count and a
+:class:`~repro.costmodels.models.CostModel` capturing one stylised peering
+economy, ready for :func:`~repro.analysis.weighted.weighted_sweep` /
+:func:`~repro.analysis.weighted.weighted_census` over a scale grid (the
+sweep plays ``C = t·W`` at every grid point ``t``):
+
+* ``two_tier_isp`` — per-player rates: a small tier-1 core builds links
+  cheaply, the stub networks dearly (asymmetric peering costs);
+* ``hub_discounted`` — per-edge prices with every link into one hub (an
+  exchange point) discounted relative to the flat rate;
+* ``line_metric`` — distance-to-metric: players sit on a line and a link's
+  price is proportional to the metric distance it spans (longer haul,
+  higher build-out cost);
+* ``random_weights`` — a seeded random per-edge ensemble (uniform prices in
+  ``[low, high]``), the null model heterogeneous results are compared to.
+
+Every factory is deterministic in ``(n, seed, params)`` — the RNG is a
+dedicated ``random.Random(seed)`` — so parallel and repeated sweeps agree
+exactly.  The registry is what the CLI ``scenarios`` subcommand exposes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..costmodels.models import CostModel, PerEdgeCost, PerPlayerCost
+from .sweeps import log_spaced_alphas
+from .weighted import WeightedSweepResult, weighted_census
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named heterogeneous link-cost configuration on ``n`` players."""
+
+    name: str
+    description: str
+    n: int
+    model: CostModel
+    params: Dict[str, float] = field(default_factory=dict)
+
+
+def two_tier_isp(
+    n: int,
+    seed: int = 0,
+    core: int = 2,
+    core_alpha: float = 0.5,
+    stub_alpha: float = 2.0,
+) -> Scenario:
+    """Asymmetric two-tier ISP market: a cheap core, expensive stubs.
+
+    Players ``0 .. core-1`` are tier-1 backbones paying ``core_alpha`` per
+    link; the rest are stub networks paying ``stub_alpha``.  ``seed`` is
+    accepted (registry contract) but unused — the scenario is deterministic.
+    """
+    if not 0 < core <= n:
+        raise ValueError("the core size must satisfy 0 < core <= n")
+    rates = [core_alpha if i < core else stub_alpha for i in range(n)]
+    return Scenario(
+        name="two_tier_isp",
+        description=(
+            f"{core} tier-1 players at α={core_alpha:g}, "
+            f"{n - core} stubs at α={stub_alpha:g}"
+        ),
+        n=n,
+        model=PerPlayerCost(rates),
+        params={"core": core, "core_alpha": core_alpha, "stub_alpha": stub_alpha},
+    )
+
+
+def hub_discounted(
+    n: int,
+    seed: int = 0,
+    hub: int = 0,
+    alpha: float = 1.0,
+    discount: float = 0.25,
+) -> Scenario:
+    """Per-edge prices with links into one hub discounted.
+
+    Every pair costs ``alpha`` except pairs containing ``hub``, which cost
+    ``discount·alpha`` — an exchange point subsidising attachment.
+    """
+    if not 0 <= hub < n:
+        raise ValueError("the hub must be one of the players")
+    if not 0 < discount:
+        raise ValueError("the discount factor must be strictly positive")
+    weights = [
+        [
+            0.0
+            if i == j
+            else (discount * alpha if hub in (i, j) else alpha)
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+    return Scenario(
+        name="hub_discounted",
+        description=(
+            f"flat α={alpha:g}, links into hub {hub} at {discount:g}×α"
+        ),
+        n=n,
+        model=PerEdgeCost(weights),
+        params={"hub": hub, "alpha": alpha, "discount": discount},
+    )
+
+
+def line_metric(n: int, seed: int = 0, alpha: float = 1.0) -> Scenario:
+    """Distance-to-metric prices: players on a line, cost ∝ span.
+
+    Player ``i`` sits at position ``i``; pair ``{i, j}`` costs
+    ``alpha·|i - j|`` to each endpoint.
+    """
+    weights = [
+        [0.0 if i == j else alpha * abs(i - j) for j in range(n)]
+        for i in range(n)
+    ]
+    return Scenario(
+        name="line_metric",
+        description=f"line metric, pair {{i,j}} costs {alpha:g}·|i-j|",
+        n=n,
+        model=PerEdgeCost(weights),
+        params={"alpha": alpha},
+    )
+
+
+def random_weights(
+    n: int,
+    seed: int = 0,
+    low: float = 0.5,
+    high: float = 2.0,
+) -> Scenario:
+    """Seeded random per-edge ensemble: pair prices uniform in ``[low, high]``."""
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    rng = random.Random(seed)
+    weights = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            weights[i][j] = weights[j][i] = rng.uniform(low, high)
+    return Scenario(
+        name="random_weights",
+        description=(
+            f"random pair prices uniform in [{low:g}, {high:g}] (seed {seed})"
+        ),
+        n=n,
+        model=PerEdgeCost(weights),
+        params={"seed": seed, "low": low, "high": high},
+    )
+
+
+#: Registry of scenario factories: ``name -> factory(n, seed=..., **params)``.
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "two_tier_isp": two_tier_isp,
+    "hub_discounted": hub_discounted,
+    "line_metric": line_metric,
+    "random_weights": random_weights,
+}
+
+
+def available_scenarios() -> List[str]:
+    """The registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def build_scenario(name: str, n: int, seed: int = 0, **params) -> Scenario:
+    """Instantiate a registered scenario by name."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+    return factory(n, seed=seed, **params)
+
+
+def default_t_grid(n: int, count: int = 12) -> List[float]:
+    """The default scale grid of a scenario sweep (log-spaced, like figures)."""
+    return log_spaced_alphas(0.2, float(n * n), max(2, count))
+
+
+def scenario_sweep(
+    scenario: Scenario,
+    ts: Optional[Sequence[float]] = None,
+    grid: int = 12,
+    include_ucg: bool = False,
+    jobs: Optional[int] = None,
+) -> WeightedSweepResult:
+    """Weighted census of every connected class under the scenario's model."""
+    if ts is None:
+        ts = default_t_grid(scenario.n, grid)
+    return weighted_census(
+        scenario.n, scenario.model, ts, include_ucg=include_ucg, jobs=jobs
+    )

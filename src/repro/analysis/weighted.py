@@ -1,0 +1,327 @@
+"""Weighted census/sweep path: whole-``t``-grid stability over many graphs.
+
+The scalar censuses decide equilibrium membership for every isomorphism
+class on an α-grid.  Heterogeneous link costs break isomorphism invariance —
+relabelling a graph moves its vertices onto different prices — so the
+weighted path sweeps an explicit list of *labelled* graphs under one
+:class:`~repro.costmodels.models.CostModel` ``W``, over a grid of scales
+``t`` (the game at each grid point is ``C = t·W``).
+:func:`weighted_census` instantiates the sweep on the canonical
+representatives of every connected isomorphism class, which keeps the
+scalar census shape: with a uniform model the per-class answers are exactly
+the scalar census's (asserted float-exactly in the test suite), while a
+heterogeneous model measures how the chosen labelling interacts with the
+price structure — the point of the scenario library
+(:mod:`repro.analysis.scenarios`).
+
+Two execution paths, one contract:
+
+* with NumPy, probes are batched through
+  :func:`repro.engine.batch.batch_weighted_columns` (the boolean-matmul
+  delta tensors paired with per-probe coefficient vectors) and whole grids
+  are answered by :func:`repro.engine.columnar.weighted_bcg_stable_mask`;
+* without it, every graph gets a per-graph
+  :class:`~repro.costmodels.stability.WeightedStabilityProfile` loop
+  (:func:`weighted_python_sweep_bcg` — also the reference implementation
+  the engine path is benchmarked and tested against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..costmodels.models import CostModel
+from ..costmodels.stability import (
+    weighted_stability_profile,
+    weighted_ucg_nash_t_set,
+)
+from ..engine import numpy_available, parallel_map
+from ..engine.oracle import DistanceOracle
+from ..graphs import Graph, enumerate_connected_graphs, total_distance
+
+
+def _require_same_n(graphs: Sequence[Graph]) -> int:
+    sizes = {graph.n for graph in graphs}
+    if len(sizes) > 1:
+        raise ValueError(
+            f"a weighted sweep needs graphs on one vertex set, got n in {sorted(sizes)}"
+        )
+    return sizes.pop() if sizes else 0
+
+
+def weighted_python_sweep_bcg(
+    graphs: Sequence[Graph],
+    model: CostModel,
+    ts: Sequence[float],
+    oracle: Optional[DistanceOracle] = None,
+) -> List[List[bool]]:
+    """Reference per-graph weighted stability sweep (no NumPy required).
+
+    Returns ``mask[i][j]`` = graph ``i`` pairwise stable under ``ts[j]·W``,
+    decision-identical to the vectorised engine path (which is benchmarked
+    against this loop in ``benchmarks/bench_engine.py``).
+    """
+    if oracle is None:
+        oracle = DistanceOracle()
+    mask: List[List[bool]] = []
+    for graph in graphs:
+        profile = weighted_stability_profile(graph, model, oracle=oracle)
+        mask.append([profile.is_stable_at(t) for t in ts])
+    return mask
+
+
+def weighted_bcg_grid_mask(
+    graphs: Sequence[Graph],
+    model: CostModel,
+    ts: Sequence[float],
+    oracle: Optional[DistanceOracle] = None,
+):
+    """``bool[n_graphs, n_ts]`` weighted stability mask over a scale grid.
+
+    Vectorised through the engine when NumPy is importable (returns an
+    ndarray), per-graph otherwise (returns a list of lists); decisions are
+    identical either way.
+    """
+    if not numpy_available():
+        return weighted_python_sweep_bcg(graphs, model, ts, oracle=oracle)
+    from ..engine.batch import batch_weighted_columns
+    from ..engine.columnar import weighted_bcg_stable_mask
+
+    n = _require_same_n(graphs)
+    columns = batch_weighted_columns(graphs, model.matrix(n), oracle=oracle)
+    return weighted_bcg_stable_mask(
+        columns["rem_w"], columns["rem_delta"], columns["rem_indptr"],
+        columns["add_w_u"], columns["add_s_u"],
+        columns["add_w_v"], columns["add_s_v"], columns["add_indptr"],
+        ts,
+    )
+
+
+def weighted_t_windows(
+    graphs: Sequence[Graph],
+    model: CostModel,
+    oracle: Optional[DistanceOracle] = None,
+) -> Tuple[List[float], List[float]]:
+    """Per-graph ``(t_min, t_max)`` stabilising-scale windows under ``W``."""
+    if not numpy_available():
+        if oracle is None:
+            oracle = DistanceOracle()
+        pairs = [
+            weighted_stability_profile(g, model, oracle=oracle).stability_t_interval()
+            for g in graphs
+        ]
+        return [lo for lo, _ in pairs], [hi for _, hi in pairs]
+    from ..engine.batch import batch_weighted_columns
+    from ..engine.columnar import weighted_stability_windows
+
+    n = _require_same_n(graphs)
+    columns = batch_weighted_columns(graphs, model.matrix(n), oracle=oracle)
+    t_min, t_max = weighted_stability_windows(
+        columns["rem_w"], columns["rem_delta"], columns["rem_indptr"],
+        columns["add_w_u"], columns["add_s_u"],
+        columns["add_w_v"], columns["add_s_v"], columns["add_indptr"],
+    )
+    return t_min.tolist(), t_max.tolist()
+
+
+def _weighted_ucg_intervals_task(task):
+    """Pool worker: the weighted UCG Nash t-intervals of one graph."""
+    graph, model = task
+    return [
+        (interval.lo, interval.hi)
+        for interval in weighted_ucg_nash_t_set(graph, model).intervals
+    ]
+
+
+def weighted_ucg_grid_mask(
+    graphs: Sequence[Graph],
+    model: CostModel,
+    ts: Sequence[float],
+    jobs: Optional[int] = None,
+):
+    """``bool[n_graphs, n_ts]`` weighted UCG Nash-supportability mask.
+
+    The per-graph orientation search dominates (exactly as in the scalar
+    census), so it fans out over ``jobs`` workers; the grid membership test
+    itself is one vectorised interval-containment pass when NumPy is
+    available.
+    """
+    interval_lists = parallel_map(
+        _weighted_ucg_intervals_task, [(g, model) for g in graphs], jobs=jobs
+    )
+    if not numpy_available():
+        from ..core.stability_intervals import AlphaInterval, AlphaIntervalSet
+
+        return [
+            [
+                AlphaIntervalSet(
+                    [AlphaInterval(lo, hi) for lo, hi in intervals]
+                ).contains(t)
+                for t in ts
+            ]
+            for intervals in interval_lists
+        ]
+    import numpy as np
+
+    from ..engine.columnar import ucg_nash_mask
+
+    iv_lo: List[float] = []
+    iv_hi: List[float] = []
+    counts: List[int] = []
+    for intervals in interval_lists:
+        for lo, hi in intervals:
+            iv_lo.append(lo)
+            iv_hi.append(hi)
+        counts.append(len(intervals))
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(counts, dtype=np.int64), out=indptr[1:])
+    return ucg_nash_mask(
+        np.asarray(iv_lo, dtype=np.float64),
+        np.asarray(iv_hi, dtype=np.float64),
+        indptr,
+        ts,
+    )
+
+
+@dataclass
+class WeightedSweepResult:
+    """A weighted stability sweep over one graph list, model and scale grid."""
+
+    n: int
+    model: CostModel
+    ts: List[float]
+    graphs: List[Graph]
+    #: ``mask[i][j]`` — graph ``i`` pairwise stable under ``ts[j]·W``.
+    bcg_mask: object
+    #: Stable-graph count per grid point.
+    bcg_counts: List[int]
+    #: Per-graph stabilising-scale windows ``(t_min, t_max)``.
+    t_min: List[float]
+    t_max: List[float]
+    #: Mean edge count over the stable graphs per grid point (``nan`` if none).
+    average_links: List[float]
+    #: Mean weighted social cost over the stable graphs per grid point.
+    average_social_cost: List[float]
+    #: UCG Nash mask / counts (only with ``include_ucg=True``).
+    ucg_mask: object = None
+    ucg_counts: Optional[List[int]] = None
+    #: Per-graph scale-independent quantities backing the aggregates.
+    edge_cost_totals: List[float] = field(default_factory=list)
+    dist_totals: List[float] = field(default_factory=list)
+
+    def stable_graphs_at(self, index: int) -> List[Graph]:
+        """The graphs stable at grid point ``index`` (BCG)."""
+        return [g for g, row in zip(self.graphs, self.bcg_mask) if row[index]]
+
+
+def weighted_sweep(
+    graphs: Sequence[Graph],
+    model: CostModel,
+    ts: Sequence[float],
+    include_ucg: bool = False,
+    jobs: Optional[int] = None,
+    oracle: Optional[DistanceOracle] = None,
+) -> WeightedSweepResult:
+    """Sweep weighted stability of ``graphs`` under ``t·W`` over a ``t``-grid.
+
+    The BCG mask and windows ride the vectorised engine path; the social
+    cost at each grid point is assembled from two scale-independent
+    per-graph numbers (the unscaled link spend ``Σ_e (w_u + w_v)`` and the
+    distance total), so the whole sweep runs the deviation analysis exactly
+    once.  ``include_ucg=True`` adds the (much slower) per-graph weighted
+    orientation search, fanned out over ``jobs`` workers.
+    """
+    graphs = list(graphs)
+    ts = [float(t) for t in ts]
+    n = _require_same_n(graphs)
+    if numpy_available():
+        from ..engine.batch import batch_weighted_columns
+        from ..engine.columnar import weighted_bcg_stable_mask, weighted_stability_windows
+
+        columns = batch_weighted_columns(graphs, model.matrix(n), oracle=oracle)
+        probe_columns = (
+            columns["rem_w"], columns["rem_delta"], columns["rem_indptr"],
+            columns["add_w_u"], columns["add_s_u"],
+            columns["add_w_v"], columns["add_s_v"], columns["add_indptr"],
+        )
+        mask = weighted_bcg_stable_mask(*probe_columns, ts)
+        t_min_column, t_max_column = weighted_stability_windows(*probe_columns)
+        t_min, t_max = t_min_column.tolist(), t_max_column.tolist()
+        dist_totals = columns["dist_total"].tolist()
+        num_edges = [int(m) for m in columns["num_edges"]]
+    else:
+        if oracle is None:
+            oracle = DistanceOracle()
+        profiles = [
+            weighted_stability_profile(g, model, oracle=oracle) for g in graphs
+        ]
+        mask = [[profile.is_stable_at(t) for t in ts] for profile in profiles]
+        t_min = [profile.t_min for profile in profiles]
+        t_max = [profile.t_max for profile in profiles]
+        dist_totals = [total_distance(g) for g in graphs]
+        num_edges = [g.num_edges for g in graphs]
+    edge_cost_totals = [model.bcg_edge_cost_total(g) for g in graphs]
+
+    bcg_counts: List[int] = []
+    average_links: List[float] = []
+    average_social_cost: List[float] = []
+    for column, t in enumerate(ts):
+        selected = [i for i in range(len(graphs)) if mask[i][column]]
+        bcg_counts.append(len(selected))
+        if not selected:
+            average_links.append(float("nan"))
+            average_social_cost.append(float("nan"))
+            continue
+        average_links.append(
+            sum(num_edges[i] for i in selected) / len(selected)
+        )
+        average_social_cost.append(
+            sum(t * edge_cost_totals[i] + dist_totals[i] for i in selected)
+            / len(selected)
+        )
+
+    ucg_mask = None
+    ucg_counts = None
+    if include_ucg:
+        ucg_mask = weighted_ucg_grid_mask(graphs, model, ts, jobs=jobs)
+        ucg_counts = [
+            sum(1 for i in range(len(graphs)) if ucg_mask[i][column])
+            for column in range(len(ts))
+        ]
+
+    return WeightedSweepResult(
+        n=n,
+        model=model,
+        ts=ts,
+        graphs=graphs,
+        bcg_mask=mask,
+        bcg_counts=bcg_counts,
+        t_min=t_min,
+        t_max=t_max,
+        average_links=average_links,
+        average_social_cost=average_social_cost,
+        ucg_mask=ucg_mask,
+        ucg_counts=ucg_counts,
+        edge_cost_totals=edge_cost_totals,
+        dist_totals=dist_totals,
+    )
+
+
+def weighted_census(
+    n: int,
+    model: CostModel,
+    ts: Sequence[float],
+    include_ucg: bool = False,
+    jobs: Optional[int] = None,
+) -> WeightedSweepResult:
+    """The weighted sweep over every connected isomorphism class on ``n``.
+
+    Uses the canonical class representatives in census order, so row ``i``
+    here and row ``i`` of the scalar census/store describe the same class;
+    with a uniform unit model and ``ts`` equal to the α-grid the mask is
+    float-exactly the scalar ``stable_mask``.
+    """
+    return weighted_sweep(
+        enumerate_connected_graphs(n), model, ts, include_ucg=include_ucg, jobs=jobs
+    )

@@ -38,8 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
             "'The Price of Selfish Behavior in Bilateral Network Formation'."
         ),
         epilog=(
-            "Subcommand: 'census' builds, saves, loads and queries columnar "
-            "equilibrium-census artifacts — see 'census --help'."
+            "Subcommands: 'census' builds, saves, loads and queries columnar "
+            "equilibrium-census artifacts; 'scenarios' sweeps heterogeneous "
+            "link-cost scenarios — see 'census --help' / 'scenarios --help'."
         ),
     )
     parser.add_argument(
@@ -151,6 +152,101 @@ def build_census_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_scenarios_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``scenarios`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments scenarios",
+        description=(
+            "Sweep heterogeneous link-cost scenarios (per-player / per-edge "
+            "α) over a scale grid: at every grid point t the games are "
+            "played on C = t·W."
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered scenario names and exit",
+    )
+    parser.add_argument(
+        "--name", default=None, metavar="SCENARIO",
+        help="scenario to sweep (see --list)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=6, metavar="N",
+        help="number of players (default: 6)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="seed for randomised scenarios (default: 0)",
+    )
+    parser.add_argument(
+        "--grid", type=int, default=8, metavar="POINTS",
+        help="number of log-spaced scale grid points (default: 8)",
+    )
+    parser.add_argument(
+        "--ucg",
+        action="store_true",
+        help="also run the (slower) weighted UCG orientation analysis",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the UCG analysis out over N worker processes",
+    )
+    return parser
+
+
+def scenarios_main(argv: List[str]) -> int:
+    """Run the ``scenarios`` subcommand; returns a process exit code."""
+    from .analysis.report import format_table
+    from .analysis.scenarios import available_scenarios, build_scenario, scenario_sweep
+
+    parser = build_scenarios_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in available_scenarios():
+            print(name)
+        return 0
+    if args.name is None:
+        parser.print_usage(sys.stderr)
+        print("one of --list and --name is required", file=sys.stderr)
+        return 2
+    if args.n < 2:
+        print("scenarios need at least two players", file=sys.stderr)
+        return 2
+    try:
+        scenario = build_scenario(args.name, args.n, seed=args.seed)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    result = scenario_sweep(
+        scenario, grid=args.grid, include_ucg=args.ucg, jobs=args.jobs
+    )
+    model = scenario.model
+    print(
+        f"scenario {scenario.name}: n = {scenario.n}, "
+        f"{model.kind} cost model, {len(result.graphs)} connected classes"
+    )
+    print(f"  {scenario.description}")
+    headers = ["t", "#stable_bcg", "avg_links", "avg_social_cost"]
+    if args.ucg:
+        headers.append("#nash_ucg")
+    rows = []
+    for k, t in enumerate(result.ts):
+        row = [
+            t,
+            result.bcg_counts[k],
+            result.average_links[k],
+            result.average_social_cost[k],
+        ]
+        if args.ucg:
+            row.append(result.ucg_counts[k])
+        rows.append(row)
+    print()
+    print(format_table(headers, rows))
+    return 0
+
+
 def census_main(argv: List[str]) -> int:
     """Run the ``census`` subcommand; returns a process exit code."""
     import zipfile
@@ -232,6 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "census":
         return census_main(list(argv[1:]))
+    if argv and argv[0] == "scenarios":
+        return scenarios_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

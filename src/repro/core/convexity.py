@@ -20,7 +20,7 @@ Two different notions appear:
 from __future__ import annotations
 
 from itertools import chain, combinations
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..graphs import Graph, distance_sum
 from .stability_intervals import distance_delta, pairwise_stability_profile
@@ -28,13 +28,15 @@ from .stability_intervals import distance_delta, pairwise_stability_profile
 Edge = Tuple[int, int]
 
 
-def _non_empty_subsets(items: List[Edge], max_size: int = None) -> Iterable[Tuple[Edge, ...]]:
+def _non_empty_subsets(
+    items: List[Edge], max_size: Optional[int] = None
+) -> Iterable[Tuple[Edge, ...]]:
     limit = len(items) if max_size is None else min(max_size, len(items))
     return chain.from_iterable(combinations(items, r) for r in range(1, limit + 1))
 
 
 def cost_convexity_violations(
-    graph: Graph, player: int, max_subset_size: int = None
+    graph: Graph, player: int, max_subset_size: Optional[int] = None
 ) -> List[Tuple[Edge, ...]]:
     """Subsets of ``player``'s links that violate Definition 4 on ``graph``.
 
@@ -69,13 +71,13 @@ def cost_convexity_violations(
 
 
 def is_cost_convex_for_player(
-    graph: Graph, player: int, max_subset_size: int = None
+    graph: Graph, player: int, max_subset_size: Optional[int] = None
 ) -> bool:
     """Whether Definition 4 holds for ``player`` on ``graph`` (Lemma 1 says yes)."""
     return not cost_convexity_violations(graph, player, max_subset_size)
 
 
-def is_cost_convex(graph: Graph, max_subset_size: int = None) -> bool:
+def is_cost_convex(graph: Graph, max_subset_size: Optional[int] = None) -> bool:
     """Whether Definition 4 holds for every player on ``graph``."""
     return all(
         is_cost_convex_for_player(graph, player, max_subset_size)

@@ -13,7 +13,7 @@ edge; in the UCG each edge is paid for once, so ``C(G) = α|A| + Σ d``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..graphs import Graph, distance_sum, total_distance
 from .strategies import StrategyProfile
@@ -28,7 +28,9 @@ def distance_cost(graph: Graph, player: int) -> float:
     return distance_sum(graph, player)
 
 
-def player_cost_graph(graph: Graph, player: int, alpha: float, links_paid: int = None) -> float:
+def player_cost_graph(
+    graph: Graph, player: int, alpha: float, links_paid: Optional[int] = None
+) -> float:
     """Player cost evaluated on a *graph* (rather than a profile).
 
     ``links_paid`` is the number of links player ``i`` pays for.  In the BCG

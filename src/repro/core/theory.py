@@ -10,7 +10,7 @@ can print "paper formula vs measured" side by side.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..graphs import moore_bound
 
@@ -121,7 +121,7 @@ def poa_lower_bound_shape(alpha: float) -> float:
     return math.log2(alpha)
 
 
-def poa_upper_bound_shape(alpha: float, n: int = None) -> float:
+def poa_upper_bound_shape(alpha: float, n: Optional[int] = None) -> float:
     """The O(√α) upper-bound shape of Proposition 4 (up to a constant).
 
     When ``n`` is provided the refined ``O(min(√α, n/√α))`` form (tight by

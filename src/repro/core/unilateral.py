@@ -28,7 +28,7 @@ census over many values of ``α`` pays the search cost only once per graph.
 from __future__ import annotations
 
 from itertools import chain, combinations
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine import DistanceOracle, get_default_oracle
 from ..graphs import Graph, INFINITY, bitset_distance_sum
@@ -208,33 +208,24 @@ def ownership_best_response_interval(
     return AlphaInterval(lo, hi)
 
 
-def ucg_nash_alpha_set(
-    graph: Graph, oracle: Optional[DistanceOracle] = None
+def orientation_interval_search(
+    graph: Graph,
+    ownership_interval: Callable[[int, FrozenSet[Edge]], AlphaInterval],
 ) -> AlphaIntervalSet:
-    """All link costs at which ``graph`` is a Nash network of the UCG.
+    """Union over edge orientations of the per-player interval intersections.
 
-    Searches over assignments of each edge to a buying endpoint
-    (backtracking vertex by vertex), intersecting the per-player
-    best-response intervals computed by
-    :func:`ownership_best_response_interval` and pruning empty
-    intersections.  The union of the surviving intersections is returned.
+    The shared engine of the scalar and weighted Nash-supportability
+    computations: assignments of each edge to a buying endpoint are
+    enumerated by backtracking vertex by vertex, ``ownership_interval(
+    player, owned)`` supplies the (cached-by-the-caller or not) link-cost
+    interval at which that ownership is a best response, and branches whose
+    running intersection empties are pruned.  The union of the surviving
+    intersections is returned.
     """
-    if oracle is None:
-        oracle = get_default_oracle()
     n = graph.n
     edges_at: List[List[Edge]] = [[] for _ in range(n)]
     for (u, v) in graph.sorted_edges():
         edges_at[u].append((u, v))
-
-    interval_cache: Dict[Tuple[int, FrozenSet[Edge]], AlphaInterval] = {}
-
-    def player_interval(player: int, owned: FrozenSet[Edge]) -> AlphaInterval:
-        key = (player, owned)
-        if key not in interval_cache:
-            interval_cache[key] = ownership_best_response_interval(
-                graph, player, owned, oracle=oracle
-            )
-        return interval_cache[key]
 
     result = AlphaIntervalSet()
     assigned_to: List[List[Edge]] = [[] for _ in range(n)]
@@ -249,7 +240,7 @@ def ucg_nash_alpha_set(
         for take in _subsets(range(len(local_edges))):
             taken = [local_edges[k] for k in take]
             owned = frozenset(assigned_to[player] + taken)
-            interval = player_interval(player, owned)
+            interval = ownership_interval(player, owned)
             narrowed = running.intersect(interval)
             if narrowed.is_empty():
                 continue
@@ -262,6 +253,31 @@ def ucg_nash_alpha_set(
 
     backtrack(0, FULL_ALPHA_RANGE)
     return result
+
+
+def ucg_nash_alpha_set(
+    graph: Graph, oracle: Optional[DistanceOracle] = None
+) -> AlphaIntervalSet:
+    """All link costs at which ``graph`` is a Nash network of the UCG.
+
+    Runs :func:`orientation_interval_search` over the per-player
+    best-response intervals of :func:`ownership_best_response_interval`
+    (memoised per ``(player, owned)`` — distinct orientations reuse them).
+    """
+    if oracle is None:
+        oracle = get_default_oracle()
+
+    interval_cache: Dict[Tuple[int, FrozenSet[Edge]], AlphaInterval] = {}
+
+    def player_interval(player: int, owned: FrozenSet[Edge]) -> AlphaInterval:
+        key = (player, owned)
+        if key not in interval_cache:
+            interval_cache[key] = ownership_best_response_interval(
+                graph, player, owned, oracle=oracle
+            )
+        return interval_cache[key]
+
+    return orientation_interval_search(graph, player_interval)
 
 
 def is_nash_graph_ucg(

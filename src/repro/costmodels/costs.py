@@ -1,0 +1,111 @@
+"""Weighted player and social costs under heterogeneous link-cost models.
+
+Generalises :mod:`repro.core.costs` from the scalar ``α`` to a
+:class:`~repro.costmodels.models.CostModel`: player ``i``'s cost under
+profile ``s`` becomes
+
+    ``c_i(s) = Σ_{j ∈ s_i} w(i, j) + Σ_j d_(i,j)(G(s))``
+
+and the social cost of a BCG network is ``Σ_{(u,v)∈A} (w(u,v) + w(v,u)) +
+Σ_{i,j} d`` (both endpoints pay their own price for every edge).  In the UCG
+each edge is paid for once by its buyer, so the social cost depends on the
+edge-ownership map; without one, every edge is charged to its cheaper
+endpoint (the lower envelope over ownerships).
+
+All aggregation is routed through the model's hooks
+(:meth:`~repro.costmodels.models.CostModel.player_link_cost` etc.), which
+:class:`~repro.costmodels.models.UniformCost` overrides with the scalar
+closed forms — so with a uniform model every function here is
+**float-exactly** equal to its :mod:`repro.core.costs` counterpart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.strategies import StrategyProfile
+from ..graphs import Graph, distance_sum, total_distance
+from .models import CostModel
+
+Edge = Tuple[int, int]
+
+
+def weighted_player_cost_graph(
+    graph: Graph,
+    player: int,
+    model: CostModel,
+    links_paid: Optional[Tuple[int, ...]] = None,
+) -> float:
+    """Weighted player cost evaluated on a *graph* (rather than a profile).
+
+    ``links_paid`` lists the neighbours whose links the player pays for.  In
+    the BCG in equilibrium this is every neighbour (the default); in the UCG
+    it is the set of link targets the player *bought*, which depends on the
+    edge ownership and must be passed explicitly.
+    """
+    if links_paid is None:
+        links_paid = tuple(sorted(graph.neighbors(player)))
+    return model.player_link_cost(player, links_paid) + distance_sum(graph, player)
+
+
+def weighted_player_cost_bcg(
+    profile: StrategyProfile, player: int, model: CostModel
+) -> float:
+    """Weighted cost of ``player`` in the BCG under an arbitrary profile.
+
+    As in the scalar game, provisioned-but-unreciprocated requests still
+    cost their full coefficient each.
+    """
+    graph = profile.bilateral_graph()
+    requests = tuple(sorted(profile.requests_of(player)))
+    return model.player_link_cost(player, requests) + distance_sum(graph, player)
+
+
+def weighted_player_cost_ucg(
+    profile: StrategyProfile, player: int, model: CostModel
+) -> float:
+    """Weighted cost of ``player`` in the UCG under an arbitrary profile."""
+    graph = profile.unilateral_graph()
+    requests = tuple(sorted(profile.requests_of(player)))
+    return model.player_link_cost(player, requests) + distance_sum(graph, player)
+
+
+def all_weighted_player_costs_bcg(
+    profile: StrategyProfile, model: CostModel
+) -> List[float]:
+    """Vector of weighted BCG player costs (shares one graph construction)."""
+    graph = profile.bilateral_graph()
+    return [
+        model.player_link_cost(i, tuple(sorted(profile.requests_of(i))))
+        + distance_sum(graph, i)
+        for i in range(profile.n)
+    ]
+
+
+def all_weighted_player_costs_ucg(
+    profile: StrategyProfile, model: CostModel
+) -> List[float]:
+    """Vector of weighted UCG player costs (shares one graph construction)."""
+    graph = profile.unilateral_graph()
+    return [
+        model.player_link_cost(i, tuple(sorted(profile.requests_of(i))))
+        + distance_sum(graph, i)
+        for i in range(profile.n)
+    ]
+
+
+def weighted_social_cost_bcg(graph: Graph, model: CostModel) -> float:
+    """Weighted BCG social cost: ``Σ_e (w(u,v) + w(v,u)) + Σ_{i,j} d``."""
+    return model.bcg_edge_cost_total(graph) + total_distance(graph)
+
+
+def weighted_social_cost_ucg(
+    graph: Graph, model: CostModel, owner: Optional[Dict[Edge, int]] = None
+) -> float:
+    """Weighted UCG social cost under an ownership map.
+
+    ``owner=None`` charges every edge to its cheaper endpoint, the minimum
+    over all ownership assignments (with a uniform model the owner never
+    matters and the scalar ``α·|A| + Σ d`` is recovered exactly).
+    """
+    return model.ucg_edge_cost_total(graph, owner) + total_distance(graph)

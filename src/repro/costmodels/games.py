@@ -1,0 +1,238 @@
+"""Weighted connection games: the BCG and UCG under heterogeneous link costs.
+
+:class:`WeightedBilateralGame` and :class:`WeightedUnilateralGame` are the
+:class:`~repro.core.games.ConnectionGame` subclasses for a
+:class:`~repro.costmodels.models.CostModel` ``W`` at a scale ``t`` (the game
+is played on ``C = t·W``; sweeping ``t`` with a fixed ``W`` is how stability
+regions stay one-dimensional).  The scalar games are recovered exactly with
+:class:`~repro.costmodels.models.UniformCost`: player and social costs,
+stability decisions and the UCG Nash set reduce float-exactly to the
+scalar-α code.
+
+Efficiency (and therefore the price of anarchy) is no longer closed-form
+under heterogeneous costs — the star/complete-graph dichotomy of the scalar
+game breaks when some links are cheaper than others — so the weighted games
+fall back to an exhaustive search over labelled graphs (practical for
+``n ≤ 6``; uniform models keep using the scalar closed forms for any ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.efficiency import efficient_graph as scalar_efficient_graph
+from ..core.efficiency import efficient_social_cost as scalar_efficient_social_cost
+from ..core.games import ConnectionGame
+from ..core.stability_intervals import AlphaIntervalSet
+from ..core.strategies import StrategyProfile
+from ..graphs import Graph
+from .costs import (
+    weighted_player_cost_bcg,
+    weighted_player_cost_ucg,
+    weighted_social_cost_bcg,
+    weighted_social_cost_ucg,
+)
+from .models import CostModel, as_cost_model
+from .stability import (
+    WeightedStabilityProfile,
+    is_weighted_nash_profile_bcg,
+    is_weighted_nash_profile_ucg,
+    weighted_stability_profile,
+    weighted_ucg_nash_t_set,
+)
+
+Edge = Tuple[int, int]
+
+#: Largest player count for which the exhaustive weighted optimum is searched.
+EXHAUSTIVE_OPTIMUM_LIMIT = 6
+
+
+class WeightedConnectionGame(ConnectionGame):
+    """Common machinery of the two weighted connection games.
+
+    Parameters
+    ----------
+    n:
+        Number of players.
+    cost_model:
+        A :class:`CostModel` (or a plain number, coerced to
+        :class:`~repro.costmodels.models.UniformCost`).
+    t:
+        Scale applied to the model: the game is played on ``C = t·W``.
+    """
+
+    #: The scalar game this weighted game generalises ("bcg" or "ucg").
+    base_game: str = "bcg"
+
+    def __init__(self, n: int, cost_model, t: float = 1.0) -> None:
+        if n < 1:
+            raise ValueError("a connection game needs at least one player")
+        if t <= 0:
+            raise ValueError("the scale t must be strictly positive")
+        self.n = n
+        self.model: CostModel = as_cost_model(cost_model, n)
+        self.t = float(t)
+        #: The model actually priced into costs: ``t·W`` (``W`` itself at t=1,
+        #: so the uniform closed-form overrides survive unscaled queries).
+        self.effective_model: CostModel = (
+            self.model if self.t == 1.0 else self.model.scaled(self.t)
+        )
+        self._optimum: Optional[Tuple[Graph, float]] = None
+
+    @property
+    def alpha(self) -> float:
+        """The scalar link cost — defined only for uniform models."""
+        value = self.effective_model.uniform_alpha()
+        if value is None:
+            raise AttributeError(
+                "a heterogeneous cost model has no scalar α; inspect .model"
+            )
+        return value
+
+    def with_scale(self, t: float) -> "WeightedConnectionGame":
+        """The same game at scale ``t`` (relative to the *base* model)."""
+        return type(self)(self.n, self.model, t=t)
+
+    # -- efficiency and price of anarchy ------------------------------------ #
+
+    def _exhaustive_optimum(self) -> Tuple[Graph, float]:
+        """Arg-min of the weighted social cost over all labelled graphs.
+
+        Disconnected graphs have infinite distance totals and are never
+        optimal, so the scan over all ``2^(n(n-1)/2)`` labelled graphs is
+        also the scan over connected ones.  Guarded to small ``n``; uniform
+        models never reach this path.
+        """
+        if self._optimum is None:
+            n = self.n
+            if n > EXHAUSTIVE_OPTIMUM_LIMIT:
+                raise ValueError(
+                    "the exhaustive weighted optimum is only searched for "
+                    f"n <= {EXHAUSTIVE_OPTIMUM_LIMIT} (got n = {n}); use a "
+                    "uniform model or supply the optimum externally"
+                )
+            pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+            best_graph: Optional[Graph] = None
+            best_cost = float("inf")
+            for mask in range(1 << len(pairs)):
+                edges = [pairs[k] for k in range(len(pairs)) if (mask >> k) & 1]
+                graph = Graph(n, edges)
+                cost = self.social_cost(graph)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_graph = graph
+            self._optimum = (best_graph, best_cost)
+        return self._optimum
+
+    def efficient_graph(self) -> Graph:
+        """A weighted-social-cost-minimising network."""
+        alpha = self.effective_model.uniform_alpha()
+        if alpha is not None:
+            return scalar_efficient_graph(self.n, alpha, self.base_game)
+        return self._exhaustive_optimum()[0]
+
+    def efficient_social_cost(self) -> float:
+        """The minimum weighted social cost over all networks."""
+        alpha = self.effective_model.uniform_alpha()
+        if alpha is not None:
+            return scalar_efficient_social_cost(self.n, alpha, self.base_game)
+        return self._exhaustive_optimum()[1]
+
+    def price_of_anarchy(self, graph: Graph) -> float:
+        """``ρ(G)``: weighted social cost of ``graph`` over the optimum."""
+        optimum = self.efficient_social_cost()
+        if optimum == 0:
+            return 1.0
+        return self.social_cost(graph) / optimum
+
+    def worst_case_price_of_anarchy(self, equilibria: Iterable[Graph]) -> float:
+        """Largest ``ρ(G)`` over an explicit equilibrium set."""
+        return max(self.price_of_anarchy(g) for g in equilibria)
+
+    def average_price_of_anarchy(self, equilibria: Iterable[Graph]) -> float:
+        """Mean ``ρ(G)`` over an explicit equilibrium set."""
+        ratios = [self.price_of_anarchy(g) for g in equilibria]
+        return sum(ratios) / len(ratios)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, model={self.model!r}, t={self.t})"
+        )
+
+
+class WeightedBilateralGame(WeightedConnectionGame):
+    """The bilateral connection game under heterogeneous link costs."""
+
+    name = "wbcg"
+    base_game = "bcg"
+
+    def resulting_graph(self, profile: StrategyProfile) -> Graph:
+        return profile.bilateral_graph()
+
+    def player_cost(self, profile: StrategyProfile, player: int) -> float:
+        return weighted_player_cost_bcg(profile, player, self.effective_model)
+
+    def social_cost(self, graph: Graph) -> float:
+        return weighted_social_cost_bcg(graph, self.effective_model)
+
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        return is_weighted_nash_profile_bcg(profile, self.model, t=self.t)
+
+    def is_equilibrium_network(self, graph: Graph) -> bool:
+        return self.is_pairwise_stable(graph)
+
+    # -- weighted BCG-specific notions --------------------------------------- #
+
+    def stability_profile(self, graph: Graph) -> WeightedStabilityProfile:
+        """The per-probe ``(w, Δdist)`` coefficient records of ``graph``."""
+        return weighted_stability_profile(graph, self.model)
+
+    def is_pairwise_stable(self, graph: Graph) -> bool:
+        """Exact weighted Definition 3 at this game's scale."""
+        return self.stability_profile(graph).is_stable_at(self.t)
+
+    def stability_violations(self, graph: Graph) -> List[str]:
+        """Human-readable weighted pairwise-stability violations."""
+        return self.stability_profile(graph).violations_at(self.t)
+
+    def stability_t_interval(self, graph: Graph) -> Tuple[float, float]:
+        """The Lemma 2 analogue ``(t_min, t_max]`` in the scale parameter."""
+        return self.stability_profile(graph).stability_t_interval()
+
+    def t_interval_set(self, graph: Graph) -> AlphaIntervalSet:
+        """Stabilising scales of ``graph`` as an interval set."""
+        return self.stability_profile(graph).t_interval_set()
+
+
+class WeightedUnilateralGame(WeightedConnectionGame):
+    """The unilateral connection game under heterogeneous link costs."""
+
+    name = "wucg"
+    base_game = "ucg"
+
+    def resulting_graph(self, profile: StrategyProfile) -> Graph:
+        return profile.unilateral_graph()
+
+    def player_cost(self, profile: StrategyProfile, player: int) -> float:
+        return weighted_player_cost_ucg(profile, player, self.effective_model)
+
+    def social_cost(
+        self, graph: Graph, owner: Optional[Dict[Edge, int]] = None
+    ) -> float:
+        return weighted_social_cost_ucg(graph, self.effective_model, owner)
+
+    def is_nash(self, profile: StrategyProfile) -> bool:
+        return is_weighted_nash_profile_ucg(profile, self.model, t=self.t)
+
+    def is_equilibrium_network(self, graph: Graph) -> bool:
+        return self.is_nash_network(graph)
+
+    # -- weighted UCG-specific notions ---------------------------------------- #
+
+    def nash_t_set(self, graph: Graph) -> AlphaIntervalSet:
+        """All scales at which ``graph`` is Nash-supportable under ``t·W``."""
+        return weighted_ucg_nash_t_set(graph, self.model)
+
+    def is_nash_network(self, graph: Graph) -> bool:
+        """Whether some edge ownership makes ``graph`` Nash at this scale."""
+        return self.nash_t_set(graph).contains(self.t)

@@ -1,0 +1,322 @@
+"""Heterogeneous link-cost models: per-player and per-edge α coefficients.
+
+The paper fixes one global link cost ``α`` for every player, but its
+motivating setting — autonomous systems negotiating bilateral peering — is
+exactly where costs are asymmetric.  A :class:`CostModel` assigns every
+*ordered* pair a strictly positive coefficient ``w(i, j)``: the price player
+``i`` pays for maintaining (or buying, in the UCG) the link ``{i, j}``.  The
+scalar game is the special case ``w ≡ α``.
+
+Four concrete families are provided:
+
+* :class:`UniformCost` — ``w(i, j) = α`` (the paper's model).  All weighted
+  quantities reduce *float-exactly* to the scalar-α code on this model: the
+  aggregation hooks (:meth:`CostModel.player_link_cost`,
+  :meth:`CostModel.bcg_edge_cost_total`, :meth:`CostModel.ucg_edge_cost_total`)
+  are overridden with the exact closed forms the scalar cost functions use
+  (``α·k`` and ``2α·m`` rather than a k-term summation), which the test
+  suite pins down bit for bit.
+* :class:`PerPlayerCost` — ``w(i, j) = α_i``: each player has its own
+  per-link rate (tier-1 backbones build cheaply, stub networks dearly).
+* :class:`PerEdgeCost` — ``w(i, j) = W_ij`` with ``W`` symmetric: the price
+  is a property of the *pair* (both endpoints of a peering link face the
+  same cost, e.g. proportional to geographic distance).
+* :class:`ScaledCost` — the view ``C = t·W`` of any base model.  Scaling by
+  a single parameter ``t`` is what keeps stability regions one-dimensional:
+  every weighted stability question becomes "for which ``t`` is ``t·W``
+  stable", answered exactly by the ``(w, Δdist)`` coefficient records of
+  :mod:`repro.costmodels.stability`.  The built-in families override
+  :meth:`CostModel.scaled` to stay closed under scaling (a scaled uniform
+  model is again a :class:`UniformCost`, preserving its exact reductions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+
+def _check_positive(value: float, what: str) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise ValueError(f"{what} must be strictly positive, got {value!r}")
+    return value
+
+
+class CostModel(ABC):
+    """Per-(player, edge) link-cost coefficients ``w(i, j) > 0``.
+
+    ``weight(i, j)`` is the price *player* ``i`` pays for the link
+    ``{i, j}`` — the first argument is always the paying endpoint, so
+    asymmetric models (``w(i, j) ≠ w(j, i)``) are expressible.  Models are
+    immutable and picklable (pool workers receive them by value).
+    """
+
+    #: Short name used by reports and the scenarios CLI.
+    kind: str = "cost-model"
+
+    @property
+    def n(self) -> Optional[int]:
+        """The player count the model is bound to (``None`` = any)."""
+        return None
+
+    @abstractmethod
+    def weight(self, player: int, other: int) -> float:
+        """The cost ``player`` pays for the link ``{player, other}``."""
+
+    def uniform_alpha(self) -> Optional[float]:
+        """The scalar ``α`` when the model *is* the paper's uniform model.
+
+        Returns ``None`` for every non-:class:`UniformCost` family, even if
+        its coefficients happen to be numerically equal — the exact scalar
+        reductions are a property of the uniform closed forms, not of the
+        values.
+        """
+        return None
+
+    def scaled(self, t: float) -> "CostModel":
+        """The model ``C = t·W`` (a lazily-evaluated view by default)."""
+        return ScaledCost(self, t)
+
+    # -- aggregation hooks (overridden exactly by UniformCost) -------------- #
+
+    def player_link_cost(self, player: int, others: Sequence[int]) -> float:
+        """Total link cost ``Σ_j w(player, j)`` over the links in ``others``."""
+        total = 0.0
+        for other in others:
+            total += self.weight(player, other)
+        return total
+
+    def bcg_edge_cost_total(self, graph) -> float:
+        """Total BCG link spend ``Σ_{(u,v)∈A} (w(u,v) + w(v,u))`` of ``graph``."""
+        total = 0.0
+        for (u, v) in graph.sorted_edges():
+            total += self.weight(u, v) + self.weight(v, u)
+        return total
+
+    def ucg_edge_cost_total(self, graph, owner: Optional[Dict[Edge, int]] = None) -> float:
+        """Total UCG link spend of ``graph`` under an edge-ownership map.
+
+        With ``owner=None`` every edge is charged to its *cheaper* endpoint
+        (the lower envelope over ownerships — the natural weighted analogue
+        of "each edge bought once").
+        """
+        total = 0.0
+        for (u, v) in graph.sorted_edges():
+            if owner is None:
+                total += min(self.weight(u, v), self.weight(v, u))
+            else:
+                buyer = owner[(u, v)]
+                if buyer not in (u, v):
+                    raise ValueError(f"owner {buyer} is not an endpoint of ({u}, {v})")
+                total += self.weight(buyer, v if buyer == u else u)
+        return total
+
+    # -- conveniences -------------------------------------------------------- #
+
+    def weight_pair(self, u: int, v: int) -> Tuple[float, float]:
+        """``(w(u, v), w(v, u))`` — both endpoints' prices for the pair."""
+        return self.weight(u, v), self.weight(v, u)
+
+    def matrix(self, n: Optional[int] = None) -> List[List[float]]:
+        """The dense ``n×n`` weight matrix (zero diagonal).
+
+        ``n`` may be omitted for models bound to a player count; a bound
+        model refuses a mismatching ``n``.
+        """
+        n = self._resolve_n(n)
+        return [
+            [0.0 if i == j else self.weight(i, j) for j in range(n)]
+            for i in range(n)
+        ]
+
+    def _resolve_n(self, n: Optional[int]) -> int:
+        bound = self.n
+        if n is None:
+            if bound is None:
+                raise ValueError(f"{type(self).__name__} is not bound to a player count; pass n")
+            return bound
+        if bound is not None and n != bound:
+            raise ValueError(f"{type(self).__name__} is bound to n = {bound}, got n = {n}")
+        return int(n)
+
+
+class UniformCost(CostModel):
+    """The paper's model: every link costs the same ``α`` to every player."""
+
+    kind = "uniform"
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = _check_positive(alpha, "the link cost α")
+
+    @property
+    def n(self) -> Optional[int]:
+        return None
+
+    def weight(self, player: int, other: int) -> float:
+        return self.alpha
+
+    def uniform_alpha(self) -> Optional[float]:
+        return self.alpha
+
+    def scaled(self, t: float) -> "UniformCost":
+        return UniformCost(_check_positive(t, "the scale t") * self.alpha)
+
+    # Exact closed forms — these MUST mirror repro.core.costs operation for
+    # operation so the uniform model reduces float-exactly to the scalar path.
+
+    def player_link_cost(self, player: int, others: Sequence[int]) -> float:
+        return self.alpha * len(others)
+
+    def bcg_edge_cost_total(self, graph) -> float:
+        return 2.0 * self.alpha * graph.num_edges
+
+    def ucg_edge_cost_total(self, graph, owner: Optional[Dict[Edge, int]] = None) -> float:
+        return self.alpha * graph.num_edges
+
+    def __repr__(self) -> str:
+        return f"UniformCost(alpha={self.alpha!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UniformCost) and other.alpha == self.alpha
+
+    def __hash__(self) -> int:
+        return hash(("UniformCost", self.alpha))
+
+
+class PerPlayerCost(CostModel):
+    """Per-player rates: player ``i`` pays ``α_i`` for each of its links."""
+
+    kind = "per-player"
+
+    def __init__(self, alphas: Iterable[float]) -> None:
+        self.alphas: Tuple[float, ...] = tuple(
+            _check_positive(a, f"the per-player link cost α_{i}")
+            for i, a in enumerate(alphas)
+        )
+        if not self.alphas:
+            raise ValueError("a per-player cost model needs at least one player")
+
+    @property
+    def n(self) -> Optional[int]:
+        return len(self.alphas)
+
+    def weight(self, player: int, other: int) -> float:
+        return self.alphas[player]
+
+    def scaled(self, t: float) -> "PerPlayerCost":
+        t = _check_positive(t, "the scale t")
+        return PerPlayerCost(t * a for a in self.alphas)
+
+    def __repr__(self) -> str:
+        return f"PerPlayerCost({list(self.alphas)!r})"
+
+
+class PerEdgeCost(CostModel):
+    """Per-edge prices: both endpoints of ``{i, j}`` pay the same ``W_ij``."""
+
+    kind = "per-edge"
+
+    def __init__(self, weights: Sequence[Sequence[float]]) -> None:
+        n = len(weights)
+        if n < 1:
+            raise ValueError("a per-edge cost model needs at least one player")
+        matrix: List[Tuple[float, ...]] = []
+        for i, row in enumerate(weights):
+            row = tuple(float(x) for x in row)
+            if len(row) != n:
+                raise ValueError("the weight matrix must be square")
+            matrix.append(row)
+        for i in range(n):
+            if matrix[i][i] != 0.0:
+                raise ValueError("the weight-matrix diagonal must be zero (no self-loops)")
+            for j in range(i + 1, n):
+                if matrix[i][j] != matrix[j][i]:
+                    raise ValueError(
+                        f"per-edge weights must be symmetric; W[{i}][{j}] != W[{j}][{i}]"
+                    )
+                _check_positive(matrix[i][j], f"the edge weight W[{i}][{j}]")
+        self.weights: Tuple[Tuple[float, ...], ...] = tuple(matrix)
+
+    @classmethod
+    def from_pairs(
+        cls, n: int, pairs: Dict[Edge, float], default: Optional[float] = None
+    ) -> "PerEdgeCost":
+        """Build from a ``{(u, v): w}`` mapping, filling gaps with ``default``."""
+        matrix = [[0.0] * n for _ in range(n)]
+        seen = set()
+        for (u, v), w in pairs.items():
+            if u == v:
+                raise ValueError(f"self-loop pair ({u}, {v}) in the weight mapping")
+            u, v = (u, v) if u < v else (v, u)
+            matrix[u][v] = matrix[v][u] = float(w)
+            seen.add((u, v))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if (u, v) not in seen:
+                    if default is None:
+                        raise ValueError(
+                            f"pair ({u}, {v}) missing from the weight mapping "
+                            "and no default was given"
+                        )
+                    matrix[u][v] = matrix[v][u] = float(default)
+        return cls(matrix)
+
+    @property
+    def n(self) -> Optional[int]:
+        return len(self.weights)
+
+    def weight(self, player: int, other: int) -> float:
+        return self.weights[player][other]
+
+    def scaled(self, t: float) -> "PerEdgeCost":
+        t = _check_positive(t, "the scale t")
+        return PerEdgeCost([
+            [0.0 if i == j else t * w for j, w in enumerate(row)]
+            for i, row in enumerate(self.weights)
+        ])
+
+    def __repr__(self) -> str:
+        return f"PerEdgeCost(n={len(self.weights)})"
+
+
+class ScaledCost(CostModel):
+    """The view ``C = t·W`` of an arbitrary base model (evaluated lazily)."""
+
+    kind = "scaled"
+
+    def __init__(self, base: CostModel, t: float) -> None:
+        self.base = base
+        self.t = _check_positive(t, "the scale t")
+
+    @property
+    def n(self) -> Optional[int]:
+        return self.base.n
+
+    def weight(self, player: int, other: int) -> float:
+        return self.t * self.base.weight(player, other)
+
+    def scaled(self, t: float) -> "ScaledCost":
+        return ScaledCost(self.base, self.t * _check_positive(t, "the scale t"))
+
+    def __repr__(self) -> str:
+        return f"ScaledCost({self.base!r}, t={self.t!r})"
+
+
+def as_cost_model(value, n: Optional[int] = None) -> CostModel:
+    """Coerce ``value`` into a :class:`CostModel`.
+
+    Numbers become :class:`UniformCost`; models are validated against ``n``
+    when given (a model bound to a different player count is rejected).
+    """
+    if isinstance(value, CostModel):
+        model = value
+    elif isinstance(value, (int, float)):
+        model = UniformCost(float(value))
+    else:
+        raise TypeError(f"cannot interpret {value!r} as a cost model")
+    if n is not None and model.n is not None and model.n != n:
+        raise ValueError(f"cost model is bound to n = {model.n}, game has n = {n}")
+    return model

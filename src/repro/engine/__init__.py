@@ -51,13 +51,14 @@ both, so the core/analysis/experiments layers never re-derive them ad hoc:
     the serial path automatically.
 """
 
-from .batch import batch_stability_deltas, numpy_available
+from .batch import batch_stability_deltas, batch_weighted_columns, numpy_available
 from .oracle import DistanceOracle, get_default_oracle
 from .pool import chunk_evenly, parallel_map, resolve_jobs
 
 __all__ = [
     "DistanceOracle",
     "batch_stability_deltas",
+    "batch_weighted_columns",
     "chunk_evenly",
     "get_default_oracle",
     "numpy_available",

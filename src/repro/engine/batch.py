@@ -195,6 +195,93 @@ def batch_stability_deltas(
     return results
 
 
+def batch_weighted_columns(
+    graphs: Sequence[Graph],
+    weight_matrix: Sequence[Sequence[float]],
+    oracle: Optional[DistanceOracle] = None,
+    use_orbits: Optional[bool] = None,
+):
+    """Weighted per-probe coefficient columns for a same-model batch of graphs.
+
+    The heterogeneous-α sweeps ask, per graph and per scale ``t``, the same
+    per-probe comparisons the scalar censuses ask per ``α`` — except every
+    probe carries its own coefficient ``w`` from ``weight_matrix``
+    (``weight_matrix[payer][other]`` is the price the paying endpoint faces
+    for the pair).  This function runs the existing boolean-matmul delta
+    tensorisation (:func:`batch_stability_deltas`) once for the whole batch
+    and pairs every deviation payoff with its coefficient, emitting ragged
+    CSR columns ready for the weighted grid kernels in
+    :mod:`repro.engine.columnar`:
+
+    * ``rem_w, rem_delta, rem_indptr`` — one entry per (edge, endpoint)
+      removal probe, two per edge in ``sorted_edges`` order (endpoint ``u``
+      then ``v``);
+    * ``add_w_u, add_s_u, add_w_v, add_s_v, add_indptr`` — one 4-tuple of
+      values per non-edge in ``non_edges`` order (each endpoint's price and
+      addition saving);
+    * ``num_edges, dist_total`` — dense per-graph columns for aggregates.
+
+    All value columns are float64 (weights are arbitrary user floats; no
+    float32 narrowing).  Requires NumPy, like the columnar kernels that
+    consume the output; the per-graph fallback for NumPy-less environments
+    is :class:`repro.costmodels.stability.WeightedStabilityProfile`.
+    """
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "batch_weighted_columns requires NumPy; use "
+            "repro.costmodels.weighted_stability_profile per graph instead"
+        )
+    np = _np
+    results = batch_stability_deltas(
+        graphs, oracle=oracle, use_orbits=use_orbits, return_totals=True
+    )
+    num_edges: List[int] = []
+    dist_total: List[float] = []
+    rem_w: List[float] = []
+    rem_delta: List[float] = []
+    rem_counts: List[int] = []
+    add_w_u: List[float] = []
+    add_s_u: List[float] = []
+    add_w_v: List[float] = []
+    add_s_v: List[float] = []
+    add_counts: List[int] = []
+    for graph, ((removal, addition), total) in zip(graphs, results):
+        num_edges.append(graph.num_edges)
+        dist_total.append(float(total))
+        edges = graph.sorted_edges()
+        for (u, v) in edges:
+            rem_w.append(weight_matrix[u][v])
+            rem_delta.append(removal[((u, v), u)])
+            rem_w.append(weight_matrix[v][u])
+            rem_delta.append(removal[((u, v), v)])
+        rem_counts.append(2 * len(edges))
+        non_edges = graph.non_edges()
+        for (u, v) in non_edges:
+            add_w_u.append(weight_matrix[u][v])
+            add_s_u.append(addition[((u, v), u)])
+            add_w_v.append(weight_matrix[v][u])
+            add_s_v.append(addition[((u, v), v)])
+        add_counts.append(len(non_edges))
+
+    def indptr(counts: List[int]):
+        out = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=out[1:])
+        return out
+
+    return {
+        "num_edges": np.asarray(num_edges, dtype=np.int32),
+        "dist_total": np.asarray(dist_total, dtype=np.float64),
+        "rem_w": np.asarray(rem_w, dtype=np.float64),
+        "rem_delta": np.asarray(rem_delta, dtype=np.float64),
+        "rem_indptr": indptr(rem_counts),
+        "add_w_u": np.asarray(add_w_u, dtype=np.float64),
+        "add_s_u": np.asarray(add_s_u, dtype=np.float64),
+        "add_w_v": np.asarray(add_w_v, dtype=np.float64),
+        "add_s_v": np.asarray(add_s_v, dtype=np.float64),
+        "add_indptr": indptr(add_counts),
+    }
+
+
 def _oracle_total(graph: Graph, oracle: DistanceOracle) -> float:
     """Total ordered-pair distance sum via the oracle's cached per-source sums.
 

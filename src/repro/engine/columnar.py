@@ -196,6 +196,76 @@ def ucg_nash_mask(iv_lo, iv_hi, iv_indptr, alphas):
     return out
 
 
+def weighted_bcg_stable_mask(
+    rem_w, rem_delta, rem_indptr,
+    add_w_u, add_s_u, add_w_v, add_s_v, add_indptr,
+    ts,
+):
+    """Weighted pairwise stability of every class at every scale ``t``.
+
+    The heterogeneous-α counterpart of :func:`bcg_stable_mask`: each probe
+    carries its own coefficient ``w`` (see
+    :func:`repro.engine.batch.batch_weighted_columns` for the column
+    layout), and the class is stable under ``C = t·W`` iff no removal probe
+    has ``Δ < t·w - tol`` and no non-edge has one endpoint with
+    ``save > t·w + tol`` while the other has ``save >= t·w - tol``.
+
+    Every comparison keeps the exact scalar expression shape of
+    :meth:`WeightedStabilityProfile.violations_at` (which in turn mirrors
+    :meth:`PairwiseStabilityProfile.violations_at`), so with unit weights
+    and ``ts`` equal to the α-grid the mask is bit-identical to
+    :func:`bcg_stable_mask`.
+
+    Returns ``bool[n_classes, n_ts]``.
+    """
+    np = _require_numpy()
+    rem_w = np.asarray(rem_w).astype(np.float64, copy=False)
+    rem_delta = np.asarray(rem_delta).astype(np.float64, copy=False)
+    w_u = np.asarray(add_w_u).astype(np.float64, copy=False)
+    s_u = np.asarray(add_s_u).astype(np.float64, copy=False)
+    w_v = np.asarray(add_w_v).astype(np.float64, copy=False)
+    s_v = np.asarray(add_s_v).astype(np.float64, copy=False)
+    t_list = [float(t) for t in ts]
+    n_classes = rem_indptr.shape[0] - 1
+    out = np.empty((n_classes, len(t_list)), dtype=bool)
+    for column, t in enumerate(t_list):
+        severs = segment_any(rem_delta < t * rem_w - BCG_TOL, rem_indptr)
+        adds = segment_any(
+            ((s_u > t * w_u + BCG_TOL) & (s_v >= t * w_v - BCG_TOL))
+            | ((s_v > t * w_v + BCG_TOL) & (s_u >= t * w_u - BCG_TOL)),
+            add_indptr,
+        )
+        np.logical_not(severs | adds, out=out[:, column])
+    return out
+
+
+def weighted_stability_windows(
+    rem_w, rem_delta, rem_indptr,
+    add_w_u, add_s_u, add_w_v, add_s_v, add_indptr,
+):
+    """Per-class weighted Lemma 2 windows ``(t_min, t_max)`` in the scale.
+
+    ``t_max`` is the per-class minimum ``Δ / w`` over removal probes
+    (``inf`` for edgeless classes); ``t_min`` is the largest
+    least-interested-endpoint ``save / w`` over the class's non-edges
+    (clamped at 0).  With unit weights this is exactly
+    :func:`stability_windows`; per class it equals
+    :meth:`WeightedStabilityProfile.stability_t_interval`.
+    """
+    np = _require_numpy()
+    rem_w = np.asarray(rem_w).astype(np.float64, copy=False)
+    rem_delta = np.asarray(rem_delta).astype(np.float64, copy=False)
+    t_max = segment_min(rem_delta / rem_w, rem_indptr)
+    ratio = np.minimum(
+        np.asarray(add_s_u).astype(np.float64, copy=False)
+        / np.asarray(add_w_u).astype(np.float64, copy=False),
+        np.asarray(add_s_v).astype(np.float64, copy=False)
+        / np.asarray(add_w_v).astype(np.float64, copy=False),
+    )
+    t_min = np.maximum(segment_max(ratio, add_indptr, empty=0.0), 0.0)
+    return t_min, t_max
+
+
 def stability_windows(rem_min, add_lo, add_indptr):
     """Per-class Lemma 2 windows ``(α_min, α_max)`` from the columns.
 

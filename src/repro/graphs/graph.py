@@ -405,7 +405,9 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_edge_list(cls, edges: Iterable[Edge], n_vertices: int = None) -> "Graph":
+    def from_edge_list(
+        cls, edges: Iterable[Edge], n_vertices: Optional[int] = None
+    ) -> "Graph":
         """Build a graph from an edge list, inferring ``n`` when not given."""
         edges = [normalize_edge(u, v) for u, v in edges]
         if n_vertices is None:

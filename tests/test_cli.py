@@ -97,3 +97,19 @@ class TestCensusSubcommand:
         numpy.savez(str(foreign), data=numpy.arange(3))
         assert main(["census", "--load", str(foreign)]) == 2
         assert "cannot load" in capsys.readouterr().err
+
+
+def test_scenarios_parser_has_expected_flags():
+    from repro.cli import build_scenarios_parser
+
+    parser = build_scenarios_parser()
+    args = parser.parse_args(
+        ["--name", "two_tier_isp", "--n", "6", "--grid", "4", "--seed", "7", "--ucg"]
+    )
+    assert args.name == "two_tier_isp"
+    assert args.n == 6 and args.grid == 4 and args.seed == 7 and args.ucg
+
+
+def test_scenarios_dispatch_from_main(capsys):
+    assert main(["scenarios", "--list"]) == 0
+    assert "line_metric" in capsys.readouterr().out

@@ -1,0 +1,419 @@
+"""Tests for the heterogeneous link-cost subsystem (repro.costmodels).
+
+The headline contract: with :class:`UniformCost` every weighted quantity —
+player and social costs, stability decisions and intervals, the UCG Nash
+set — reduces **float-exactly** to the scalar-α code.  Heterogeneous models
+are pinned down on hand-computed small cases (star, cycle, K4).
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BilateralConnectionGame,
+    UnilateralConnectionGame,
+    all_player_costs_bcg,
+    all_player_costs_ucg,
+    is_nash_profile_bcg,
+    is_nash_profile_ucg,
+    pairwise_stability_profile,
+    player_cost_graph,
+    profile_from_graph_bcg,
+    social_cost_bcg,
+    social_cost_ucg,
+    ucg_nash_alpha_set,
+)
+from repro.costmodels import (
+    CostModel,
+    PerEdgeCost,
+    PerPlayerCost,
+    ScaledCost,
+    UniformCost,
+    WeightedBilateralGame,
+    WeightedUnilateralGame,
+    as_cost_model,
+    is_weighted_nash_profile_bcg,
+    is_weighted_nash_profile_ucg,
+    is_weighted_pairwise_stable,
+    weighted_player_cost_graph,
+    weighted_social_cost_bcg,
+    weighted_social_cost_ucg,
+    weighted_stability_profile,
+    weighted_ucg_nash_t_set,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+
+INF = float("inf")
+
+
+# --------------------------------------------------------------------------- #
+# The model hierarchy
+# --------------------------------------------------------------------------- #
+
+
+class TestModels:
+
+    def test_uniform_weight_and_alpha(self):
+        model = UniformCost(2.5)
+        assert model.weight(0, 7) == 2.5
+        assert model.weight(7, 0) == 2.5
+        assert model.uniform_alpha() == 2.5
+        assert model.n is None
+
+    def test_uniform_scaled_stays_uniform(self):
+        scaled = UniformCost(2.0).scaled(3.0)
+        assert isinstance(scaled, UniformCost)
+        assert scaled.alpha == 6.0
+
+    def test_positive_weights_enforced(self):
+        with pytest.raises(ValueError):
+            UniformCost(0.0)
+        with pytest.raises(ValueError):
+            PerPlayerCost([1.0, -2.0])
+        with pytest.raises(ValueError):
+            PerEdgeCost([[0.0, 0.0], [0.0, 0.0]])
+
+    def test_per_player_weights(self):
+        model = PerPlayerCost([0.5, 2.0, 3.0])
+        assert model.n == 3
+        assert model.weight(0, 2) == 0.5
+        assert model.weight(2, 0) == 3.0
+        assert model.weight_pair(0, 2) == (0.5, 3.0)
+        assert model.uniform_alpha() is None
+        scaled = model.scaled(2.0)
+        assert isinstance(scaled, PerPlayerCost)
+        assert scaled.weight(1, 0) == 4.0
+
+    def test_per_edge_validation(self):
+        with pytest.raises(ValueError):
+            PerEdgeCost([[0.0, 1.0], [2.0, 0.0]])  # asymmetric
+        with pytest.raises(ValueError):
+            PerEdgeCost([[1.0, 1.0], [1.0, 0.0]])  # nonzero diagonal
+        with pytest.raises(ValueError):
+            PerEdgeCost([[0.0, 1.0]])  # not square
+
+    def test_per_edge_from_pairs(self):
+        model = PerEdgeCost.from_pairs(3, {(0, 1): 2.0}, default=1.0)
+        assert model.weight(0, 1) == 2.0 == model.weight(1, 0)
+        assert model.weight(1, 2) == 1.0
+        with pytest.raises(ValueError):
+            PerEdgeCost.from_pairs(3, {(0, 1): 2.0})  # gaps, no default
+        scaled = model.scaled(3.0)
+        assert isinstance(scaled, PerEdgeCost)
+        assert scaled.weight(0, 1) == 6.0
+
+    def test_scaled_view_composes(self):
+        class Custom(CostModel):
+            def weight(self, player, other):
+                return 1.0 + player
+
+        view = Custom().scaled(2.0)
+        assert isinstance(view, ScaledCost)
+        assert view.weight(3, 0) == 8.0
+        assert view.scaled(0.5).weight(3, 0) == 8.0 * 0.5
+
+    def test_matrix_and_binding(self):
+        model = PerPlayerCost([1.0, 2.0])
+        assert model.matrix() == [[0.0, 1.0], [2.0, 0.0]]
+        with pytest.raises(ValueError):
+            model.matrix(3)
+        assert UniformCost(1.5).matrix(2) == [[0.0, 1.5], [1.5, 0.0]]
+        with pytest.raises(ValueError):
+            UniformCost(1.5).matrix()  # unbound, n required
+
+    def test_as_cost_model(self):
+        assert isinstance(as_cost_model(2.0), UniformCost)
+        model = PerPlayerCost([1.0, 2.0, 3.0])
+        assert as_cost_model(model, 3) is model
+        with pytest.raises(ValueError):
+            as_cost_model(model, 4)
+        with pytest.raises(TypeError):
+            as_cost_model("cheap")
+
+
+# --------------------------------------------------------------------------- #
+# Uniform-weight ⇒ scalar-α float-exact reductions (costs)
+# --------------------------------------------------------------------------- #
+
+
+class TestUniformCostReduction:
+
+    @pytest.mark.parametrize("alpha", [0.3, 1.0, 2.0, 7.7])
+    def test_costs_match_scalar_exactly(self, small_random_graphs, alpha):
+        model = UniformCost(alpha)
+        for graph in small_random_graphs:
+            assert weighted_social_cost_bcg(graph, model) == social_cost_bcg(
+                graph, alpha
+            )
+            assert weighted_social_cost_ucg(graph, model) == social_cost_ucg(
+                graph, alpha
+            )
+            for player in range(graph.n):
+                assert weighted_player_cost_graph(
+                    graph, player, model
+                ) == player_cost_graph(graph, player, alpha)
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.3, 4.0])
+    def test_profile_costs_match_scalar_exactly(self, small_random_graphs, alpha):
+        model = UniformCost(alpha)
+        for graph in small_random_graphs[:4]:
+            profile = profile_from_graph_bcg(graph)
+            wb = WeightedBilateralGame(graph.n, model)
+            wu = WeightedUnilateralGame(graph.n, model)
+            scalar_bcg = all_player_costs_bcg(profile, alpha)
+            scalar_ucg = all_player_costs_ucg(profile, alpha)
+            for player in range(graph.n):
+                assert wb.player_cost(profile, player) == scalar_bcg[player]
+                assert wu.player_cost(profile, player) == scalar_ucg[player]
+
+
+# --------------------------------------------------------------------------- #
+# Uniform-weight ⇒ scalar-α equivalence: stability (property-based, n ≤ 7)
+# --------------------------------------------------------------------------- #
+
+
+class TestUniformStabilityEquivalence:
+
+    def test_t_intervals_equal_scalar_intervals(self):
+        rng = random.Random(4251)
+        for _ in range(20):
+            graph = random_connected_graph(
+                rng.randint(4, 7), rng.uniform(0.2, 0.8), rng
+            )
+            scalar = pairwise_stability_profile(graph)
+            weighted = weighted_stability_profile(graph, UniformCost(1.0))
+            # Float-exact: same deltas divided by w = 1.0.
+            assert weighted.stability_t_interval() == scalar.stability_interval()
+
+    def test_stability_decisions_equal_scalar(self):
+        rng = random.Random(505)
+        alphas = [0.25, 0.8, 1.0, 1.5, 3.0, 9.0]
+        for _ in range(15):
+            graph = random_connected_graph(
+                rng.randint(4, 7), rng.uniform(0.2, 0.8), rng
+            )
+            scalar = pairwise_stability_profile(graph)
+            unit = weighted_stability_profile(graph, UniformCost(1.0))
+            for alpha in alphas:
+                expected = scalar.is_stable_at(alpha)
+                # w = 1 scaled by t = α ...
+                assert unit.is_stable_at(alpha) == expected
+                # ... and w = α at t = 1.
+                assert is_weighted_pairwise_stable(
+                    graph, UniformCost(alpha)
+                ) == expected
+
+    def test_t_interval_set_matches_window(self):
+        graph = cycle_graph(5)
+        profile = weighted_stability_profile(graph, UniformCost(1.0))
+        interval_set = profile.t_interval_set()
+        lo, hi = profile.stability_t_interval()
+        assert not interval_set.is_empty()
+        assert interval_set.min_alpha() == lo
+        assert interval_set.max_alpha() == hi
+        # A never-stable graph has an empty set: two disjoint edges on 4
+        # vertices (disconnected => t_min = inf).
+        from repro.graphs import Graph
+
+        unstable = Graph(4, [(0, 1), (2, 3)])
+        empty = weighted_stability_profile(unstable, UniformCost(1.0))
+        assert empty.t_interval_set().is_empty()
+
+    def test_ucg_t_set_equals_scalar_alpha_set(self):
+        rng = random.Random(77)
+        cases = [
+            random_connected_graph(rng.randint(3, 6), rng.uniform(0.3, 0.8), rng)
+            for _ in range(8)
+        ]
+        cases.append(path_graph(7))  # an n = 7 case on the UCG path too
+        cases.append(star_graph(7))
+        for graph in cases:
+            scalar = ucg_nash_alpha_set(graph)
+            weighted = weighted_ucg_nash_t_set(graph, UniformCost(1.0))
+            assert [
+                (iv.lo, iv.hi) for iv in weighted.intervals
+            ] == [(iv.lo, iv.hi) for iv in scalar.intervals]
+
+    def test_nash_profile_checks_reduce_to_scalar(self):
+        rng = random.Random(11)
+        for _ in range(6):
+            graph = random_connected_graph(rng.randint(3, 5), 0.6, rng)
+            profile = profile_from_graph_bcg(graph)
+            for alpha in (0.5, 1.0, 2.0):  # dyadic: α·k is exact either way
+                model = UniformCost(alpha)
+                assert is_weighted_nash_profile_bcg(
+                    profile, model
+                ) == is_nash_profile_bcg(profile, alpha)
+                assert is_weighted_nash_profile_ucg(
+                    profile, model
+                ) == is_nash_profile_ucg(profile, alpha)
+
+
+# --------------------------------------------------------------------------- #
+# Hand-computed weighted interval endpoints (star, cycle, K4)
+# --------------------------------------------------------------------------- #
+
+
+class TestHandComputedIntervals:
+
+    def test_complete_graph_per_edge(self):
+        # K4: no non-edges => t_min = 0.  Severing any edge raises each
+        # endpoint's distance cost by exactly 1, so t_max = min 1/w = 1/4
+        # through the expensive (0,1) pair.
+        model = PerEdgeCost.from_pairs(4, {(0, 1): 4.0}, default=1.0)
+        profile = weighted_stability_profile(complete_graph(4), model)
+        assert profile.stability_t_interval() == (0.0, 0.25)
+        assert profile.is_stable_at(0.25)
+        assert not profile.is_stable_at(0.2500001)
+
+    def test_star_per_edge(self):
+        # Star on 5 (center 0): every edge is a bridge => t_max = inf.  A
+        # missing leaf pair saves 1 to each endpoint, so t_min is 1 over the
+        # cheapest leaf-pair price: pairs cost 2 except (1, 2) at 0.5.
+        pairs = {(1, 2): 0.5}
+        model = PerEdgeCost.from_pairs(5, pairs, default=2.0)
+        profile = weighted_stability_profile(star_graph(5), model)
+        assert profile.t_max == INF
+        assert profile.t_min == 1.0 / 0.5
+        assert profile.is_stable_at(2.0 + 1e-6)
+        # Below t_min players 1 and 2 would bilaterally add their cheap link.
+        assert any(
+            "bilaterally add missing edge (1, 2)" in v
+            for v in profile.violations_at(1.9)
+        )
+
+    def test_cycle_per_player(self):
+        # C4 (0-1-2-3-0): severing an edge costs each endpoint Δ = 2, so
+        # t_max = 2 / max α_i; a diagonal saves 1 to each endpoint, so
+        # t_min = max over diagonals of 1 / max(α_u, α_v).
+        alphas = [0.5, 1.0, 2.0, 4.0]
+        model = PerPlayerCost(alphas)
+        profile = weighted_stability_profile(cycle_graph(4), model)
+        assert profile.t_max == 2.0 / 4.0
+        expected_t_min = max(
+            min(1.0 / alphas[0], 1.0 / alphas[2]),
+            min(1.0 / alphas[1], 1.0 / alphas[3]),
+        )
+        assert profile.t_min == expected_t_min
+        assert profile.stability_t_interval() == (0.5, 0.5)
+        # Degenerate window: no scale stabilises this pricing of C4.
+        assert profile.t_interval_set().is_empty()
+
+    def test_cycle_uniform_per_edge_matches_known_window(self):
+        # With every pair at price 2 the scalar (1, 2] window halves.
+        model = PerEdgeCost.from_pairs(4, {}, default=2.0)
+        profile = weighted_stability_profile(cycle_graph(4), model)
+        assert profile.stability_t_interval() == (0.5, 1.0)
+
+    def test_probe_records_carry_coefficient_pairs(self):
+        model = PerPlayerCost([0.5, 2.0, 3.0, 4.0])
+        graph = star_graph(4)
+        profile = weighted_stability_profile(graph, model)
+        # Removal probe of edge (0, 1): endpoint 0 pays α_0, endpoint 1 α_1;
+        # severing a bridge costs both infinitely much distance.
+        assert profile.removal[((0, 1), 0)] == (0.5, INF)
+        assert profile.removal[((0, 1), 1)] == (2.0, INF)
+        # Addition probe of leaf pair (1, 2): each endpoint saves exactly 1.
+        assert profile.addition[((1, 2), 1)] == (2.0, 1.0)
+        assert profile.addition[((1, 2), 2)] == (3.0, 1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Weighted games
+# --------------------------------------------------------------------------- #
+
+
+class TestWeightedGames:
+
+    def test_uniform_bilateral_game_matches_scalar(self):
+        alpha = 1.75
+        weighted = WeightedBilateralGame(5, UniformCost(alpha))
+        scalar = BilateralConnectionGame(5, alpha)
+        assert weighted.alpha == alpha
+        for graph in (star_graph(5), cycle_graph(5), complete_graph(5)):
+            assert weighted.social_cost(graph) == scalar.social_cost(graph)
+            assert weighted.is_pairwise_stable(graph) == scalar.is_pairwise_stable(
+                graph
+            )
+            assert weighted.is_equilibrium_network(
+                graph
+            ) == scalar.is_equilibrium_network(graph)
+            assert weighted.price_of_anarchy(graph) == scalar.price_of_anarchy(graph)
+        assert weighted.efficient_social_cost() == scalar.efficient_social_cost()
+        assert weighted.efficient_graph() == scalar.efficient_graph()
+
+    def test_uniform_unilateral_game_matches_scalar(self):
+        alpha = 2.5
+        weighted = WeightedUnilateralGame(5, UniformCost(alpha))
+        scalar = UnilateralConnectionGame(5, alpha)
+        for graph in (star_graph(5), cycle_graph(5)):
+            assert weighted.social_cost(graph) == scalar.social_cost(graph)
+            assert weighted.is_nash_network(graph) == scalar.is_nash_network(graph)
+        assert weighted.efficient_social_cost() == scalar.efficient_social_cost()
+
+    def test_scale_parameter(self):
+        # UniformCost(1.0) at scale t is the scalar game at α = t.
+        weighted = WeightedBilateralGame(5, UniformCost(1.0), t=3.0)
+        scalar = BilateralConnectionGame(5, 3.0)
+        star = star_graph(5)
+        assert weighted.alpha == 3.0
+        assert weighted.social_cost(star) == scalar.social_cost(star)
+        assert weighted.is_pairwise_stable(star) == scalar.is_pairwise_stable(star)
+        rescaled = weighted.with_scale(0.5)
+        assert rescaled.t == 0.5
+        assert rescaled.alpha == 0.5
+
+    def test_heterogeneous_alpha_is_undefined(self):
+        game = WeightedBilateralGame(3, PerPlayerCost([1.0, 2.0, 3.0]))
+        with pytest.raises(AttributeError):
+            game.alpha
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedBilateralGame(0, UniformCost(1.0))
+        with pytest.raises(ValueError):
+            WeightedBilateralGame(3, UniformCost(1.0), t=0.0)
+        with pytest.raises(ValueError):
+            WeightedBilateralGame(4, PerPlayerCost([1.0, 2.0]))  # n mismatch
+
+    def test_exhaustive_weighted_optimum(self):
+        # Hub-discounted pricing on 4 players, expensive enough that sparse
+        # graphs win: the optimum must beat both the hub star and K4, and
+        # the game's own optimum is by construction the global arg-min.
+        model = PerEdgeCost.from_pairs(4, {}, default=3.0)
+        game = WeightedBilateralGame(4, model)
+        optimum = game.efficient_social_cost()
+        assert optimum <= game.social_cost(star_graph(4))
+        assert optimum <= game.social_cost(complete_graph(4))
+        assert game.social_cost(game.efficient_graph()) == optimum
+        # n above the exhaustive guard raises a clear error.
+        big = WeightedBilateralGame(7, PerPlayerCost([1.0] * 7))
+        with pytest.raises(ValueError):
+            big.efficient_social_cost()
+
+    def test_heterogeneous_stability_two_tier(self):
+        # Two-tier pricing on the star: the hub pays the cheap core rate, so
+        # a star centred on a tier-1 player stays stable for every scale
+        # above the leaf-pair threshold (bridges make t_max infinite).
+        model = PerPlayerCost([0.5, 2.0, 2.0, 2.0, 2.0])
+        game = WeightedBilateralGame(5, model)
+        t_min, t_max = game.stability_t_interval(star_graph(5))
+        assert t_max == INF
+        assert t_min == 0.5  # leaf pair: min(1/2, 1/2) = 0.5
+        assert game.with_scale(1.0).is_pairwise_stable(star_graph(5))
+        assert not game.with_scale(0.25).is_pairwise_stable(star_graph(5))
+
+    def test_weighted_ucg_game_nash_set(self):
+        model = PerPlayerCost([0.5, 1.0, 1.0, 1.0])
+        game = WeightedUnilateralGame(4, model)
+        star = star_graph(4)
+        t_set = game.nash_t_set(star)
+        assert not t_set.is_empty()
+        assert game.with_scale(1.0).is_nash_network(star) == t_set.contains(1.0)

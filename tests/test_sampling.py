@@ -4,8 +4,12 @@ from repro.analysis import (
     deduplicate_up_to_isomorphism,
     sample_equilibria_at_cost,
     sample_equilibria_over_grid,
+    sampled_bcg_columns,
+    sampled_bcg_profiles,
+    sampled_stable_counts,
+    sampled_stable_mask,
 )
-from repro.core import is_nash_graph_ucg, is_pairwise_stable
+from repro.core import is_nash_graph_ucg, is_pairwise_stable, pairwise_stability_profile
 from repro.graphs import cycle_graph, star_graph
 
 
@@ -40,3 +44,44 @@ def test_sample_equilibria_over_grid_keys():
     grid = sample_equilibria_over_grid(5, [2.0, 10.0], num_samples=3, seed=2)
     assert set(grid) == {2.0, 10.0}
     assert set(grid[2.0]) == {"ucg", "bcg"}
+
+
+# --------------------------------------------------------------------------- #
+# Store-backed sampling: columnar α-grid queries over sampled graph lists
+# --------------------------------------------------------------------------- #
+
+
+def test_sampled_profiles_match_per_graph_analysis(small_random_graphs):
+    profiles = sampled_bcg_profiles(small_random_graphs)
+    for graph, batched in zip(small_random_graphs, profiles):
+        reference = pairwise_stability_profile(graph)
+        assert batched.removal_increase == reference.removal_increase
+        assert batched.addition_saving == reference.addition_saving
+
+
+def test_sampled_stable_mask_matches_exact_checks():
+    sampled = sample_equilibria_at_cost(6, total_edge_cost=4.0, num_samples=6, seed=3)
+    alphas = [0.5, 1.0, 2.0, 4.0, 9.0]
+    mask = sampled_stable_mask(sampled.bcg, alphas)
+    for i, graph in enumerate(sampled.bcg):
+        for j, alpha in enumerate(alphas):
+            assert bool(mask[i][j]) == is_pairwise_stable(graph, alpha)
+    # Every sampled BCG network is stable at the cost it was sampled at.
+    counts = sampled_stable_counts(sampled.bcg, [sampled.alpha_bcg])
+    assert counts == [len(sampled.bcg)]
+
+
+def test_sampled_columns_feed_the_columnar_kernels():
+    import importlib.util
+
+    import pytest
+
+    if importlib.util.find_spec("numpy") is None:
+        pytest.skip("sampled_bcg_columns requires NumPy")
+    graphs = [star_graph(6), cycle_graph(6), star_graph(5)]  # mixed n is fine
+    rem_min, add_lo, add_hi, add_indptr = sampled_bcg_columns(graphs)
+    assert rem_min.shape[0] == len(graphs)
+    assert add_indptr.shape[0] == len(graphs) + 1
+    counts = sampled_stable_counts(graphs, [3.0])
+    expected = sum(1 for g in graphs if is_pairwise_stable(g, 3.0))
+    assert counts == [expected]

@@ -1,0 +1,136 @@
+"""Tests for the heterogeneous-cost scenario library and its CLI surface."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    SCENARIOS,
+    available_scenarios,
+    build_scenario,
+    default_t_grid,
+    scenario_sweep,
+)
+from repro.cli import main
+from repro.costmodels import PerEdgeCost, PerPlayerCost
+
+
+class TestScenarioFactories:
+
+    def test_registry_names(self):
+        assert available_scenarios() == sorted(SCENARIOS)
+        assert {
+            "two_tier_isp",
+            "hub_discounted",
+            "line_metric",
+            "random_weights",
+        } <= set(SCENARIOS)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            build_scenario("free_lunch", 5)
+
+    def test_two_tier_structure(self):
+        scenario = build_scenario(
+            "two_tier_isp", 6, core=2, core_alpha=0.5, stub_alpha=2.0
+        )
+        model = scenario.model
+        assert isinstance(model, PerPlayerCost)
+        assert model.weight(0, 5) == 0.5
+        assert model.weight(1, 0) == 0.5
+        assert model.weight(2, 0) == 2.0
+        with pytest.raises(ValueError):
+            build_scenario("two_tier_isp", 4, core=5)
+
+    def test_hub_discount_structure(self):
+        scenario = build_scenario(
+            "hub_discounted", 5, hub=1, alpha=2.0, discount=0.5
+        )
+        model = scenario.model
+        assert isinstance(model, PerEdgeCost)
+        assert model.weight(1, 3) == 1.0 == model.weight(3, 1)
+        assert model.weight(0, 3) == 2.0
+
+    def test_line_metric_structure(self):
+        model = build_scenario("line_metric", 5, alpha=0.5).model
+        assert model.weight(0, 4) == 2.0
+        assert model.weight(2, 3) == 0.5
+        assert model.weight(3, 2) == 0.5
+
+    def test_random_weights_determinism(self):
+        a = build_scenario("random_weights", 6, seed=4).model
+        b = build_scenario("random_weights", 6, seed=4).model
+        c = build_scenario("random_weights", 6, seed=5).model
+        assert a.weights == b.weights
+        assert a.weights != c.weights
+        assert all(
+            0.5 <= a.weight(i, j) <= 2.0 for i in range(6) for j in range(6) if i != j
+        )
+
+    def test_default_t_grid(self):
+        grid = default_t_grid(6, 10)
+        assert len(grid) == 10
+        assert grid[0] == pytest.approx(0.2)
+        assert grid[-1] == pytest.approx(36.0)
+
+
+class TestScenarioSweep:
+
+    def test_sweep_shapes_and_monotone_links(self):
+        result = scenario_sweep(build_scenario("two_tier_isp", 5), grid=6)
+        assert len(result.ts) == 6
+        assert len(result.graphs) == 21  # connected classes on 5 vertices
+        assert len(result.bcg_counts) == 6
+        # Cheap links: the complete graph is the unique stable topology at
+        # tiny scales; expensive links thin the stable networks out.
+        assert result.average_links[0] == 10.0
+        finite = [x for x in result.average_links if x == x]
+        assert finite[0] >= finite[-1]
+
+    def test_sweep_accepts_explicit_grid(self):
+        result = scenario_sweep(build_scenario("line_metric", 4), ts=[0.5, 2.0])
+        assert result.ts == [0.5, 2.0]
+        assert len(result.bcg_counts) == 2
+
+
+class TestScenariosCLI:
+
+    def test_list(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "two_tier_isp" in output and "random_weights" in output
+
+    def test_sweep_table(self, capsys):
+        assert main(["scenarios", "--name", "two_tier_isp", "--n", "5", "--grid", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "scenario two_tier_isp: n = 5" in output
+        assert "per-player cost model" in output
+        assert "#stable_bcg" in output
+
+    def test_sweep_with_ucg_column(self, capsys):
+        exit_code = main(
+            [
+                "scenarios",
+                "--name",
+                "random_weights",
+                "--n",
+                "4",
+                "--grid",
+                "4",
+                "--seed",
+                "1",
+                "--ucg",
+            ]
+        )
+        assert exit_code == 0
+        assert "#nash_ucg" in capsys.readouterr().out
+
+    def test_missing_name(self, capsys):
+        assert main(["scenarios"]) == 2
+        assert "one of --list and --name" in capsys.readouterr().err
+
+    def test_unknown_name(self, capsys):
+        assert main(["scenarios", "--name", "free_lunch", "--n", "5"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_too_few_players(self, capsys):
+        assert main(["scenarios", "--name", "line_metric", "--n", "1"]) == 2
+        assert "at least two players" in capsys.readouterr().err
