@@ -33,14 +33,23 @@ repository root so future PRs have a perf trajectory to compare against:
   identical;
 * **mmap fan-out** (schema v4) — one memory-mapped store artifact queried
   from a process pool (zero-copy page sharing), counts asserted equal to
-  the serial mmap sweep (report-only: no wall-clock floor).
+  the serial mmap sweep (report-only: no wall-clock floor);
+* **weighted store at n = 8** (schema v5) — the persistent
+  :class:`~repro.analysis.weighted_store.WeightedStore`: answering a
+  24-point scale grid (mask + windows) from a saved artifact (load
+  included) vs recomputing the whole coefficient-column batch, answers
+  asserted identical;
+* **ensemble runner** (schema v5) — K seeded ``random_weights`` draws at
+  n = 6 aggregated serially vs over a 2-worker pool, summaries asserted
+  identical (report-only: timing trajectory entry).
 
 The script exits non-zero if the engine census path fails the acceptance
 floor (>= 3x naive, serial), if canonical augmentation fails its floor
 (>= 5x augment-and-dedup at n = 8), if the store grid sweep fails its
 floor (>= 10x the per-record loop at n = 8), if the weighted scenario
-sweep fails its floor (>= 10x the per-graph Python loop at n = 7), or if
-mutation cost shows m-scaling again.
+sweep fails its floor (>= 10x the per-graph Python loop at n = 7), if the
+weighted-store artifact query fails its floor (>= 10x recomputing the
+sweep at n = 8), or if mutation cost shows m-scaling again.
 """
 
 from __future__ import annotations
@@ -472,6 +481,127 @@ def bench_weighted_engine() -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------------- #
+# 3e2. Persistent weighted artifacts: query-from-artifact vs recompute (v5)
+# --------------------------------------------------------------------------- #
+
+
+def bench_weighted_store() -> Dict[str, float]:
+    """Answering a scale grid from a saved artifact vs recomputing the sweep.
+
+    Both paths answer the same 24-point grid of weighted stability masks
+    plus the per-class ``(t_min, t_max)`` windows over all 11117 connected
+    classes on 8 vertices under the seeded ``random_weights`` model.  The
+    recompute path is what every pre-store query paid: the full
+    ``batch_weighted_columns`` deviation batch, every time.  The artifact
+    path loads the persisted ``.npz`` and runs only the grid kernels —
+    answers are asserted identical before any timing is recorded.  (At
+    n = 7 the grid kernels themselves bound the query at ~9x; n = 8 is
+    where the artifact starts paying for real, and matches the scale the
+    ``census_store`` section uses.)
+    """
+    import tempfile
+
+    from repro.analysis.scenarios import build_scenario, default_t_grid
+    from repro.analysis.weighted_store import WeightedStore
+    from repro.engine.batch import batch_weighted_columns
+    from repro.engine.columnar import (
+        weighted_bcg_stable_mask,
+        weighted_stability_windows,
+    )
+
+    scenario = build_scenario("random_weights", 8, seed=3)
+    graphs = enumerate_connected_graphs(8)
+    matrix = scenario.model.matrix(8)
+    ts = default_t_grid(8, 24)
+
+    def run_recompute():
+        columns = batch_weighted_columns(graphs, matrix, oracle=DistanceOracle())
+        probe = (
+            columns["rem_w"], columns["rem_delta"], columns["rem_indptr"],
+            columns["add_w_u"], columns["add_s_u"],
+            columns["add_w_v"], columns["add_s_v"], columns["add_indptr"],
+        )
+        return (
+            weighted_bcg_stable_mask(*probe, ts),
+            weighted_stability_windows(*probe),
+        )
+
+    start = time.perf_counter()
+    store = WeightedStore.from_scenario(scenario)
+    build_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "weighted8.npz")
+        start = time.perf_counter()
+        store.save(path)
+        save_s = time.perf_counter() - start
+        disk_bytes = os.path.getsize(path)
+
+        def run_artifact():
+            loaded = WeightedStore.load(path)
+            return loaded.stable_mask(ts), loaded.stability_windows()
+
+        recompute_mask, (recompute_t_min, recompute_t_max) = run_recompute()
+        artifact_mask, (artifact_t_min, artifact_t_max) = run_artifact()
+        assert (artifact_mask == recompute_mask).all(), "mask divergence"
+        assert artifact_t_min.tolist() == recompute_t_min.tolist(), "t_min"
+        assert artifact_t_max.tolist() == recompute_t_max.tolist(), "t_max"
+
+        recompute_s = _time(run_recompute, repeats=2)
+        artifact_s = _time(run_artifact, repeats=2)
+
+    return {
+        "classes": len(store),
+        "grid_points": len(ts),
+        "build_seconds": build_s,
+        "save_seconds": save_s,
+        "disk_bytes_npz": disk_bytes,
+        "resident_bytes": store.nbytes,
+        "recompute_seconds": recompute_s,
+        "artifact_query_seconds": artifact_s,
+        "query_speedup": recompute_s / artifact_s,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 3e3. Seeded scenario ensembles: serial vs pooled draws (schema v5)
+# --------------------------------------------------------------------------- #
+
+
+def bench_ensemble(draws: int = 8, jobs: int = 2) -> Dict[str, float]:
+    """K seeded random_weights draws at n = 6, serial vs pooled.
+
+    Report-only trajectory entry (draw fan-out gains depend on core count);
+    the serial and pooled summaries are asserted identical, which is the
+    determinism contract the ensemble runner ships with.
+    """
+    from repro.analysis.ensembles import run_ensemble
+
+    start = time.perf_counter()
+    serial = run_ensemble("random_weights", n=6, draws=draws, seed=0, grid=12, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = run_ensemble(
+        "random_weights", n=6, draws=draws, seed=0, grid=12, jobs=jobs
+    )
+    pooled_s = time.perf_counter() - start
+    assert serial.counts == pooled.counts, "ensemble serial/pooled divergence"
+    assert serial.count_stats["mean"] == pooled.count_stats["mean"]
+    return {
+        "scenario": "random_weights",
+        "n": 6,
+        "draws": draws,
+        "classes": serial.classes,
+        "grid_points": len(serial.ts),
+        "workers": jobs,
+        "serial_seconds": serial_s,
+        "pooled_seconds": pooled_s,
+        "draws_per_sec_serial": draws / serial_s,
+        "summaries_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # 3f. mmap-shared multi-process census-store queries (schema v4)
 # --------------------------------------------------------------------------- #
 
@@ -594,7 +724,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v4",
+        "schema": "bench_engine/v5",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -606,6 +736,8 @@ def main(argv=None) -> int:
         "census_n8_bcg_streamed": bench_census_n8_streamed(),
         "census_store": bench_census_store_n8(),
         "weighted_engine": bench_weighted_engine(),
+        "weighted_store": bench_weighted_store(),
+        "ensemble": bench_ensemble(),
         "census_store_mmap_fanout": bench_store_mmap_fanout(),
     }
     if args.n9:
@@ -659,6 +791,20 @@ def main(argv=None) -> int:
         f"{weighted['python_seconds']:.2f}s ({weighted['speedup']:.1f}x, "
         f"{weighted['graphs']} graphs x {weighted['grid_points']} scales)"
     )
+    wstore = report["weighted_store"]
+    print(
+        f"weighted store: n=8 {wstore['grid_points']}-pt grid from artifact "
+        f"{wstore['artifact_query_seconds']*1e3:.0f}ms vs recompute "
+        f"{wstore['recompute_seconds']:.2f}s "
+        f"({wstore['query_speedup']:.1f}x; "
+        f"{wstore['disk_bytes_npz']/1e3:.0f}kB npz)"
+    )
+    ensemble = report["ensemble"]
+    print(
+        f"ensemble:      n=6 {ensemble['draws']} draws serial "
+        f"{ensemble['serial_seconds']:.2f}s, {ensemble['workers']} workers "
+        f"{ensemble['pooled_seconds']:.2f}s (summaries identical)"
+    )
     fanout = report["census_store_mmap_fanout"]
     print(
         f"mmap fan-out:  n=7 {fanout['grid_points']}-pt grid serial "
@@ -699,6 +845,11 @@ def main(argv=None) -> int:
         failures.append(
             f"weighted engine speedup {weighted['speedup']:.1f}x at n=7 "
             "is below the 10x floor"
+        )
+    if wstore["query_speedup"] < 10.0 and not args.report_only:
+        failures.append(
+            f"weighted store artifact-query speedup "
+            f"{wstore['query_speedup']:.1f}x at n=8 is below the 10x floor"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

@@ -1,4 +1,10 @@
-"""Census, sweep, sampling and reporting utilities for the empirical study."""
+"""Census, sweep, sampling, persistence and reporting utilities.
+
+Record censuses and their columnar store, weighted sweeps with the scenario
+library, persistent weighted artifacts (:mod:`.weighted_store`), seeded
+scenario ensembles (:mod:`.ensembles`), grid helpers, sampling and the
+plain-text report renderers.
+"""
 
 from .census import (
     EquilibriumCensus,
@@ -56,12 +62,19 @@ from .weighted import (
     weighted_t_windows,
     weighted_ucg_grid_mask,
 )
+from .weighted_store import WeightedStore, weighted_store_available
+from .ensembles import (
+    EnsembleResult,
+    ensemble_seeds,
+    run_ensemble,
+)
 from .scenarios import (
     SCENARIOS,
     Scenario,
     available_scenarios,
     build_scenario,
     default_t_grid,
+    scenario_from_params,
     scenario_sweep,
 )
 from .sweeps import (
@@ -117,11 +130,17 @@ __all__ = [
     "weighted_sweep",
     "weighted_t_windows",
     "weighted_ucg_grid_mask",
+    "WeightedStore",
+    "weighted_store_available",
+    "EnsembleResult",
+    "ensemble_seeds",
+    "run_ensemble",
     "Scenario",
     "SCENARIOS",
     "available_scenarios",
     "build_scenario",
     "default_t_grid",
+    "scenario_from_params",
     "scenario_sweep",
     "log_spaced_alphas",
     "linear_alphas",

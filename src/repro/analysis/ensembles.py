@@ -1,0 +1,213 @@
+"""Seeded scenario ensembles: stability statistics over many weight draws.
+
+:func:`~repro.analysis.scenarios.random_weights` (and every registry
+scenario — the factories all take a ``seed``) describes a *distribution*
+over cost models, but a single sweep sees one draw.  The ensemble runner
+asks the distributional question: over ``K`` seeded draws of a scenario on
+``n`` players, how many topologies are stable at each scale ``t``, and
+where do the per-class stability windows land — on average, how spread
+out, and at which quantiles?
+
+The workload is embarrassingly parallel over draws, and that is exactly
+how it runs:
+
+* each draw is one pool task (:func:`repro.engine.parallel_map`, results
+  in draw order, so serial and pooled runs are **identical** — asserted in
+  the test suite for ``jobs=1`` vs ``jobs=4``);
+* a draw builds its :class:`~repro.analysis.weighted_store.WeightedStore`
+  columns once and answers counts + windows from the weighted kernels;
+* with ``save_dir`` every draw persists its artifact
+  (``draw_XXXX_seedS.npz``), stamped with the full scenario recipe; an
+  interrupted or repeated run **resumes** by loading matching artifacts
+  instead of recomputing, and the saved stores can be re-queried on any
+  grid later without touching the deviation analysis again;
+* per-``t`` stable counts and per-class window endpoints are aggregated
+  across draws into mean/std/min/max/quantile summaries by the segmented
+  :func:`repro.engine.columnar.ensemble_stats` kernel — one deterministic
+  vectorised pass.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import parallel_map
+from ..engine.columnar import ensemble_stats
+from .scenarios import build_scenario, default_t_grid
+from .store import LOAD_ERRORS
+from .weighted_store import WeightedStore, weighted_store_available
+
+#: Quantiles reported by default (quartiles: lower, median, upper).
+DEFAULT_QUANTILES = (0.25, 0.5, 0.75)
+
+
+def ensemble_seeds(seed: int, draws: int) -> List[int]:
+    """The per-draw seeds of an ensemble: ``seed, seed+1, …, seed+K-1``.
+
+    Consecutive offsets keep the mapping transparent (draw ``k`` of base
+    seed ``s`` is exactly the single sweep ``seed=s+k``) and collision-free
+    within one ensemble.
+    """
+    if draws < 1:
+        raise ValueError("an ensemble needs at least one draw")
+    return [int(seed) + k for k in range(int(draws))]
+
+
+@dataclass
+class EnsembleResult:
+    """Aggregated stability statistics of one seeded scenario ensemble.
+
+    ``count_stats`` summarises the per-``t`` stable-class counts across
+    draws; ``t_min_stats`` / ``t_max_stats`` summarise the per-class
+    window endpoints across draws (entry ``i`` describes isomorphism
+    class ``i`` in canonical census order).  Every stats dict holds
+    ``mean``/``std``/``min``/``max`` lists plus a ``quantiles`` mapping
+    ``{q: [...]}`` — the output of
+    :func:`repro.engine.columnar.ensemble_stats`.
+    """
+
+    scenario: str
+    n: int
+    draws: int
+    seed: int
+    seeds: List[int]
+    ts: List[float]
+    #: Per-draw stable counts, ``counts[k][j]`` = draw ``k`` at ``ts[j]``.
+    counts: List[List[int]]
+    count_stats: Dict[str, object]
+    t_min_stats: Dict[str, object]
+    t_max_stats: Dict[str, object]
+    #: One artifact path per draw when ``save_dir`` was given.
+    artifact_paths: Optional[List[str]] = None
+    #: Extra family parameters the draws were built with.
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def classes(self) -> int:
+        """Number of isomorphism classes summarised per draw."""
+        return len(self.t_min_stats["mean"])
+
+
+def _draw_path(save_dir: str, index: int, seed: int, save_format: str) -> str:
+    name = f"draw_{index:04d}_seed{seed}"
+    return os.path.join(
+        save_dir, f"{name}.npz" if save_format == "npz" else name
+    )
+
+
+def _ensemble_draw(task: Tuple) -> Tuple[List[int], List[float], List[float], Optional[str]]:
+    """Pool worker: one seeded draw → (counts row, t_min, t_max, path).
+
+    When the draw's artifact already exists with the exact scenario recipe
+    (same name/n/seed/params), it is loaded and queried instead of being
+    recomputed — resuming an interrupted ensemble and re-querying a saved
+    one are the same code path.
+    """
+    name, n, seed, params, ts, save_path, save_format = task
+    scenario = build_scenario(name, n, seed=seed, **params)
+    store = None
+    if save_path is not None and os.path.exists(save_path):
+        try:
+            candidate = WeightedStore.load(save_path)
+        except LOAD_ERRORS:
+            candidate = None  # unreadable/foreign artifact: recompute
+        if candidate is not None and candidate.scenario_params == scenario.params:
+            store = candidate
+    if store is None:
+        store = WeightedStore.from_scenario(scenario)
+        if save_path is not None:
+            store.save(save_path, format=save_format)
+    counts = store.stable_counts(ts)
+    t_min, t_max = store.stability_windows()
+    return counts, t_min.tolist(), t_max.tolist(), save_path
+
+
+def run_ensemble(
+    scenario: str = "random_weights",
+    n: int = 6,
+    draws: int = 8,
+    seed: int = 0,
+    ts: Optional[Sequence[float]] = None,
+    grid: int = 12,
+    jobs: Optional[int] = None,
+    save_dir: Optional[str] = None,
+    save_format: str = "npz",
+    params: Optional[Dict[str, object]] = None,
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> EnsembleResult:
+    """Sweep ``draws`` seeded instances of a scenario and aggregate.
+
+    Draw ``k`` plays the registered ``scenario`` on ``n`` players with seed
+    ``seed + k`` (extra factory ``params`` — e.g. ``low``/``high`` for
+    ``random_weights`` — are passed through and recorded in every
+    artifact's recipe).  The per-draw work fans out over ``jobs`` pool
+    workers; results are identical for any worker count.  ``ts`` defaults
+    to the scenario library's log-spaced ``grid``-point scale grid.
+
+    With ``save_dir``, each draw persists one :class:`WeightedStore`
+    artifact there (``save_format`` ``"npz"`` or ``"dir"``) and matching
+    artifacts already on disk are loaded instead of recomputed.
+    """
+    if not weighted_store_available():
+        raise RuntimeError(
+            "the ensemble runner requires NumPy (it aggregates weighted "
+            "store columns); install numpy or sweep draws one at a time "
+            "with weighted_python_sweep_bcg"
+        )
+    import numpy as np
+
+    params = dict(params or {})
+    for reserved in ("name", "n", "seed"):
+        params.pop(reserved, None)
+    ts = (
+        default_t_grid(n, grid) if ts is None else [float(t) for t in ts]
+    )
+    seeds = ensemble_seeds(seed, draws)
+    if save_dir is not None:
+        if save_format not in ("npz", "dir"):
+            raise ValueError("save_format must be 'npz' or 'dir'")
+        os.makedirs(save_dir, exist_ok=True)
+    tasks = [
+        (
+            scenario,
+            int(n),
+            draw_seed,
+            params,
+            ts,
+            None
+            if save_dir is None
+            else _draw_path(save_dir, index, draw_seed, save_format),
+            save_format,
+        )
+        for index, draw_seed in enumerate(seeds)
+    ]
+    results = parallel_map(_ensemble_draw, tasks, jobs=jobs)
+
+    counts = [row for row, _, _, _ in results]
+    paths = [path for _, _, _, path in results]
+
+    def stacked(rows: List[List[float]]) -> Dict[str, object]:
+        lengths = [len(row) for row in rows]
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
+        values = np.asarray(
+            [value for row in rows for value in row], dtype=np.float64
+        )
+        return ensemble_stats(values, indptr, quantiles=quantiles)
+
+    return EnsembleResult(
+        scenario=scenario,
+        n=int(n),
+        draws=int(draws),
+        seed=int(seed),
+        seeds=seeds,
+        ts=list(ts),
+        counts=[[int(c) for c in row] for row in counts],
+        count_stats=stacked(counts),
+        t_min_stats=stacked([t_min for _, t_min, _, _ in results]),
+        t_max_stats=stacked([t_max for _, _, t_max, _ in results]),
+        artifact_paths=paths if save_dir is not None else None,
+        params=params,
+    )

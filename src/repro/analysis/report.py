@@ -113,6 +113,43 @@ def format_store_summary(store, source: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def format_weighted_store_summary(store, source: Optional[str] = None) -> str:
+    """Render a :class:`~repro.analysis.weighted_store.WeightedStore` summary.
+
+    Mirrors :func:`format_store_summary` for the weighted artifacts: one
+    provenance line (scenario recipe included when the artifact carries
+    one) plus the per-column size table.
+    """
+    summary = store.summary()
+    scenario = summary["scenario"] or "ad-hoc model"
+    seed = summary["seed"]
+    lines = [
+        (
+            f"weighted store: n = {summary['n']}, {summary['classes']} "
+            f"classes, scenario = {scenario}"
+            + (f" (seed {seed})" if seed is not None else "")
+            + f", format v{summary['format_version']}, "
+            f"{summary['nbytes'] / 1e6:.2f} MB resident"
+        )
+    ]
+    if source:
+        lines.append(f"source: {source}")
+    if summary["scenario_params"]:
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(summary["scenario_params"].items())
+            if key not in ("name", "n", "seed")
+        )
+        if params:
+            lines.append(f"params: {params}")
+    rows = [
+        [name, size, f"{size / max(1, summary['classes']):.1f}"]
+        for name, size in sorted(summary["column_bytes"].items())
+    ]
+    lines.append(format_table(["column", "bytes", "bytes/class"], rows))
+    return "\n".join(lines)
+
+
 def format_ascii_series(
     values: Sequence[float], width: int = 40, label: str = ""
 ) -> str:

@@ -19,6 +19,15 @@ sweep plays ``C = t·W`` at every grid point ``t``):
 Every factory is deterministic in ``(n, seed, params)`` — the RNG is a
 dedicated ``random.Random(seed)`` — so parallel and repeated sweeps agree
 exactly.  The registry is what the CLI ``scenarios`` subcommand exposes.
+
+:attr:`Scenario.params` is the **single source of truth** for reproduction:
+every factory records the complete recipe (``name``, ``n``, ``seed`` and all
+family parameters, defaults included) in ``params``, and
+:func:`scenario_from_params` rebuilds a bit-identical scenario — same weight
+matrix, float for float — from that dict alone.  This is what lets the
+persistent weighted artifacts (:mod:`repro.analysis.weighted_store`) and the
+ensemble runner (:mod:`repro.analysis.ensembles`) stamp provenance into
+their metadata and re-instantiate the exact cost model later.
 """
 
 from __future__ import annotations
@@ -34,13 +43,35 @@ from .weighted import WeightedSweepResult, weighted_census
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named heterogeneous link-cost configuration on ``n`` players."""
+    """A named heterogeneous link-cost configuration on ``n`` players.
+
+    ``params`` carries the complete reproduction recipe — ``name``, ``n``,
+    ``seed`` and every family parameter with its resolved value — so
+    ``scenario_from_params(scenario.params)`` rebuilds the identical weight
+    matrix.  The ``name``/``n`` fields are convenience mirrors of the
+    corresponding ``params`` entries, checked for consistency on creation.
+    """
 
     name: str
     description: str
     n: int
     model: CostModel
-    params: Dict[str, float] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, value in (("name", self.name), ("n", self.n)):
+            if key in self.params and self.params[key] != value:
+                raise ValueError(
+                    f"scenario {key}={value!r} disagrees with "
+                    f"params[{key!r}]={self.params[key]!r}"
+                )
+
+
+def _recipe(name: str, n: int, seed: int, **family_params) -> Dict[str, object]:
+    """The full ``Scenario.params`` dict of one factory invocation."""
+    params: Dict[str, object] = {"name": name, "n": int(n), "seed": int(seed)}
+    params.update(family_params)
+    return params
 
 
 def two_tier_isp(
@@ -67,7 +98,10 @@ def two_tier_isp(
         ),
         n=n,
         model=PerPlayerCost(rates),
-        params={"core": core, "core_alpha": core_alpha, "stub_alpha": stub_alpha},
+        params=_recipe(
+            "two_tier_isp", n, seed,
+            core=core, core_alpha=core_alpha, stub_alpha=stub_alpha,
+        ),
     )
 
 
@@ -103,7 +137,9 @@ def hub_discounted(
         ),
         n=n,
         model=PerEdgeCost(weights),
-        params={"hub": hub, "alpha": alpha, "discount": discount},
+        params=_recipe(
+            "hub_discounted", n, seed, hub=hub, alpha=alpha, discount=discount
+        ),
     )
 
 
@@ -122,7 +158,7 @@ def line_metric(n: int, seed: int = 0, alpha: float = 1.0) -> Scenario:
         description=f"line metric, pair {{i,j}} costs {alpha:g}·|i-j|",
         n=n,
         model=PerEdgeCost(weights),
-        params={"alpha": alpha},
+        params=_recipe("line_metric", n, seed, alpha=alpha),
     )
 
 
@@ -147,7 +183,7 @@ def random_weights(
         ),
         n=n,
         model=PerEdgeCost(weights),
-        params={"seed": seed, "low": low, "high": high},
+        params=_recipe("random_weights", n, seed, low=low, high=high),
     )
 
 
@@ -165,15 +201,53 @@ def available_scenarios() -> List[str]:
     return sorted(SCENARIOS)
 
 
-def build_scenario(name: str, n: int, seed: int = 0, **params) -> Scenario:
-    """Instantiate a registered scenario by name."""
+def build_scenario(name: str, n: int, /, seed: int = 0, **params) -> Scenario:
+    """Instantiate a registered scenario by name.
+
+    ``name`` and ``n`` are positional-only, so ``params`` may be a full
+    :attr:`Scenario.params` recipe: redundant ``name``/``n`` entries are
+    accepted when they agree with the explicit arguments (and rejected when
+    they disagree), and ``build_scenario(s.name, s.n, **s.params)``
+    round-trips.
+    """
     try:
         factory = SCENARIOS[name]
     except KeyError:
         raise KeyError(
             f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
         ) from None
+    for key, value in (("name", name), ("n", int(n))):
+        if key in params:
+            if params[key] != value:
+                raise ValueError(
+                    f"scenario {key}={value!r} disagrees with "
+                    f"params[{key!r}]={params[key]!r}"
+                )
+            params = {k: v for k, v in params.items() if k != key}
     return factory(n, seed=seed, **params)
+
+
+def scenario_from_params(params: Dict[str, object]) -> Scenario:
+    """Rebuild a scenario from a :attr:`Scenario.params` recipe dict.
+
+    The inverse of every factory: ``scenario_from_params(s.params)``
+    reproduces ``s`` exactly — in particular the weight matrix is
+    bit-for-bit identical, because the recipe records every parameter
+    (``seed`` included) with its resolved value, so no registry default is
+    re-applied on the round trip.  This is how persisted weighted artifacts
+    and ensemble draws re-instantiate their cost model from metadata.
+    """
+    params = dict(params)
+    try:
+        name = params.pop("name")
+        n = params.pop("n")
+    except KeyError as missing:
+        raise ValueError(
+            f"scenario params must record {missing.args[0]!r}; got keys "
+            f"{sorted(params)} (params written before the full-recipe "
+            "contract must be rebuilt via build_scenario)"
+        ) from None
+    return build_scenario(str(name), int(n), **params)
 
 
 def default_t_grid(n: int, count: int = 12) -> List[float]:

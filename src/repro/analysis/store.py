@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import zipfile
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 try:  # NumPy backs every column; the store refuses to build without it.
@@ -73,6 +74,10 @@ FORMAT_VERSION = 1
 
 #: Schema tag written into every artifact (guards against loading foreign files).
 SCHEMA = "repro-census-store"
+
+#: Everything a store ``load`` can raise on a missing/corrupt/foreign
+#: artifact — the one tuple CLI handlers and resume paths should catch.
+LOAD_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
 
 #: Dense per-class columns (name → dtype); ragged columns are listed below.
 _DENSE_COLUMNS = ("num_edges", "dist_total", "cert_words")
@@ -839,34 +844,82 @@ def _load_part_if_valid(path: str, n: int, include_ucg: bool) -> Optional[dict]:
 # --------------------------------------------------------------------------- #
 
 
-_STORE_CACHE: Dict[tuple, CensusStore] = {}
+_STORE_CACHE: "OrderedDict[tuple, CensusStore]" = OrderedDict()
+
+#: Upper bound on cached stores.  Small on purpose: an n = 8 store is a few
+#: MB resident but an n = 9 store is tens of MB, and a long-lived process
+#: cycling through artifacts (the ensemble/experiment runners) must not
+#: accumulate every store it ever touched.
+STORE_CACHE_MAX = 8
+
+
+def _artifact_stamp(path: str) -> tuple:
+    """``(mtime_ns, size)`` of an artifact, so rewrites miss the cache.
+
+    Load-keyed cache entries are not determined by the path alone — a
+    long-lived process may regenerate an artifact in place and must not
+    keep being served the old columns.  For the directory format the stamp
+    probes ``meta.json`` (every :meth:`CensusStore.save` rewrites it).
+    """
+    probe = os.path.join(path, "meta.json") if os.path.isdir(path) else path
+    stat = os.stat(probe)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _cache_store(key: tuple, store: CensusStore) -> CensusStore:
+    """Insert (or touch) one cache entry, evicting least-recently-used."""
+    _STORE_CACHE[key] = store
+    _STORE_CACHE.move_to_end(key)
+    while len(_STORE_CACHE) > max(1, STORE_CACHE_MAX):
+        _STORE_CACHE.popitem(last=False)
+    return store
 
 
 def cached_store(
-    n: int, include_ucg: bool = True, jobs: Optional[int] = None
+    n: Optional[int] = None,
+    include_ucg: bool = True,
+    jobs: Optional[int] = None,
+    path: Optional[str] = None,
+    mmap: bool = False,
 ) -> CensusStore:
-    """Build (or fetch) the columnar store for ``n`` vertices.
+    """Build, load or fetch the columnar store (bounded LRU cache).
 
-    Like :func:`repro.analysis.census.cached_census`, ``jobs`` only affects
-    how a cache miss is computed; the store contents are identical for any
-    value and therefore not part of the cache key.  A record census already
-    sitting in the census cache (e.g. built by another experiment in the
-    same ``--all`` run) is converted in place rather than re-analysed —
+    With ``n`` the store is built in process (or converted from a record
+    census already sitting in the census cache —
     :meth:`CensusStore.from_census` skips the whole deviation + UCG
-    orientation pass.
+    orientation pass).  With ``path`` it is loaded from an on-disk
+    artifact instead, optionally memory-mapped.
+
+    Every option that changes what the returned *object* is — ``n`` and
+    ``include_ucg`` for builds; the absolute path, ``mmap`` and the file's
+    modification stamp for loads — is part of the cache key, so a resident
+    store can never be handed out where a mapped view was requested (or
+    vice versa), and an artifact rewritten in place on disk misses the
+    cache instead of serving its old columns.  ``jobs`` only
+    affects how a build miss is computed; the contents are identical for
+    any value and it is therefore *not* part of the key.  The cache keeps
+    at most :data:`STORE_CACHE_MAX` stores, evicting least-recently-used.
     """
+    if (n is None) == (path is None):
+        raise ValueError("exactly one of n and path is required")
+    if path is not None:
+        key = ("load", os.path.abspath(path), bool(mmap), _artifact_stamp(path))
+        store = _STORE_CACHE.get(key)
+        if store is None:
+            store = CensusStore.load(path, mmap=mmap)
+        return _cache_store(key, store)
+
     from .census import _CENSUS_CACHE
 
-    key = (n, include_ucg)
-    if key not in _STORE_CACHE:
-        cached = _CENSUS_CACHE.get(key)
+    key = ("build", int(n), bool(include_ucg))
+    store = _STORE_CACHE.get(key)
+    if store is None:
+        cached = _CENSUS_CACHE.get((int(n), bool(include_ucg)))
         if cached is not None:
-            _STORE_CACHE[key] = CensusStore.from_census(cached)
+            store = CensusStore.from_census(cached)
         else:
-            _STORE_CACHE[key] = CensusStore.build(
-                n, include_ucg=include_ucg, jobs=jobs
-            )
-    return _STORE_CACHE[key]
+            store = CensusStore.build(n, include_ucg=include_ucg, jobs=jobs)
+    return _cache_store(key, store)
 
 
 def clear_store_cache() -> None:

@@ -184,6 +184,43 @@ def weighted_ucg_grid_mask(
     )
 
 
+def sweep_grid_aggregates(
+    mask,
+    ts: Sequence[float],
+    num_edges: Sequence[int],
+    edge_cost_totals: Sequence[float],
+    dist_totals: Sequence[float],
+) -> Tuple[List[int], List[float], List[float]]:
+    """Per-grid-point ``(counts, avg links, avg social cost)`` from a mask.
+
+    The one aggregation loop both :func:`weighted_sweep` and
+    :meth:`repro.analysis.weighted_store.WeightedStore.aggregates` answer
+    from — kept in a single place so the store's "float-exact vs the
+    in-memory sweep" contract is structural, not a coincidence of two
+    copies: same selected order, same left-to-right summation, ``nan`` for
+    grid points with no stable class.  ``mask[i][column]`` may be a NumPy
+    array or a list of lists.
+    """
+    bcg_counts: List[int] = []
+    average_links: List[float] = []
+    average_social_cost: List[float] = []
+    for column, t in enumerate(ts):
+        selected = [i for i in range(len(num_edges)) if mask[i][column]]
+        bcg_counts.append(len(selected))
+        if not selected:
+            average_links.append(float("nan"))
+            average_social_cost.append(float("nan"))
+            continue
+        average_links.append(
+            sum(num_edges[i] for i in selected) / len(selected)
+        )
+        average_social_cost.append(
+            sum(t * edge_cost_totals[i] + dist_totals[i] for i in selected)
+            / len(selected)
+        )
+    return bcg_counts, average_links, average_social_cost
+
+
 @dataclass
 class WeightedSweepResult:
     """A weighted stability sweep over one graph list, model and scale grid."""
@@ -263,23 +300,9 @@ def weighted_sweep(
         num_edges = [g.num_edges for g in graphs]
     edge_cost_totals = [model.bcg_edge_cost_total(g) for g in graphs]
 
-    bcg_counts: List[int] = []
-    average_links: List[float] = []
-    average_social_cost: List[float] = []
-    for column, t in enumerate(ts):
-        selected = [i for i in range(len(graphs)) if mask[i][column]]
-        bcg_counts.append(len(selected))
-        if not selected:
-            average_links.append(float("nan"))
-            average_social_cost.append(float("nan"))
-            continue
-        average_links.append(
-            sum(num_edges[i] for i in selected) / len(selected)
-        )
-        average_social_cost.append(
-            sum(t * edge_cost_totals[i] + dist_totals[i] for i in selected)
-            / len(selected)
-        )
+    bcg_counts, average_links, average_social_cost = sweep_grid_aggregates(
+        mask, ts, num_edges, edge_cost_totals, dist_totals
+    )
 
     ucg_mask = None
     ucg_counts = None

@@ -1,0 +1,683 @@
+"""Persistent weighted scenario artifacts: columnar stores for ``t·W`` sweeps.
+
+:func:`~repro.analysis.weighted.weighted_sweep` answers a whole scale grid
+from one deviation-analysis pass, but its
+:class:`~repro.analysis.weighted.WeightedSweepResult` is in-memory only —
+every new grid, every new process and every ensemble draw re-runs the
+boolean-matmul probe batch from scratch.  :class:`WeightedStore` is the
+weighted counterpart of :class:`~repro.analysis.store.CensusStore`: the
+per-probe ``(w, Δdist)`` coefficient columns of one ``(graph list, cost
+model)`` pair, persisted once and queried forever:
+
+* **columns, not recomputation** — per class: a packed upper-triangle
+  certificate, the edge count, the total ordered-pair distance sum, the
+  unscaled link spend ``Σ_e (w(u,v) + w(v,u))``, and the ragged CSR probe
+  columns of :func:`repro.engine.batch.batch_weighted_columns` (removal
+  ``(w, Δ)`` pairs, per-non-edge endpoint ``(w, save)`` 4-tuples);
+* **query = the existing kernels** — stability masks, windows and sweep
+  aggregates come straight from
+  :func:`repro.engine.columnar.weighted_bcg_stable_mask` /
+  :func:`~repro.engine.columnar.weighted_stability_windows` over the stored
+  columns, float-for-float identical to the in-memory sweep (asserted for
+  every connected class up to ``n = 7`` in the test suite, including across
+  a save → load round trip in a separate process);
+* **versioned, provenance-stamped persistence** — one ``.npz`` or a
+  directory of mmap-able ``.npy`` columns, carrying the schema tag,
+  :data:`FORMAT_VERSION`, ``n``, the dense weight matrix and (when built
+  from the scenario library) the full :attr:`Scenario.params` recipe, so an
+  artifact knows exactly which seeded scenario produced it and
+  :func:`repro.analysis.scenarios.scenario_from_params` can rebuild the
+  model bit-for-bit.
+
+Builds mirror the census store: :meth:`build` chunks the canonical class
+list over pool workers; :meth:`build_streamed` walks the sharded
+canonical-augmentation tree (resumable via ``shard_dir``) and sorts the
+merged columns into canonical census order, element-for-element identical
+to :meth:`build`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # NumPy backs every column; the store refuses to build without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+from ..costmodels.models import CostModel
+from ..engine import chunk_evenly, parallel_map, resolve_jobs
+from ..engine.oracle import DistanceOracle
+from ..engine.columnar import (
+    canonical_sort_indices,
+    certificate_to_graph,
+    concat_csr,
+    gather_segments,
+    pack_certificates,
+    weighted_bcg_stable_mask,
+    weighted_stability_windows,
+)
+from ..graphs import (
+    Graph,
+    canonical_graph,
+    enumerate_connected_graphs,
+    enumerate_graphs,
+    is_connected,
+    iter_graphs_from,
+)
+from ..graphs.isomorphism import clear_canonical_record
+
+#: On-disk format version; bump on any incompatible schema change.
+FORMAT_VERSION = 1
+
+#: Schema tag written into every artifact (guards against loading foreign files).
+SCHEMA = "repro-weighted-store"
+
+#: Dense per-class columns (``weight_matrix`` is per-artifact, not per-class).
+_DENSE_COLUMNS = ("num_edges", "dist_total", "edge_cost_total", "cert_words")
+#: Ragged probe columns in the batch_weighted_columns CSR layout.
+_PROBE_COLUMNS = (
+    "rem_w", "rem_delta", "rem_indptr",
+    "add_w_u", "add_s_u", "add_w_v", "add_s_v", "add_indptr",
+)
+
+
+def weighted_store_available() -> bool:
+    """Whether the weighted store can be used (NumPy importable)."""
+    return _np is not None
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "WeightedStore requires NumPy; use the per-graph "
+            "WeightedStabilityProfile path instead"
+        )
+    return _np
+
+
+class WeightedStore:
+    """One weighted sweep's coefficient columns, persistent and queryable.
+
+    Instances are produced by :meth:`build`, :meth:`build_streamed`,
+    :meth:`from_scenario` or :meth:`load`; the constructor just wires up
+    pre-validated columns.  Classes are kept in canonical census order, so
+    row ``i`` here, row ``i`` of the scalar :class:`CensusStore` and graph
+    ``i`` of :func:`weighted_census` describe the same isomorphism class.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        weight_matrix,
+        num_edges,
+        dist_total,
+        edge_cost_total,
+        cert_words,
+        rem_w,
+        rem_delta,
+        rem_indptr,
+        add_w_u,
+        add_s_u,
+        add_w_v,
+        add_s_v,
+        add_indptr,
+        scenario_params: Optional[Dict[str, object]] = None,
+    ) -> None:
+        _require_numpy()
+        self.n = int(n)
+        self.weight_matrix = weight_matrix
+        self.num_edges = num_edges
+        self.dist_total = dist_total
+        self.edge_cost_total = edge_cost_total
+        self.cert_words = cert_words
+        self.rem_w = rem_w
+        self.rem_delta = rem_delta
+        self.rem_indptr = rem_indptr
+        self.add_w_u = add_w_u
+        self.add_s_u = add_s_u
+        self.add_w_v = add_w_v
+        self.add_s_v = add_s_v
+        self.add_indptr = add_indptr
+        self.scenario_params = dict(scenario_params) if scenario_params else None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        n: int,
+        model: CostModel,
+        jobs: Optional[int] = None,
+        scenario_params: Optional[Dict[str, object]] = None,
+    ) -> "WeightedStore":
+        """Weighted columns for every connected class on ``n`` vertices.
+
+        The class list, order and deviation analysis are exactly those of
+        :func:`repro.analysis.weighted.weighted_census`; each pool worker
+        emits column chunks (a dict of NumPy arrays), so the artifact never
+        exists as per-graph Python objects.
+        """
+        _require_numpy()
+        matrix = model.coefficient_matrix(n)
+        graphs = enumerate_connected_graphs(n)
+        workers = resolve_jobs(jobs)
+        chunks = chunk_evenly(graphs, max(1, workers * 4))
+        tasks = [(chunk, model, matrix, n) for chunk in chunks]
+        parts = parallel_map(_weighted_columns_chunk, tasks, jobs=jobs)
+        # enumerate_connected_graphs is already canonically sorted and the
+        # chunks preserve order, so no global sort is needed here.
+        return cls._from_parts(n, matrix, parts, scenario_params)
+
+    @classmethod
+    def from_scenario(
+        cls, scenario, jobs: Optional[int] = None, streamed: bool = False
+    ) -> "WeightedStore":
+        """Build the artifact of one scenario-library :class:`Scenario`.
+
+        The scenario's full :attr:`Scenario.params` recipe (name, ``n``,
+        seed and family parameters) is stamped into the artifact metadata.
+        """
+        build = cls.build_streamed if streamed else cls.build
+        return build(
+            scenario.n,
+            scenario.model,
+            jobs=jobs,
+            scenario_params=dict(scenario.params),
+        )
+
+    @classmethod
+    def build_streamed(
+        cls,
+        n: int,
+        model: CostModel,
+        jobs: Optional[int] = None,
+        shard_level: Optional[int] = None,
+        batch_size: int = 512,
+        shard_dir: Optional[str] = None,
+        scenario_params: Optional[Dict[str, object]] = None,
+    ) -> "WeightedStore":
+        """Build the columns by streaming the canonical-augmentation tree.
+
+        The sharding scheme is the census store's (disjoint, jointly
+        exhaustive subtrees below level-``shard_level`` roots); workers
+        canonicalise each generated graph before pricing it, so the
+        weights land on the same labelled representatives as :meth:`build`.
+        With ``shard_dir`` every finished shard is persisted and an
+        interrupted build resumes; shards carry ``n`` *and* the weight
+        matrix, so a directory reused with a different cost model raises
+        instead of merging silently.  The merged store is sorted into
+        canonical census order, element-for-element identical to
+        :meth:`build`.
+        """
+        _require_numpy()
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        matrix = model.coefficient_matrix(n)
+        workers = resolve_jobs(jobs)
+        if shard_level is None:
+            shard_level = max(0, min(6, n - 2))
+        shard_level = max(0, min(shard_level, n))
+        roots = enumerate_graphs(shard_level)
+        chunks = chunk_evenly(roots, max(1, workers * 4))
+        tasks = [(chunk, model, matrix, n, batch_size) for chunk in chunks]
+
+        if shard_dir is None:
+            parts = parallel_map(_stream_weighted_chunk, tasks, jobs=jobs)
+        else:
+            os.makedirs(shard_dir, exist_ok=True)
+            paths = [
+                os.path.join(
+                    shard_dir, f"wshard_{i:04d}_of_{len(tasks):04d}.npz"
+                )
+                for i in range(len(tasks))
+            ]
+            loaded: Dict[int, dict] = {}
+            missing: List[int] = []
+            for index, path in enumerate(paths):
+                part = _load_shard_if_valid(path, n, matrix)
+                if part is None:
+                    missing.append(index)
+                else:
+                    loaded[index] = part
+            computed = parallel_map(
+                _stream_weighted_chunk, [tasks[i] for i in missing], jobs=jobs
+            )
+            for index, part in zip(missing, computed):
+                _save_shard(paths[index], part, n, matrix)
+                loaded[index] = part
+            parts = [loaded[index] for index in range(len(tasks))]
+
+        store = cls._from_parts(n, matrix, parts, scenario_params)
+        return store.sort_canonical()
+
+    @classmethod
+    def _from_parts(
+        cls,
+        n: int,
+        matrix,
+        parts: List[dict],
+        scenario_params: Optional[Dict[str, object]],
+    ) -> "WeightedStore":
+        np = _require_numpy()
+        return cls(
+            n=n,
+            weight_matrix=np.asarray(matrix, dtype=np.float64),
+            scenario_params=scenario_params,
+            **_merge_parts(parts, n),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ordering
+    # ------------------------------------------------------------------ #
+
+    def sort_canonical(self) -> "WeightedStore":
+        """A copy of the store in canonical census order (stable no-op key)."""
+        order = canonical_sort_indices(self.num_edges, self.cert_words, self.n)
+        return self.permute(order)
+
+    def permute(self, order) -> "WeightedStore":
+        """A copy with class ``order[i]`` moved to row ``i`` (all columns)."""
+        rem_w, rem_indptr = gather_segments(self.rem_w, self.rem_indptr, order)
+        rem_delta, _ = gather_segments(self.rem_delta, self.rem_indptr, order)
+        add_w_u, add_indptr = gather_segments(
+            self.add_w_u, self.add_indptr, order
+        )
+        add_s_u, _ = gather_segments(self.add_s_u, self.add_indptr, order)
+        add_w_v, _ = gather_segments(self.add_w_v, self.add_indptr, order)
+        add_s_v, _ = gather_segments(self.add_s_v, self.add_indptr, order)
+        return WeightedStore(
+            n=self.n,
+            weight_matrix=self.weight_matrix,
+            num_edges=self.num_edges[order],
+            dist_total=self.dist_total[order],
+            edge_cost_total=self.edge_cost_total[order],
+            cert_words=self.cert_words[order],
+            rem_w=rem_w,
+            rem_delta=rem_delta,
+            rem_indptr=rem_indptr,
+            add_w_u=add_w_u,
+            add_s_u=add_s_u,
+            add_w_v=add_w_v,
+            add_s_v=add_s_v,
+            add_indptr=add_indptr,
+            scenario_params=self.scenario_params,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Vectorised scale-grid queries (no recomputation, ever)
+    # ------------------------------------------------------------------ #
+
+    def _probe_columns(self) -> Tuple:
+        return (
+            self.rem_w, self.rem_delta, self.rem_indptr,
+            self.add_w_u, self.add_s_u,
+            self.add_w_v, self.add_s_v, self.add_indptr,
+        )
+
+    def stable_mask(self, ts: Sequence[float]):
+        """``bool[n_classes, n_ts]`` weighted pairwise stability on a grid.
+
+        Bit-identical to :func:`weighted_bcg_grid_mask` over the same
+        graphs and model — the stored columns *are* that call's inputs.
+        """
+        return weighted_bcg_stable_mask(*self._probe_columns(), ts)
+
+    def stable_counts(self, ts: Sequence[float]) -> List[int]:
+        """Number of stable classes at every grid point."""
+        return [int(count) for count in self.stable_mask(ts).sum(axis=0)]
+
+    def stability_windows(self):
+        """Per-class weighted Lemma 2 ``(t_min, t_max)`` arrays."""
+        return weighted_stability_windows(*self._probe_columns())
+
+    def aggregates(self, ts: Sequence[float]) -> Dict[str, list]:
+        """Whole-grid sweep aggregates, float-exact vs :func:`weighted_sweep`.
+
+        Returns ``bcg_counts``, ``average_links`` and
+        ``average_social_cost`` lists (one entry per grid point), computed
+        by the *same* aggregation code the in-memory sweep runs
+        (:func:`repro.analysis.weighted.sweep_grid_aggregates`), so the
+        numbers match to the last bit (``nan`` for grid points with no
+        stable class).
+        """
+        from .weighted import sweep_grid_aggregates
+
+        ts = [float(t) for t in ts]
+        bcg_counts, average_links, average_social_cost = sweep_grid_aggregates(
+            self.stable_mask(ts),
+            ts,
+            [int(m) for m in self.num_edges],
+            self.edge_cost_total.tolist(),
+            self.dist_total.tolist(),
+        )
+        return {
+            "ts": ts,
+            "bcg_counts": bcg_counts,
+            "average_links": average_links,
+            "average_social_cost": average_social_cost,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Introspection and decoding
+    # ------------------------------------------------------------------ #
+
+    def matrix(self) -> List[List[float]]:
+        """The dense weight matrix the artifact was priced under."""
+        return [[float(w) for w in row] for row in self.weight_matrix]
+
+    def graph_at(self, index: int) -> Graph:
+        """Rebuild the canonical representative stored at row ``index``."""
+        return certificate_to_graph(self.cert_words[index], self.n)
+
+    def graphs(self) -> List[Graph]:
+        """Rebuild every stored representative (canonical census order)."""
+        return [self.graph_at(i) for i in range(len(self))]
+
+    def stable_graphs_at(self, t: float) -> List[Graph]:
+        """The stable topologies under ``t·W`` (decoded from certificates)."""
+        np = _np
+        selected = self.stable_mask([t])[:, 0]
+        return [self.graph_at(int(i)) for i in np.nonzero(selected)[0]]
+
+    def __len__(self) -> int:
+        return int(self.num_edges.shape[0])
+
+    def _columns(self) -> Dict[str, object]:
+        columns = {name: getattr(self, name) for name in _DENSE_COLUMNS}
+        columns.update({name: getattr(self, name) for name in _PROBE_COLUMNS})
+        columns["weight_matrix"] = self.weight_matrix
+        return columns
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across every column."""
+        return sum(array.nbytes for array in self._columns().values())
+
+    def summary(self) -> Dict[str, object]:
+        """Artifact metadata (used by the CLI and the report renderer)."""
+        scenario = self.scenario_params or {}
+        return {
+            "n": self.n,
+            "classes": len(self),
+            "scenario": scenario.get("name"),
+            "seed": scenario.get("seed"),
+            "scenario_params": dict(scenario) or None,
+            "format_version": FORMAT_VERSION,
+            "nbytes": self.nbytes,
+            "column_bytes": {
+                name: array.nbytes for name, array in self._columns().items()
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(
+        self, path: str, format: Optional[str] = None, compress: bool = False
+    ) -> str:
+        """Write the artifact to ``path``; returns the path written.
+
+        ``format="npz"`` (default for ``*.npz`` paths) writes one NumPy
+        archive; ``format="dir"`` writes a directory of raw ``.npy``
+        columns plus ``meta.json`` — loadable with ``mmap=True`` so large
+        ensembles of artifacts can be queried without resident copies.
+        Both carry the schema tag, :data:`FORMAT_VERSION` and the scenario
+        recipe.
+        """
+        np = _require_numpy()
+        if format is None:
+            format = "npz" if str(path).endswith(".npz") else "dir"
+        if format not in ("npz", "dir"):
+            raise ValueError("format must be 'npz' or 'dir'")
+        scenario_json = json.dumps(self.scenario_params, sort_keys=True)
+        if format == "npz":
+            if not str(path).endswith(".npz"):
+                # np.savez appends the suffix itself; make that explicit so
+                # the returned path is the file actually written.
+                path = f"{path}.npz"
+            payload = dict(self._columns())
+            payload["schema"] = np.str_(SCHEMA)
+            payload["format_version"] = np.int64(FORMAT_VERSION)
+            payload["n"] = np.int64(self.n)
+            payload["scenario_json"] = np.str_(scenario_json)
+            writer = np.savez_compressed if compress else np.savez
+            writer(path, **payload)
+            return path
+        os.makedirs(path, exist_ok=True)
+        columns = self._columns()
+        meta = {
+            "schema": SCHEMA,
+            "format_version": FORMAT_VERSION,
+            "n": self.n,
+            "scenario": self.scenario_params,
+            "columns": sorted(columns),
+        }
+        with open(os.path.join(path, "meta.json"), "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for name, array in columns.items():
+            np.save(os.path.join(path, f"{name}.npy"), array)
+        return path
+
+    @classmethod
+    def load(cls, path: str, mmap: bool = False) -> "WeightedStore":
+        """Load an artifact written by :meth:`save`.
+
+        ``mmap=True`` memory-maps the columns and is only supported for the
+        directory format (zip archives cannot be mapped page-aligned).
+        """
+        np = _require_numpy()
+        if os.path.isdir(path):
+            with open(os.path.join(path, "meta.json")) as handle:
+                meta = json.load(handle)
+            cls._check_meta(meta.get("schema"), meta.get("format_version"), path)
+            mmap_mode = "r" if mmap else None
+            columns = {
+                name: np.load(
+                    os.path.join(path, f"{name}.npy"), mmap_mode=mmap_mode
+                )
+                for name in meta["columns"]
+            }
+            return cls(n=meta["n"], scenario_params=meta.get("scenario"), **columns)
+        if mmap:
+            raise ValueError(
+                "mmap loading requires the directory format; save with "
+                "format='dir' for memory-mappable artifacts"
+            )
+        with np.load(path, allow_pickle=False) as data:
+            schema = str(data["schema"]) if "schema" in data else None
+            version = (
+                int(data["format_version"]) if "format_version" in data else None
+            )
+            cls._check_meta(schema, version, path)
+            scenario = json.loads(str(data["scenario_json"]))
+            columns = {
+                name: data[name]
+                for name in _DENSE_COLUMNS + _PROBE_COLUMNS + ("weight_matrix",)
+            }
+            return cls(n=int(data["n"]), scenario_params=scenario, **columns)
+
+    @staticmethod
+    def _check_meta(schema: Optional[str], version: Optional[int], path: str) -> None:
+        if schema != SCHEMA:
+            raise ValueError(f"{path!r} is not a weighted-store artifact")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path!r} has weighted-store format version {version}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Column assembly + pool workers (module-level for pickling)
+# --------------------------------------------------------------------------- #
+
+
+def _merge_parts(parts: List[dict], n: int) -> dict:
+    """Concatenate column-chunk dicts (CSR offsets rebased) into one dict.
+
+    The single merge site for every build path — in-process chunks, shard
+    files, streamed in-worker batches — so the column set cannot drift
+    between them.
+    """
+    np = _require_numpy()
+    parts = [part for part in parts if part["num_edges"].shape[0]] or [
+        _empty_part(n)
+    ]
+    rem_w, rem_indptr = concat_csr([(p["rem_w"], p["rem_indptr"]) for p in parts])
+    add_w_u, add_indptr = concat_csr(
+        [(p["add_w_u"], p["add_indptr"]) for p in parts]
+    )
+    merged = {
+        name: np.concatenate([p[name] for p in parts])
+        for name in (
+            "num_edges", "dist_total", "edge_cost_total", "cert_words",
+            "rem_delta", "add_s_u", "add_w_v", "add_s_v",
+        )
+    }
+    merged.update(
+        rem_w=rem_w,
+        rem_indptr=rem_indptr,
+        add_w_u=add_w_u,
+        add_indptr=add_indptr,
+    )
+    return merged
+
+
+def _empty_part(n: int) -> dict:
+    np = _require_numpy()
+    return {
+        "num_edges": np.zeros(0, dtype=np.int32),
+        "dist_total": np.zeros(0, dtype=np.float64),
+        "edge_cost_total": np.zeros(0, dtype=np.float64),
+        "cert_words": pack_certificates([], n),
+        "rem_w": np.zeros(0, dtype=np.float64),
+        "rem_delta": np.zeros(0, dtype=np.float64),
+        "rem_indptr": np.zeros(1, dtype=np.int64),
+        "add_w_u": np.zeros(0, dtype=np.float64),
+        "add_s_u": np.zeros(0, dtype=np.float64),
+        "add_w_v": np.zeros(0, dtype=np.float64),
+        "add_s_v": np.zeros(0, dtype=np.float64),
+        "add_indptr": np.zeros(1, dtype=np.int64),
+    }
+
+
+def _weighted_part(
+    graphs: List[Graph],
+    model: CostModel,
+    matrix,
+    n: int,
+    oracle: Optional[DistanceOracle],
+) -> dict:
+    """One column chunk: probe columns + dense provenance for ``graphs``.
+
+    ``edge_cost_total`` goes through :meth:`CostModel.bcg_edge_cost_total`
+    (not a matrix summation) so family-specific exact closed forms — the
+    uniform model's ``2α·m`` — survive into the artifact and the
+    aggregates stay float-exact against the in-memory sweep.
+    """
+    from ..engine.batch import batch_weighted_columns
+
+    np = _require_numpy()
+    if not graphs:
+        return _empty_part(n)
+    part = batch_weighted_columns(graphs, matrix, oracle=oracle)
+    part["edge_cost_total"] = np.asarray(
+        [model.bcg_edge_cost_total(graph) for graph in graphs], dtype=np.float64
+    )
+    part["cert_words"] = pack_certificates(
+        [graph.adjacency_bitstring() for graph in graphs], n
+    )
+    return part
+
+
+def _weighted_columns_chunk(task: Tuple) -> dict:
+    graphs, model, matrix, n = task
+    return _weighted_part(graphs, model, matrix, n, DistanceOracle())
+
+
+def _stream_weighted_chunk(task: Tuple) -> dict:
+    """Generate-and-price one generation-tree shard into weighted columns."""
+    roots, model, matrix, n, batch_size = task
+    oracle = DistanceOracle()
+    parts: List[dict] = []
+    pending: List[Graph] = []
+
+    def flush() -> None:
+        parts.append(_weighted_part(pending, model, matrix, n, oracle))
+        for graph in pending:
+            clear_canonical_record(graph)
+        pending.clear()
+
+    for root in roots:
+        for graph in iter_graphs_from(root, n):
+            if not is_connected(graph):
+                continue
+            pending.append(canonical_graph(graph))
+            if len(pending) >= batch_size:
+                flush()
+    if pending:
+        flush()
+    return _merge_parts(parts, n)
+
+
+def _save_shard(path: str, part: dict, n: int, matrix) -> None:
+    """Persist one shard atomically (write-then-rename, census-store style)."""
+    np = _require_numpy()
+    tmp_path = f"{path}.tmp.npz"
+    np.savez(
+        tmp_path,
+        shard_schema=np.str_(SCHEMA),
+        shard_n=np.int64(n),
+        shard_matrix=np.asarray(matrix, dtype=np.float64),
+        **part,
+    )
+    os.replace(tmp_path, path)
+
+
+def _load_shard_if_valid(path: str, n: int, matrix) -> Optional[dict]:
+    """Load one persisted shard; ``None`` when it must be (re)computed.
+
+    Missing or unreadable (crash-truncated) shards are recomputed.  A
+    *readable* shard from a different configuration — another ``n`` or
+    another weight matrix — raises instead: shard names encode only the
+    chunk index/count, so a reused directory would otherwise merge
+    silently into a corrupt artifact.
+    """
+    np = _require_numpy()
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if (
+                "shard_schema" not in data
+                or str(data["shard_schema"]) != SCHEMA
+                or int(data["shard_n"]) != n
+                or data["shard_matrix"].shape
+                != np.asarray(matrix, dtype=np.float64).shape
+                or not bool(
+                    np.array_equal(
+                        data["shard_matrix"],
+                        np.asarray(matrix, dtype=np.float64),
+                    )
+                )
+            ):
+                raise ValueError(
+                    f"{path!r} is not a shard of this weighted build "
+                    f"(n = {n} under this weight matrix); use a fresh "
+                    "shard_dir per (n, cost model) configuration"
+                )
+            return {
+                name: data[name]
+                for name in data.files
+                if not name.startswith("shard_")
+            }
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError):
+        return None

@@ -23,6 +23,7 @@ Build, persist and query a columnar census artifact::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -40,7 +41,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Subcommands: 'census' builds, saves, loads and queries columnar "
             "equilibrium-census artifacts; 'scenarios' sweeps heterogeneous "
-            "link-cost scenarios — see 'census --help' / 'scenarios --help'."
+            "link-cost scenarios (and persists/queries weighted artifacts); "
+            "'ensemble' aggregates seeded scenario draws — see "
+            "'census --help' / 'scenarios --help' / 'ensemble --help'."
         ),
     )
     parser.add_argument(
@@ -172,12 +175,12 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
         help="scenario to sweep (see --list)",
     )
     parser.add_argument(
-        "--n", type=int, default=6, metavar="N",
-        help="number of players (default: 6)",
+        "--n", type=int, default=None, metavar="N",
+        help="number of players (default: 6; not valid with --load)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, metavar="S",
-        help="seed for randomised scenarios (default: 0)",
+        "--seed", type=int, default=None, metavar="S",
+        help="seed for randomised scenarios (default: 0; not valid with --load)",
     )
     parser.add_argument(
         "--grid", type=int, default=8, metavar="POINTS",
@@ -192,13 +195,50 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="fan the UCG analysis out over N worker processes",
     )
+    parser.add_argument(
+        "--save", metavar="PATH", default=None,
+        help=(
+            "persist the sweep as a weighted-store artifact (*.npz or a "
+            "directory) and answer the table from it (BCG only)"
+        ),
+    )
+    parser.add_argument(
+        "--load", metavar="PATH", default=None,
+        help=(
+            "query an existing weighted-store artifact instead of sweeping "
+            "(no deviation analysis is recomputed)"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("npz", "dir"), default=None,
+        help="on-disk layout for --save (default: inferred from the path)",
+    )
     return parser
+
+
+def _print_weighted_table(ts, counts, links, social) -> None:
+    from .analysis.report import format_table
+
+    rows = [
+        [t, counts[k], links[k], social[k]] for k, t in enumerate(ts)
+    ]
+    print()
+    print(
+        format_table(["t", "#stable_bcg", "avg_links", "avg_social_cost"], rows)
+    )
 
 
 def scenarios_main(argv: List[str]) -> int:
     """Run the ``scenarios`` subcommand; returns a process exit code."""
-    from .analysis.report import format_table
-    from .analysis.scenarios import available_scenarios, build_scenario, scenario_sweep
+    from .analysis.report import format_table, format_weighted_store_summary
+    from .analysis.scenarios import (
+        available_scenarios,
+        build_scenario,
+        default_t_grid,
+        scenario_sweep,
+    )
+    from .analysis.store import LOAD_ERRORS
+    from .analysis.weighted_store import WeightedStore, weighted_store_available
 
     parser = build_scenarios_parser()
     args = parser.parse_args(argv)
@@ -206,23 +246,110 @@ def scenarios_main(argv: List[str]) -> int:
         for name in available_scenarios():
             print(name)
         return 0
+    if (args.save or args.load) and args.ucg:
+        print(
+            "weighted-store artifacts hold the BCG columns only; "
+            "drop --ucg or drop --save/--load",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.save or args.load) and not weighted_store_available():
+        print("weighted-store artifacts require NumPy", file=sys.stderr)
+        return 2
+
+    if args.load is not None:
+        # The artifact fixes the scenario, n, seed and model entirely —
+        # accepting (and ignoring) the build flags would let the output be
+        # misread as a sweep of whatever the user typed.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--name", args.name),
+                ("--save", args.save),
+                ("--n", args.n),
+                ("--seed", args.seed),
+                ("--jobs", args.jobs),
+                ("--format", args.format),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                "--load queries an existing artifact; it takes no "
+                + "/".join(conflicting),
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            store = WeightedStore.load(args.load)
+        except LOAD_ERRORS as error:
+            print(f"cannot load {args.load}: {error}", file=sys.stderr)
+            return 2
+        print(format_weighted_store_summary(store, source=args.load))
+        ts = default_t_grid(store.n, args.grid)
+        aggregates = store.aggregates(ts)
+        _print_weighted_table(
+            ts,
+            aggregates["bcg_counts"],
+            aggregates["average_links"],
+            aggregates["average_social_cost"],
+        )
+        return 0
+
     if args.name is None:
         parser.print_usage(sys.stderr)
-        print("one of --list and --name is required", file=sys.stderr)
+        print("one of --list, --name and --load is required", file=sys.stderr)
         return 2
-    if args.n < 2:
+    n = 6 if args.n is None else args.n
+    seed = 0 if args.seed is None else args.seed
+    if n < 2:
         print("scenarios need at least two players", file=sys.stderr)
         return 2
     try:
-        scenario = build_scenario(args.name, args.n, seed=args.seed)
+        scenario = build_scenario(args.name, n, seed=seed)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
 
+    model = scenario.model
+    if args.save is not None:
+        # Fail on an unwritable destination in milliseconds, not after the
+        # whole deviation-analysis build has run.
+        parent = os.path.dirname(os.path.abspath(args.save))
+        if not os.path.isdir(parent) or not os.access(parent, os.W_OK):
+            print(
+                f"cannot save {args.save}: directory {parent} is not writable",
+                file=sys.stderr,
+            )
+            return 2
+        # Build the columns once, answer the table from them, persist them:
+        # the artifact *is* the sweep, so the printed numbers and any later
+        # --load query come from identical columns.
+        store = WeightedStore.from_scenario(scenario, jobs=args.jobs)
+        print(
+            f"scenario {scenario.name}: n = {scenario.n}, "
+            f"{model.kind} cost model, {len(store)} connected classes"
+        )
+        print(f"  {scenario.description}")
+        try:
+            written = store.save(args.save, format=args.format)
+        except OSError as error:
+            print(f"cannot save {args.save}: {error}", file=sys.stderr)
+            return 2
+        print(f"saved to {written}")
+        ts = default_t_grid(scenario.n, args.grid)
+        aggregates = store.aggregates(ts)
+        _print_weighted_table(
+            ts,
+            aggregates["bcg_counts"],
+            aggregates["average_links"],
+            aggregates["average_social_cost"],
+        )
+        return 0
+
     result = scenario_sweep(
         scenario, grid=args.grid, include_ucg=args.ucg, jobs=args.jobs
     )
-    model = scenario.model
     print(
         f"scenario {scenario.name}: n = {scenario.n}, "
         f"{model.kind} cost model, {len(result.graphs)} connected classes"
@@ -247,13 +374,127 @@ def scenarios_main(argv: List[str]) -> int:
     return 0
 
 
+def build_ensemble_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``ensemble`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments ensemble",
+        description=(
+            "Aggregate stability statistics over many seeded draws of a "
+            "heterogeneous link-cost scenario: draw k plays seed+k, draws "
+            "fan out over worker processes, and per-scale stable counts "
+            "are summarised as mean/std/quantiles."
+        ),
+    )
+    parser.add_argument(
+        "--scenario", default="random_weights", metavar="NAME",
+        help="registered scenario to draw from (default: random_weights)",
+    )
+    parser.add_argument(
+        "--n", type=int, default=6, metavar="N",
+        help="number of players (default: 6)",
+    )
+    parser.add_argument(
+        "--draws", type=int, default=8, metavar="K",
+        help="number of seeded draws (default: 8)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base seed; draw k uses seed S+k (default: 0)",
+    )
+    parser.add_argument(
+        "--grid", type=int, default=8, metavar="POINTS",
+        help="number of log-spaced scale grid points (default: 8)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the draws out over N worker processes (negative: per CPU)",
+    )
+    parser.add_argument(
+        "--save-dir", metavar="DIR", default=None,
+        help=(
+            "persist one weighted-store artifact per draw here (existing "
+            "matching artifacts are loaded instead of recomputed)"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("npz", "dir"), default="npz",
+        help="artifact layout under --save-dir (default: npz)",
+    )
+    return parser
+
+
+def ensemble_main(argv: List[str]) -> int:
+    """Run the ``ensemble`` subcommand; returns a process exit code."""
+    from .analysis.ensembles import run_ensemble
+    from .analysis.report import format_table
+    from .analysis.scenarios import available_scenarios
+    from .analysis.weighted_store import weighted_store_available
+
+    parser = build_ensemble_parser()
+    args = parser.parse_args(argv)
+    if not weighted_store_available():
+        print("the ensemble runner requires NumPy", file=sys.stderr)
+        return 2
+    if args.scenario not in available_scenarios():
+        print(
+            f"unknown scenario {args.scenario!r}; available: "
+            f"{', '.join(available_scenarios())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.n < 2:
+        print("scenarios need at least two players", file=sys.stderr)
+        return 2
+    if args.draws < 1:
+        print("an ensemble needs at least one draw", file=sys.stderr)
+        return 2
+
+    result = run_ensemble(
+        scenario=args.scenario,
+        n=args.n,
+        draws=args.draws,
+        seed=args.seed,
+        grid=args.grid,
+        jobs=args.jobs,
+        save_dir=args.save_dir,
+        save_format=args.format,
+    )
+    print(
+        f"ensemble {result.scenario}: n = {result.n}, {result.draws} draws "
+        f"(seeds {result.seeds[0]}..{result.seeds[-1]}), "
+        f"{result.classes} connected classes"
+    )
+    if result.artifact_paths:
+        print(f"  artifacts: {len(result.artifact_paths)} under {args.save_dir}")
+    stats = result.count_stats
+    quantiles = stats["quantiles"]
+    rows = [
+        [
+            t,
+            stats["mean"][k],
+            stats["std"][k],
+            stats["min"][k],
+            quantiles[0.25][k],
+            quantiles[0.5][k],
+            quantiles[0.75][k],
+            stats["max"][k],
+        ]
+        for k, t in enumerate(result.ts)
+    ]
+    print()
+    print(
+        format_table(
+            ["t", "mean", "std", "min", "q25", "median", "q75", "max"], rows
+        )
+    )
+    return 0
+
+
 def census_main(argv: List[str]) -> int:
     """Run the ``census`` subcommand; returns a process exit code."""
-    import zipfile
-
     from .analysis.figure_series import census_figure_series
     from .analysis.report import format_figure, format_store_summary
-    from .analysis.store import CensusStore, store_available
+    from .analysis.store import LOAD_ERRORS, CensusStore, store_available
     from .analysis.sweeps import log_spaced_alphas
 
     parser = build_census_parser()
@@ -272,7 +513,7 @@ def census_main(argv: List[str]) -> int:
     if args.load is not None:
         try:
             store = CensusStore.load(args.load, mmap=args.mmap)
-        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as error:
+        except LOAD_ERRORS as error:
             print(f"cannot load {args.load}: {error}", file=sys.stderr)
             return 2
         source = args.load
@@ -330,6 +571,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return census_main(list(argv[1:]))
     if argv and argv[0] == "scenarios":
         return scenarios_main(list(argv[1:]))
+    if argv and argv[0] == "ensemble":
+        return ensemble_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

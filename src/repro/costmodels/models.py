@@ -32,6 +32,7 @@ Four concrete families are provided:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -40,8 +41,10 @@ Edge = Tuple[int, int]
 
 def _check_positive(value: float, what: str) -> float:
     value = float(value)
-    if not value > 0.0:
-        raise ValueError(f"{what} must be strictly positive, got {value!r}")
+    if not value > 0.0 or not math.isfinite(value):
+        raise ValueError(
+            f"{what} must be strictly positive and finite, got {value!r}"
+        )
     return value
 
 
@@ -131,6 +134,20 @@ class CostModel(ABC):
             [0.0 if i == j else self.weight(i, j) for j in range(n)]
             for i in range(n)
         ]
+
+    def coefficient_matrix(self, n: Optional[int] = None) -> List[List[float]]:
+        """The validated dense weight matrix — the kernel extraction API.
+
+        Exactly :meth:`matrix`, but every off-diagonal coefficient is checked
+        strictly positive and finite before it is handed to the vectorised
+        weighted kernels (which divide by the coefficients — an unvalidated
+        zero would silently turn stability windows into NaN/inf).  The
+        built-in families already validate at construction; this hook is the
+        guard for user subclasses whose ``weight`` can return anything.
+        """
+        from ..engine.batch import validate_weight_matrix
+
+        return validate_weight_matrix(self.matrix(n))
 
     def _resolve_n(self, n: Optional[int]) -> int:
         bound = self.n

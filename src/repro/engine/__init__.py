@@ -51,7 +51,12 @@ both, so the core/analysis/experiments layers never re-derive them ad hoc:
     the serial path automatically.
 """
 
-from .batch import batch_stability_deltas, batch_weighted_columns, numpy_available
+from .batch import (
+    batch_stability_deltas,
+    batch_weighted_columns,
+    numpy_available,
+    validate_weight_matrix,
+)
 from .oracle import DistanceOracle, get_default_oracle
 from .pool import chunk_evenly, parallel_map, resolve_jobs
 
@@ -64,4 +69,5 @@ __all__ = [
     "numpy_available",
     "parallel_map",
     "resolve_jobs",
+    "validate_weight_matrix",
 ]

@@ -45,6 +45,7 @@ transparently fall back to the per-graph oracle path, so the engine never
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # NumPy ships with the toolchain but the engine must not require it.
@@ -195,6 +196,42 @@ def batch_stability_deltas(
     return results
 
 
+def validate_weight_matrix(
+    weight_matrix: Sequence[Sequence[float]],
+) -> Sequence[Sequence[float]]:
+    """Check a dense weight matrix is usable by the weighted kernels.
+
+    The weighted kernels divide deviation payoffs by the coefficients
+    (``Δ / w`` stability windows), so a zero, negative or non-finite entry
+    would silently propagate NaN/inf through every downstream mask instead
+    of failing at the call site.  Requires a square matrix with a zero
+    diagonal and strictly positive, finite off-diagonal entries; returns
+    the matrix unchanged.  Symmetry is *not* required (per-player models
+    are asymmetric).
+    """
+    n = len(weight_matrix)
+    for i, row in enumerate(weight_matrix):
+        if len(row) != n:
+            raise ValueError(
+                f"the weight matrix must be square; row {i} has {len(row)} "
+                f"entries for n = {n}"
+            )
+        for j, value in enumerate(row):
+            value = float(value)
+            if i == j:
+                if value != 0.0:
+                    raise ValueError(
+                        f"the weight-matrix diagonal must be zero, got "
+                        f"W[{i}][{i}] = {value!r}"
+                    )
+            elif not (value > 0.0 and math.isfinite(value)):
+                raise ValueError(
+                    f"weighted kernels need strictly positive, finite "
+                    f"coefficients; got W[{i}][{j}] = {value!r}"
+                )
+    return weight_matrix
+
+
 def batch_weighted_columns(
     graphs: Sequence[Graph],
     weight_matrix: Sequence[Sequence[float]],
@@ -232,6 +269,7 @@ def batch_weighted_columns(
             "repro.costmodels.weighted_stability_profile per graph instead"
         )
     np = _np
+    validate_weight_matrix(weight_matrix)
     results = batch_stability_deltas(
         graphs, oracle=oracle, use_orbits=use_orbits, return_totals=True
     )

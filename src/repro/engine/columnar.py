@@ -196,6 +196,29 @@ def ucg_nash_mask(iv_lo, iv_hi, iv_indptr, alphas):
     return out
 
 
+def _check_weight_columns(*weight_arrays) -> None:
+    """Reject weighted coefficient columns the kernels cannot divide by.
+
+    The weighted kernels compute ``Δ / w`` windows and ``t·w`` thresholds;
+    a zero, negative or non-finite coefficient would silently turn whole
+    mask/window columns into NaN/inf.  Raises a clear :class:`ValueError`
+    instead (the columns normally come pre-validated from
+    :func:`repro.engine.batch.batch_weighted_columns`, but persisted
+    artifacts and hand-built columns enter here directly).
+    """
+    np = _require_numpy()
+    for weights in weight_arrays:
+        weights = np.asarray(weights)
+        if weights.size and not bool(
+            np.all((weights > 0.0) & np.isfinite(weights))
+        ):
+            bad = weights[~((weights > 0.0) & np.isfinite(weights))][0]
+            raise ValueError(
+                "weighted kernels need strictly positive, finite "
+                f"coefficients; got a weight column entry {float(bad)!r}"
+            )
+
+
 def weighted_bcg_stable_mask(
     rem_w, rem_delta, rem_indptr,
     add_w_u, add_s_u, add_w_v, add_s_v, add_indptr,
@@ -219,6 +242,7 @@ def weighted_bcg_stable_mask(
     Returns ``bool[n_classes, n_ts]``.
     """
     np = _require_numpy()
+    _check_weight_columns(rem_w, add_w_u, add_w_v)
     rem_w = np.asarray(rem_w).astype(np.float64, copy=False)
     rem_delta = np.asarray(rem_delta).astype(np.float64, copy=False)
     w_u = np.asarray(add_w_u).astype(np.float64, copy=False)
@@ -253,6 +277,7 @@ def weighted_stability_windows(
     :meth:`WeightedStabilityProfile.stability_t_interval`.
     """
     np = _require_numpy()
+    _check_weight_columns(rem_w, add_w_u, add_w_v)
     rem_w = np.asarray(rem_w).astype(np.float64, copy=False)
     rem_delta = np.asarray(rem_delta).astype(np.float64, copy=False)
     t_max = segment_min(rem_delta / rem_w, rem_indptr)
@@ -277,6 +302,55 @@ def stability_windows(rem_min, add_lo, add_indptr):
     alpha_max = np.asarray(rem_min, dtype=np.float64)
     alpha_min = np.maximum(segment_max(add_lo, add_indptr, empty=0.0), 0.0)
     return alpha_min, alpha_max
+
+
+# --------------------------------------------------------------------------- #
+# Ensemble aggregation
+# --------------------------------------------------------------------------- #
+
+
+def ensemble_stats(values, indptr, quantiles: Sequence[float] = (0.25, 0.5, 0.75)):
+    """Per-position mean/std/min/max/quantiles over equal-length segments.
+
+    The ensemble runner concatenates one value row per seeded draw (per-``t``
+    stable counts, per-class window endpoints) into a flat array with a CSR
+    ``indptr``; this kernel aggregates **across draws at each position**.
+    All segments must have the same length ``L`` (an ensemble is a stack, not
+    a ragged family) — violating rows raise instead of aggregating garbage.
+
+    Returns a dict of plain Python lists of length ``L``: ``mean``, ``std``
+    (population, ``ddof=0``), ``min``, ``max``, and ``quantiles`` — a
+    ``{q: [...]}`` mapping using NumPy's default linear interpolation.  One
+    deterministic vectorised pass, identical for any worker count upstream.
+    """
+    np = _require_numpy()
+    values = np.asarray(values, dtype=np.float64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    counts = np.diff(indptr)
+    draws = counts.shape[0]
+    if draws == 0:
+        raise ValueError("ensemble aggregation needs at least one draw")
+    if not bool(np.all(counts == counts[0])):
+        raise ValueError(
+            "ensemble segments must all have the same length, got lengths "
+            f"{sorted(set(counts.tolist()))}"
+        )
+    stacked = values[indptr[0]:indptr[-1]].reshape(draws, int(counts[0]))
+    # Positions that are inf in every draw (e.g. the t_max window of a tree
+    # class, stable for all large scales) have mean inf and an undefined
+    # spread: std/quantile interpolation legitimately produce nan there, so
+    # the inf-minus-inf warnings are expected, not numerical accidents.
+    with np.errstate(invalid="ignore"):
+        return {
+            "mean": stacked.mean(axis=0).tolist(),
+            "std": stacked.std(axis=0).tolist(),
+            "min": stacked.min(axis=0).tolist(),
+            "max": stacked.max(axis=0).tolist(),
+            "quantiles": {
+                float(q): np.quantile(stacked, float(q), axis=0).tolist()
+                for q in quantiles
+            },
+        }
 
 
 # --------------------------------------------------------------------------- #

@@ -80,6 +80,40 @@ class TestModels:
         with pytest.raises(ValueError):
             PerEdgeCost([[0.0, 0.0], [0.0, 0.0]])
 
+    def test_zero_and_negative_weight_matrices_rejected(self):
+        """Regression: a zero/negative coefficient must raise, not NaN later."""
+        zero = [[0.0, 0.0, 1.0], [0.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        negative = [[0.0, -1.0, 1.0], [-1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        for weights in (zero, negative):
+            with pytest.raises(ValueError, match="strictly positive"):
+                PerEdgeCost(weights)
+        with pytest.raises(ValueError, match="strictly positive"):
+            PerPlayerCost([0.0, 1.0])
+
+    def test_nonfinite_weights_rejected(self):
+        inf, nan = float("inf"), float("nan")
+        for bad in (inf, nan):
+            with pytest.raises(ValueError):
+                UniformCost(bad)
+            with pytest.raises(ValueError):
+                PerPlayerCost([1.0, bad])
+            with pytest.raises(ValueError):
+                PerEdgeCost([[0.0, bad], [bad, 0.0]])
+        with pytest.raises(ValueError):
+            UniformCost(1.0).scaled(inf)
+
+    def test_coefficient_matrix_guards_rogue_subclasses(self):
+        """The kernel extraction API validates what ``weight`` returns."""
+
+        class FreeLinkToZero(CostModel):
+            def weight(self, player, other):
+                return 0.0 if other == 0 else 1.0
+
+        with pytest.raises(ValueError, match="strictly positive"):
+            FreeLinkToZero().coefficient_matrix(4)
+        matrix = PerPlayerCost([1.0, 2.0]).coefficient_matrix()
+        assert matrix == [[0.0, 1.0], [2.0, 0.0]]
+
     def test_per_player_weights(self):
         model = PerPlayerCost([0.5, 2.0, 3.0])
         assert model.n == 3

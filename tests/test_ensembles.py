@@ -1,0 +1,164 @@
+"""Determinism and aggregation tests for the seeded ensemble runner.
+
+The acceptance contract: the same base seed produces **identical**
+summaries for any worker count (``jobs=1`` vs ``jobs=4``), per-draw
+artifacts round-trip, and the segmented aggregation kernel matches a
+by-hand computation.
+"""
+
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.ensembles import EnsembleResult, ensemble_seeds, run_ensemble
+from repro.analysis.scenarios import build_scenario
+from repro.analysis.weighted_store import WeightedStore
+from repro.engine.columnar import ensemble_stats
+
+
+def same_list(a, b):
+    return len(a) == len(b) and all(
+        (x != x and y != y) or x == y for x, y in zip(a, b)
+    )
+
+
+def assert_stats_equal(a, b):
+    """Float-exact (nan-aware: all-inf window columns have nan spread)."""
+    for key in ("mean", "std", "min", "max"):
+        assert same_list(a[key], b[key]), key
+    assert a["quantiles"].keys() == b["quantiles"].keys()
+    for q in a["quantiles"]:
+        assert same_list(a["quantiles"][q], b["quantiles"][q]), q
+
+
+def assert_results_equal(a: EnsembleResult, b: EnsembleResult):
+    assert (a.scenario, a.n, a.draws, a.seeds, a.ts) == (
+        b.scenario, b.n, b.draws, b.seeds, b.ts,
+    )
+    assert a.counts == b.counts
+    assert_stats_equal(a.count_stats, b.count_stats)
+    assert_stats_equal(a.t_min_stats, b.t_min_stats)
+    assert_stats_equal(a.t_max_stats, b.t_max_stats)
+
+
+class TestEnsembleStatsKernel:
+    def test_matches_hand_computation(self):
+        rows = [[1.0, 4.0], [3.0, 8.0], [2.0, 0.0]]
+        values = np.asarray([v for row in rows for v in row])
+        indptr = np.asarray([0, 2, 4, 6])
+        stats = ensemble_stats(values, indptr, quantiles=(0.5,))
+        assert stats["mean"] == [2.0, 4.0]
+        assert stats["min"] == [1.0, 0.0]
+        assert stats["max"] == [3.0, 8.0]
+        assert stats["quantiles"][0.5] == [2.0, 4.0]
+        expected_std = np.asarray(rows).std(axis=0).tolist()
+        assert stats["std"] == expected_std
+
+    def test_rejects_ragged_segments(self):
+        with pytest.raises(ValueError):
+            ensemble_stats(np.arange(5.0), np.asarray([0, 2, 5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensemble_stats(np.zeros(0), np.zeros(1, dtype=np.int64))
+
+    def test_all_inf_column_has_inf_mean_nan_std(self):
+        inf = float("inf")
+        stats = ensemble_stats(
+            np.asarray([1.0, inf, 2.0, inf]), np.asarray([0, 2, 4])
+        )
+        assert stats["mean"][1] == inf
+        assert stats["std"][1] != stats["std"][1]  # nan
+
+
+class TestSeeds:
+    def test_consecutive(self):
+        assert ensemble_seeds(5, 3) == [5, 6, 7]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensemble_seeds(0, 0)
+
+
+class TestDeterminism:
+    def test_acceptance_n6_k8_serial_equals_pooled(self):
+        """Acceptance: random_weights n = 6, K = 8 — identical serial/pooled."""
+        serial = run_ensemble("random_weights", n=6, draws=8, seed=0, grid=6, jobs=1)
+        pooled = run_ensemble("random_weights", n=6, draws=8, seed=0, grid=6, jobs=4)
+        assert_results_equal(serial, pooled)
+        assert serial.draws == 8 and serial.classes == 112
+
+    def test_draw_k_equals_single_sweep_seed_plus_k(self):
+        """Draw k of base seed s is exactly the single sweep with seed s+k."""
+        result = run_ensemble("random_weights", n=5, draws=3, seed=4, grid=5)
+        for k, draw_seed in enumerate(result.seeds):
+            scenario = build_scenario("random_weights", 5, seed=draw_seed)
+            store = WeightedStore.from_scenario(scenario)
+            assert result.counts[k] == store.stable_counts(result.ts)
+
+    def test_extra_params_forwarded(self):
+        narrow = run_ensemble(
+            "random_weights", n=5, draws=2, seed=0, grid=4,
+            params={"low": 1.0, "high": 1.0 + 1e-9},
+        )
+        # With an (almost) uniform draw distribution both draws coincide.
+        assert narrow.counts[0] == narrow.counts[1]
+        assert narrow.params == {"low": 1.0, "high": 1.0 + 1e-9}
+
+
+class TestArtifacts:
+    def test_save_then_resume_reuses_artifacts(self, tmp_path):
+        save_dir = str(tmp_path / "draws")
+        first = run_ensemble(
+            "random_weights", n=5, draws=3, seed=2, grid=5, save_dir=save_dir
+        )
+        assert first.artifact_paths is not None
+        assert all(os.path.exists(path) for path in first.artifact_paths)
+        stamps = {path: os.path.getmtime(path) for path in first.artifact_paths}
+        second = run_ensemble(
+            "random_weights", n=5, draws=3, seed=2, grid=5, save_dir=save_dir
+        )
+        assert_results_equal(first, second)
+        # Untouched artifacts prove the draws were loaded, not recomputed.
+        assert stamps == {
+            path: os.path.getmtime(path) for path in second.artifact_paths
+        }
+
+    def test_foreign_artifact_is_recomputed(self, tmp_path):
+        """An artifact from another recipe at a colliding path is replaced."""
+        save_dir = str(tmp_path / "draws")
+        reference = run_ensemble(
+            "random_weights", n=5, draws=2, seed=2, grid=5, save_dir=save_dir
+        )
+        victim = reference.artifact_paths[0]
+        WeightedStore.from_scenario(
+            build_scenario("random_weights", 5, seed=99)
+        ).save(victim)
+        again = run_ensemble(
+            "random_weights", n=5, draws=2, seed=2, grid=5, save_dir=save_dir
+        )
+        assert_results_equal(reference, again)
+        assert WeightedStore.load(victim).scenario_params["seed"] == 2
+
+    def test_dir_format_artifacts(self, tmp_path):
+        save_dir = str(tmp_path / "draws")
+        result = run_ensemble(
+            "random_weights", n=4, draws=2, seed=0, grid=4,
+            save_dir=save_dir, save_format="dir",
+        )
+        for path in result.artifact_paths:
+            assert os.path.isdir(path)
+            WeightedStore.load(path, mmap=True)
+
+    def test_rejects_bad_save_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_ensemble(
+                "random_weights", n=4, draws=1, save_dir=str(tmp_path),
+                save_format="parquet",
+            )
+
+    def test_rejects_zero_draws(self):
+        with pytest.raises(ValueError):
+            run_ensemble("random_weights", n=4, draws=0)

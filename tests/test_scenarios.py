@@ -4,9 +4,11 @@ import pytest
 
 from repro.analysis.scenarios import (
     SCENARIOS,
+    Scenario,
     available_scenarios,
     build_scenario,
     default_t_grid,
+    scenario_from_params,
     scenario_sweep,
 )
 from repro.cli import main
@@ -72,6 +74,60 @@ class TestScenarioFactories:
         assert grid[-1] == pytest.approx(36.0)
 
 
+class TestParamsRoundTrip:
+    """Scenario.params is the single source of truth for reproduction."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_every_registry_entry_roundtrips_bit_for_bit(self, name, seed):
+        """Regression: ``seed`` used to live outside params, so a recipe
+        round trip re-applied the factory default and rebuilt a different
+        weight matrix."""
+        scenario = build_scenario(name, 6, seed=seed)
+        for key in ("name", "n", "seed"):
+            assert key in scenario.params, key
+        assert scenario.params["seed"] == seed
+        rebuilt = scenario_from_params(scenario.params)
+        assert rebuilt.name == scenario.name
+        assert rebuilt.n == scenario.n
+        assert rebuilt.params == scenario.params
+        # Bit-for-bit: every coefficient of the weight matrix is identical.
+        assert rebuilt.model.matrix(6) == scenario.model.matrix(6)
+
+    def test_roundtrip_preserves_non_default_family_params(self):
+        scenario = build_scenario(
+            "random_weights", 5, seed=3, low=0.25, high=9.0
+        )
+        rebuilt = scenario_from_params(scenario.params)
+        assert rebuilt.params["low"] == 0.25 and rebuilt.params["high"] == 9.0
+        assert rebuilt.model.weights == scenario.model.weights
+
+    def test_build_scenario_accepts_full_recipe(self):
+        scenario = build_scenario("line_metric", 4, alpha=2.5)
+        again = build_scenario(scenario.name, scenario.n, **scenario.params)
+        assert again.params == scenario.params
+
+    def test_conflicting_recipe_rejected(self):
+        scenario = build_scenario("line_metric", 4)
+        with pytest.raises(ValueError):
+            build_scenario("line_metric", 5, **scenario.params)
+        with pytest.raises(ValueError):
+            build_scenario("two_tier_isp", 4, **scenario.params)
+
+    def test_params_missing_identity_rejected(self):
+        with pytest.raises(ValueError):
+            scenario_from_params({"seed": 0, "alpha": 1.0})
+
+    def test_scenario_checks_param_mirrors(self):
+        from repro.costmodels import UniformCost
+
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x", description="", n=4, model=UniformCost(1.0),
+                params={"name": "y", "n": 4},
+            )
+
+
 class TestScenarioSweep:
 
     def test_sweep_shapes_and_monotone_links(self):
@@ -125,7 +181,7 @@ class TestScenariosCLI:
 
     def test_missing_name(self, capsys):
         assert main(["scenarios"]) == 2
-        assert "one of --list and --name" in capsys.readouterr().err
+        assert "one of --list, --name and --load" in capsys.readouterr().err
 
     def test_unknown_name(self, capsys):
         assert main(["scenarios", "--name", "free_lunch", "--n", "5"]) == 2
@@ -134,3 +190,76 @@ class TestScenariosCLI:
     def test_too_few_players(self, capsys):
         assert main(["scenarios", "--name", "line_metric", "--n", "1"]) == 2
         assert "at least two players" in capsys.readouterr().err
+
+    def test_save_then_load_artifact(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        path = str(tmp_path / "w4.npz")
+        assert main(
+            ["scenarios", "--name", "random_weights", "--n", "4",
+             "--seed", "3", "--grid", "4", "--save", path]
+        ) == 0
+        saved = capsys.readouterr().out
+        assert f"saved to {path}" in saved and "#stable_bcg" in saved
+        assert main(["scenarios", "--load", path, "--grid", "4"]) == 0
+        loaded = capsys.readouterr().out
+        assert "weighted store: n = 4" in loaded
+        assert "scenario = random_weights (seed 3)" in loaded
+        # Same grid, same columns: the table rows must be identical.
+        assert saved.split("\n\n")[-1] == loaded.split("\n\n")[-1]
+
+    def test_load_rejects_build_flags(self, capsys, tmp_path):
+        """--load must not silently ignore --n/--seed/--jobs."""
+        pytest.importorskip("numpy")
+        path = str(tmp_path / "w4.npz")
+        assert main(
+            ["scenarios", "--name", "line_metric", "--n", "4", "--save", path]
+        ) == 0
+        capsys.readouterr()
+        for flags in (
+            ["--n", "7"],
+            ["--seed", "5"],
+            ["--jobs", "2"],
+            ["--format", "dir"],
+        ):
+            assert main(["scenarios", "--load", path] + flags) == 2
+            err = capsys.readouterr().err
+            assert "takes no" in err and flags[0] in err
+
+    def test_load_rejects_garbage(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        path = tmp_path / "nonsense.npz"
+        path.write_bytes(b"not an artifact")
+        assert main(["scenarios", "--load", str(path)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_save_conflicts_with_ucg(self, capsys, tmp_path):
+        assert main(
+            ["scenarios", "--name", "line_metric", "--n", "4",
+             "--ucg", "--save", str(tmp_path / "x.npz")]
+        ) == 2
+        assert "BCG columns only" in capsys.readouterr().err
+
+
+class TestEnsembleCLI:
+
+    def test_summary_table(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        save_dir = str(tmp_path / "draws")
+        exit_code = main(
+            ["ensemble", "--scenario", "random_weights", "--n", "4",
+             "--draws", "3", "--seed", "2", "--grid", "4",
+             "--save-dir", save_dir]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ensemble random_weights: n = 4, 3 draws (seeds 2..4)" in output
+        assert "median" in output and "q75" in output
+        assert "artifacts: 3" in output
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["ensemble", "--scenario", "free_lunch"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_rejects_zero_draws(self, capsys):
+        assert main(["ensemble", "--draws", "0"]) == 2
+        assert "at least one draw" in capsys.readouterr().err

@@ -199,6 +199,88 @@ class TestBuildPaths:
         clear_store_cache()
 
 
+class TestStoreCache:
+    """Regression: the cache is bounded and keys carry the load options."""
+
+    def test_load_options_are_part_of_the_key(self, tmp_path):
+        """A resident load and a mapped load of one artifact must not
+        collide — a cache hit used to hand back whichever came first."""
+        from repro.analysis import store as store_module
+
+        path = CensusStore.build(4, include_ucg=False).save(
+            str(tmp_path / "census4_dir"), format="dir"
+        )
+        clear_store_cache()
+        resident = cached_store(path=path)
+        mapped = cached_store(path=path, mmap=True)
+        assert resident is not mapped
+        assert isinstance(mapped.num_edges, np.memmap)
+        assert not isinstance(resident.num_edges, np.memmap)
+        assert cached_store(path=path) is resident
+        assert cached_store(path=path, mmap=True) is mapped
+        assert len(store_module._STORE_CACHE) == 2
+        clear_store_cache()
+
+    def test_rewritten_artifact_misses_the_cache(self, tmp_path):
+        """An artifact regenerated in place must not serve stale columns."""
+        path = str(tmp_path / "census.npz")
+        CensusStore.build(3, include_ucg=False).save(path)
+        clear_store_cache()
+        assert cached_store(path=path).n == 3
+        os.utime(path, ns=(1, 1))  # decouple from filesystem mtime granularity
+        CensusStore.build(4, include_ucg=False).save(path)
+        assert cached_store(path=path).n == 4
+        clear_store_cache()
+
+    def test_build_and_load_keys_do_not_collide(self, tmp_path):
+        path = CensusStore.build(4, include_ucg=False).save(
+            str(tmp_path / "census4.npz")
+        )
+        clear_store_cache()
+        built = cached_store(4, include_ucg=False)
+        loaded = cached_store(path=path)
+        assert built is not loaded
+        assert_columns_equal(built, loaded)
+        clear_store_cache()
+
+    def test_cache_is_lru_bounded(self, tmp_path, monkeypatch):
+        from repro.analysis import store as store_module
+
+        path = CensusStore.build(3, include_ucg=False).save(
+            str(tmp_path / "census3.npz")
+        )
+        monkeypatch.setattr(store_module, "STORE_CACHE_MAX", 2)
+        clear_store_cache()
+        first = cached_store(3, include_ucg=False)
+        second = cached_store(path=path)
+        assert len(store_module._STORE_CACHE) == 2
+        # Touch `first` so `second` is the least recently used entry…
+        assert cached_store(3, include_ucg=False) is first
+        cached_store(4, include_ucg=False)  # …and gets evicted here.
+        assert len(store_module._STORE_CACHE) == 2
+        assert cached_store(3, include_ucg=False) is first
+        assert cached_store(path=path) is not second
+        clear_store_cache()
+
+    def test_clear_store_cache_empties(self):
+        from repro.analysis import store as store_module
+
+        clear_store_cache()
+        cached_store(4)
+        assert store_module._STORE_CACHE
+        clear_store_cache()
+        assert not store_module._STORE_CACHE
+
+    def test_requires_exactly_one_of_n_and_path(self, tmp_path):
+        with pytest.raises(ValueError):
+            cached_store()
+        path = CensusStore.build(3, include_ucg=False).save(
+            str(tmp_path / "census3.npz")
+        )
+        with pytest.raises(ValueError):
+            cached_store(3, path=path)
+
+
 class TestMaskParity:
     def test_bcg_mask_matches_records(self, census6, store6):
         alphas = alpha_grid(census6)

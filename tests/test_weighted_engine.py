@@ -168,3 +168,61 @@ class TestHeterogeneousSweep:
             weighted_sweep(
                 [Graph(4, [(0, 1)]), Graph(5, [(0, 1)])], UniformCost(1.0), TS
             )
+
+
+@needs_numpy
+class TestKernelWeightGuards:
+    """Regression: unvalidated coefficients used to NaN/inf silently."""
+
+    ZERO = [[0.0, 0.0, 1.0], [0.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+    NEGATIVE = [[0.0, -1.0, 1.0], [-1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+
+    def test_batch_weighted_columns_rejects_bad_matrices(self):
+        from repro.engine.batch import batch_weighted_columns
+
+        graphs = enumerate_connected_graphs(3)
+        for matrix in (self.ZERO, self.NEGATIVE):
+            with pytest.raises(ValueError, match="strictly positive"):
+                batch_weighted_columns(graphs, matrix)
+        with pytest.raises(ValueError, match="square"):
+            batch_weighted_columns(graphs, [[0.0, 1.0], [1.0, 0.0], [1.0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            batch_weighted_columns(
+                graphs, [[1.0, 1.0, 1.0]] + self.ZERO[1:]
+            )
+
+    def test_validate_weight_matrix_passthrough(self):
+        from repro.engine import validate_weight_matrix
+
+        good = [[0.0, 2.0], [0.5, 0.0]]  # asymmetric is fine (per-player)
+        assert validate_weight_matrix(good) is good
+
+    def test_window_kernel_rejects_bad_columns(self):
+        """Hand-built columns with a zero weight raise instead of dividing."""
+        import numpy as np
+
+        from repro.engine.columnar import (
+            weighted_bcg_stable_mask,
+            weighted_stability_windows,
+        )
+
+        indptr = np.asarray([0, 2], dtype=np.int64)
+        good = dict(
+            rem_w=np.asarray([1.0, 1.0]),
+            rem_delta=np.asarray([2.0, 3.0]),
+            rem_indptr=indptr,
+            add_w_u=np.asarray([1.0, 1.0]),
+            add_s_u=np.asarray([1.0, 1.0]),
+            add_w_v=np.asarray([1.0, 1.0]),
+            add_s_v=np.asarray([1.0, 1.0]),
+            add_indptr=indptr,
+        )
+        weighted_stability_windows(*good.values())  # sanity: valid columns pass
+        for column in ("rem_w", "add_w_u", "add_w_v"):
+            for bad_value in (0.0, -1.0, float("nan"), float("inf")):
+                bad = dict(good)
+                bad[column] = np.asarray([bad_value, 1.0])
+                with pytest.raises(ValueError, match="strictly positive"):
+                    weighted_stability_windows(*bad.values())
+                with pytest.raises(ValueError, match="strictly positive"):
+                    weighted_bcg_stable_mask(*bad.values(), [1.0])
