@@ -41,7 +41,14 @@ repository root so future PRs have a perf trajectory to compare against:
   asserted identical;
 * **ensemble runner** (schema v5) — K seeded ``random_weights`` draws at
   n = 6 aggregated serially vs over a 2-worker pool, summaries asserted
-  identical (report-only: timing trajectory entry).
+  identical (report-only: timing trajectory entry);
+* **amortised mega-ensemble** (schema v6) — 1000 seeded draws at n = 7
+  through the shared :class:`~repro.analysis.delta_store.DeltaStore` +
+  stacked-weight kernels + streaming aggregation, charged end to end
+  (delta build included), vs the PR-5 per-draw store-build path
+  extrapolated from a measured prefix of the same seed sequence; the
+  overlapping draws' counts are asserted bit-identical and the O(classes)
+  streaming aggregation state is recorded as the peak-memory proxy.
 
 The script exits non-zero if the engine census path fails the acceptance
 floor (>= 3x naive, serial), if canonical augmentation fails its floor
@@ -49,7 +56,9 @@ floor (>= 3x naive, serial), if canonical augmentation fails its floor
 floor (>= 10x the per-record loop at n = 8), if the weighted scenario
 sweep fails its floor (>= 10x the per-graph Python loop at n = 7), if the
 weighted-store artifact query fails its floor (>= 10x recomputing the
-sweep at n = 8), or if mutation cost shows m-scaling again.
+sweep at n = 8), if the amortised mega-ensemble fails its floor (>= 10x
+the per-draw store-build path at n = 7), or if mutation cost shows
+m-scaling again.
 """
 
 from __future__ import annotations
@@ -585,7 +594,9 @@ def bench_ensemble(draws: int = 8, jobs: int = 2) -> Dict[str, float]:
         "random_weights", n=6, draws=draws, seed=0, grid=12, jobs=jobs
     )
     pooled_s = time.perf_counter() - start
-    assert serial.counts == pooled.counts, "ensemble serial/pooled divergence"
+    assert (serial.counts == pooled.counts).all(), (
+        "ensemble serial/pooled divergence"
+    )
     assert serial.count_stats["mean"] == pooled.count_stats["mean"]
     return {
         "scenario": "random_weights",
@@ -598,6 +609,101 @@ def bench_ensemble(draws: int = 8, jobs: int = 2) -> Dict[str, float]:
         "pooled_seconds": pooled_s,
         "draws_per_sec_serial": draws / serial_s,
         "summaries_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 3e4. Amortised mega-ensembles: shared delta artifact + stacked kernels
+#      vs the per-draw store-build path (schema v6)
+# --------------------------------------------------------------------------- #
+
+
+def bench_ensemble_amortised(
+    n: int = 7, draws: int = 1000, reference_draws: int = 8
+) -> Dict[str, float]:
+    """1000 seeded draws at n = 7: shared-delta stacked kernels, >= 10x.
+
+    The per-draw baseline is the PR-5 ensemble inner loop — every draw
+    re-prices the whole scenario through ``WeightedStore.from_scenario``
+    (full coefficient-column batch per draw) before answering the grid.
+    Its rate is measured on a prefix of the same seed sequence and
+    extrapolated linearly; per-draw cost does not depend on the draw index.
+
+    The amortised side is charged end to end: building the shared
+    model-independent :class:`DeltaStore` once **plus** the full K-draw
+    stacked-weight run with streaming window aggregation.  The counts of
+    the overlapping draws are asserted bit-identical to the per-draw
+    stores, and the streaming aggregation state is recorded as the
+    peak-memory proxy — it is O(classes), independent of K, unlike the
+    dense ``2 x K x classes`` window stack the per-draw path would hold.
+    """
+    import numpy as np
+
+    from repro.analysis.delta_store import DeltaStore
+    from repro.analysis.ensembles import ensemble_seeds, run_ensemble
+    from repro.analysis.scenarios import build_scenario, default_t_grid
+    from repro.analysis.weighted_store import WeightedStore
+    from repro.engine.streaming import (
+        DEFAULT_EXACT_BUFFER,
+        StreamingEnsembleStats,
+    )
+
+    grid = 12
+    seed = 0
+    ts = default_t_grid(n, grid)
+    seeds = ensemble_seeds(seed, reference_draws)
+
+    start = time.perf_counter()
+    reference_counts = []
+    for draw_seed in seeds:
+        scenario = build_scenario("random_weights", n, seed=draw_seed)
+        store = WeightedStore.from_scenario(scenario)
+        reference_counts.append(store.stable_counts(ts))
+        store.stability_windows()
+    per_draw_s = time.perf_counter() - start
+    per_draw_rate = reference_draws / per_draw_s
+    per_draw_projected_s = draws / per_draw_rate
+
+    start = time.perf_counter()
+    delta = DeltaStore.build(n)
+    delta_build_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = run_ensemble(
+        "random_weights", n=n, draws=draws, seed=seed, grid=grid,
+        jobs=1, delta=delta,
+    )
+    stacked_s = time.perf_counter() - start
+    amortised_s = delta_build_s + stacked_s
+
+    for k, counts in enumerate(reference_counts):
+        assert np.array_equal(result.counts[k], np.asarray(counts)), (
+            f"amortised draw {k} diverged from the per-draw store"
+        )
+
+    # Peak aggregation state past the exact buffer: O(classes), not O(K).
+    agg = StreamingEnsembleStats(result.classes)
+    agg.update(np.zeros((DEFAULT_EXACT_BUFFER + 1, result.classes)))
+    aggregation_state_bytes = agg.state_nbytes
+
+    return {
+        "scenario": "random_weights",
+        "n": n,
+        "draws": draws,
+        "classes": result.classes,
+        "grid_points": len(ts),
+        "reference_draws": reference_draws,
+        "per_draw_seconds": per_draw_s,
+        "per_draw_rate": per_draw_rate,
+        "per_draw_projected_seconds": per_draw_projected_s,
+        "delta_build_seconds": delta_build_s,
+        "stacked_seconds": stacked_s,
+        "amortised_seconds": amortised_s,
+        "amortised_rate": draws / amortised_s,
+        "speedup": per_draw_projected_s / amortised_s,
+        "aggregation_state_bytes": aggregation_state_bytes,
+        "dense_window_stack_bytes": 2 * draws * result.classes * 8,
+        "counts_identical": True,
     }
 
 
@@ -724,7 +830,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v5",
+        "schema": "bench_engine/v6",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -738,6 +844,7 @@ def main(argv=None) -> int:
         "weighted_engine": bench_weighted_engine(),
         "weighted_store": bench_weighted_store(),
         "ensemble": bench_ensemble(),
+        "ensemble_amortised": bench_ensemble_amortised(),
         "census_store_mmap_fanout": bench_store_mmap_fanout(),
     }
     if args.n9:
@@ -805,6 +912,16 @@ def main(argv=None) -> int:
         f"{ensemble['serial_seconds']:.2f}s, {ensemble['workers']} workers "
         f"{ensemble['pooled_seconds']:.2f}s (summaries identical)"
     )
+    amortised = report["ensemble_amortised"]
+    print(
+        f"amortised:     n={amortised['n']} {amortised['draws']} draws "
+        f"shared-delta {amortised['amortised_seconds']:.2f}s "
+        f"(build {amortised['delta_build_seconds']:.2f}s) vs per-draw "
+        f"{amortised['per_draw_projected_seconds']:.0f}s projected "
+        f"({amortised['speedup']:.1f}x; aggregation state "
+        f"{amortised['aggregation_state_bytes']/1e3:.0f}kB vs "
+        f"{amortised['dense_window_stack_bytes']/1e6:.1f}MB dense stack)"
+    )
     fanout = report["census_store_mmap_fanout"]
     print(
         f"mmap fan-out:  n=7 {fanout['grid_points']}-pt grid serial "
@@ -850,6 +967,11 @@ def main(argv=None) -> int:
         failures.append(
             f"weighted store artifact-query speedup "
             f"{wstore['query_speedup']:.1f}x at n=8 is below the 10x floor"
+        )
+    if amortised["speedup"] < 10.0 and not args.report_only:
+        failures.append(
+            f"amortised ensemble speedup {amortised['speedup']:.1f}x at "
+            f"n={amortised['n']} is below the 10x floor"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

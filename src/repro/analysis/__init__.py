@@ -63,6 +63,11 @@ from .weighted import (
     weighted_ucg_grid_mask,
 )
 from .weighted_store import WeightedStore, weighted_store_available
+from .delta_store import (
+    DeltaStore,
+    cached_delta_store,
+    delta_store_available,
+)
 from .ensembles import (
     EnsembleResult,
     ensemble_seeds,
@@ -132,6 +137,9 @@ __all__ = [
     "weighted_ucg_grid_mask",
     "WeightedStore",
     "weighted_store_available",
+    "DeltaStore",
+    "cached_delta_store",
+    "delta_store_available",
     "EnsembleResult",
     "ensemble_seeds",
     "run_ensemble",

@@ -1,0 +1,613 @@
+"""Shared Δdist artifacts: model-independent probe columns, built once per n.
+
+A weighted sweep pairs every single-link deviation payoff with a coefficient
+``w(payer, other)`` — but the payoffs themselves depend only on the topology
+class list.  The PR-5 ensemble runner nevertheless re-ran the boolean-matmul
+deviation analysis once *per draw*, making a 1000-draw ensemble cost 1000
+identical delta passes.  :class:`DeltaStore` is the amortisation layer: the
+per-probe Δdist columns **plus the probe endpoint indices**, persisted once
+per ``n`` and shared by every cost model, draw and ensemble that follows.
+
+* **columns** — per class: a packed upper-triangle certificate, the edge
+  count, the total ordered-pair distance sum, and the ragged CSR probe
+  columns of :func:`repro.engine.batch.batch_delta_columns`: removal
+  ``(Δ, payer, other)`` triples (two per edge, ``sorted_edges`` order) and
+  per-non-edge ``(save_u, save_v, u, v)`` 4-tuples (``non_edges`` order).
+  The endpoint indices are what make the artifact model-independent — any
+  draw's coefficient columns are one dense gather
+  ``W[rem_pay, rem_other]`` away (see
+  :func:`repro.engine.columnar.stacked_weight_columns`);
+* **query = the stacked kernels** — K draws are answered at once by
+  :meth:`stable_counts_multi` / :meth:`stability_windows_multi`, each row
+  bit-identical to the per-draw weighted kernels over that draw's own
+  :class:`~repro.analysis.weighted_store.WeightedStore`;
+* **same persistence story as the census stores** — one versioned ``.npz``
+  or an mmap-able directory of ``.npy`` columns (schema tag,
+  :data:`FORMAT_VERSION`, ``n``), shard-resumable :meth:`build_streamed`,
+  and a process-wide LRU (:func:`cached_delta_store`) sharing the
+  :data:`~repro.analysis.store.STORE_CACHE_MAX` budget with
+  :func:`~repro.analysis.store.cached_store`.
+
+:meth:`WeightedStore.from_delta <repro.analysis.weighted_store.WeightedStore.from_delta>`
+turns (DeltaStore, cost model) back into a full per-draw artifact —
+float-for-float identical to building that store from scratch — so the
+delta artifact composes with every existing kernel, file format and test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # NumPy backs every column; the store refuses to build without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    _np = None
+
+from ..engine import chunk_evenly, parallel_map, resolve_jobs
+from ..engine.batch import batch_delta_columns
+from ..engine.oracle import DistanceOracle
+from ..engine.columnar import (
+    canonical_sort_indices,
+    certificate_to_graph,
+    concat_csr,
+    gather_segments,
+    pack_certificates,
+    stacked_weight_columns,
+    weighted_bcg_stable_mask_multi,
+    weighted_stability_windows_multi,
+)
+from ..graphs import (
+    Graph,
+    canonical_graph,
+    enumerate_connected_graphs,
+    enumerate_graphs,
+    is_connected,
+    iter_graphs_from,
+)
+from ..graphs.isomorphism import clear_canonical_record
+
+#: On-disk format version; bump on any incompatible schema change.
+FORMAT_VERSION = 1
+
+#: Schema tag written into every artifact (guards against loading foreign files).
+SCHEMA = "repro-delta-store"
+
+#: Dense per-class columns.
+_DENSE_COLUMNS = ("num_edges", "dist_total", "cert_words")
+#: Ragged probe columns in the batch_delta_columns CSR layout.
+_PROBE_COLUMNS = (
+    "rem_delta", "rem_pay", "rem_other", "rem_indptr",
+    "add_s_u", "add_s_v", "add_u", "add_v", "add_indptr",
+)
+
+
+def delta_store_available() -> bool:
+    """Whether the delta store can be used (NumPy importable)."""
+    return _np is not None
+
+
+def _require_numpy():
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "DeltaStore requires NumPy; use the per-graph "
+            "WeightedStabilityProfile path instead"
+        )
+    return _np
+
+
+class DeltaStore:
+    """Model-independent Δdist probe columns for every connected class on n.
+
+    Instances are produced by :meth:`build`, :meth:`build_streamed` or
+    :meth:`load`; the constructor just wires up pre-validated columns.
+    Classes are kept in canonical census order, so row ``i`` here, row ``i``
+    of :class:`~repro.analysis.store.CensusStore` and row ``i`` of any
+    :class:`~repro.analysis.weighted_store.WeightedStore` on the same ``n``
+    describe the same isomorphism class.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        num_edges,
+        dist_total,
+        cert_words,
+        rem_delta,
+        rem_pay,
+        rem_other,
+        rem_indptr,
+        add_s_u,
+        add_s_v,
+        add_u,
+        add_v,
+        add_indptr,
+    ) -> None:
+        _require_numpy()
+        self.n = int(n)
+        self.num_edges = num_edges
+        self.dist_total = dist_total
+        self.cert_words = cert_words
+        self.rem_delta = rem_delta
+        self.rem_pay = rem_pay
+        self.rem_other = rem_other
+        self.rem_indptr = rem_indptr
+        self.add_s_u = add_s_u
+        self.add_s_v = add_s_v
+        self.add_u = add_u
+        self.add_v = add_v
+        self.add_indptr = add_indptr
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, n: int, jobs: Optional[int] = None) -> "DeltaStore":
+        """Delta columns for every connected class on ``n`` vertices.
+
+        The class list, order and deviation analysis are exactly those of
+        :meth:`WeightedStore.build` — minus the coefficients, which is the
+        point: one build serves every cost model on ``n`` players.
+        """
+        _require_numpy()
+        graphs = enumerate_connected_graphs(n)
+        workers = resolve_jobs(jobs)
+        chunks = chunk_evenly(graphs, max(1, workers * 4))
+        tasks = [(chunk, n) for chunk in chunks]
+        parts = parallel_map(_delta_columns_chunk, tasks, jobs=jobs)
+        # enumerate_connected_graphs is already canonically sorted and the
+        # chunks preserve order, so no global sort is needed here.
+        return cls._from_parts(n, parts)
+
+    @classmethod
+    def build_streamed(
+        cls,
+        n: int,
+        jobs: Optional[int] = None,
+        shard_level: Optional[int] = None,
+        batch_size: int = 512,
+        shard_dir: Optional[str] = None,
+    ) -> "DeltaStore":
+        """Build the columns by streaming the canonical-augmentation tree.
+
+        Same sharding scheme as the census/weighted stores (disjoint,
+        jointly exhaustive subtrees below level-``shard_level`` roots);
+        with ``shard_dir`` finished shards persist and an interrupted build
+        resumes.  Shards are bound to ``n`` only — delta columns are
+        model-independent, so one shard directory serves every cost model.
+        The merged store is sorted into canonical census order,
+        element-for-element identical to :meth:`build`.
+        """
+        _require_numpy()
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        workers = resolve_jobs(jobs)
+        if shard_level is None:
+            shard_level = max(0, min(6, n - 2))
+        shard_level = max(0, min(shard_level, n))
+        roots = enumerate_graphs(shard_level)
+        chunks = chunk_evenly(roots, max(1, workers * 4))
+        tasks = [(chunk, n, batch_size) for chunk in chunks]
+
+        if shard_dir is None:
+            parts = parallel_map(_stream_delta_chunk, tasks, jobs=jobs)
+        else:
+            os.makedirs(shard_dir, exist_ok=True)
+            paths = [
+                os.path.join(
+                    shard_dir, f"dshard_{i:04d}_of_{len(tasks):04d}.npz"
+                )
+                for i in range(len(tasks))
+            ]
+            loaded: Dict[int, dict] = {}
+            missing: List[int] = []
+            for index, path in enumerate(paths):
+                part = _load_shard_if_valid(path, n)
+                if part is None:
+                    missing.append(index)
+                else:
+                    loaded[index] = part
+            computed = parallel_map(
+                _stream_delta_chunk, [tasks[i] for i in missing], jobs=jobs
+            )
+            for index, part in zip(missing, computed):
+                _save_shard(paths[index], part, n)
+                loaded[index] = part
+            parts = [loaded[index] for index in range(len(tasks))]
+
+        store = cls._from_parts(n, parts)
+        return store.sort_canonical()
+
+    @classmethod
+    def _from_parts(cls, n: int, parts: List[dict]) -> "DeltaStore":
+        return cls(n=n, **_merge_parts(parts, n))
+
+    # ------------------------------------------------------------------ #
+    # Ordering
+    # ------------------------------------------------------------------ #
+
+    def sort_canonical(self) -> "DeltaStore":
+        """A copy of the store in canonical census order (stable no-op key)."""
+        order = canonical_sort_indices(self.num_edges, self.cert_words, self.n)
+        return self.permute(order)
+
+    def permute(self, order) -> "DeltaStore":
+        """A copy with class ``order[i]`` moved to row ``i`` (all columns)."""
+        rem_delta, rem_indptr = gather_segments(
+            self.rem_delta, self.rem_indptr, order
+        )
+        rem_pay, _ = gather_segments(self.rem_pay, self.rem_indptr, order)
+        rem_other, _ = gather_segments(self.rem_other, self.rem_indptr, order)
+        add_s_u, add_indptr = gather_segments(
+            self.add_s_u, self.add_indptr, order
+        )
+        add_s_v, _ = gather_segments(self.add_s_v, self.add_indptr, order)
+        add_u, _ = gather_segments(self.add_u, self.add_indptr, order)
+        add_v, _ = gather_segments(self.add_v, self.add_indptr, order)
+        return DeltaStore(
+            n=self.n,
+            num_edges=self.num_edges[order],
+            dist_total=self.dist_total[order],
+            cert_words=self.cert_words[order],
+            rem_delta=rem_delta,
+            rem_pay=rem_pay,
+            rem_other=rem_other,
+            rem_indptr=rem_indptr,
+            add_s_u=add_s_u,
+            add_s_v=add_s_v,
+            add_u=add_u,
+            add_v=add_v,
+            add_indptr=add_indptr,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stacked multi-draw queries
+    # ------------------------------------------------------------------ #
+
+    def stacked_weights(self, weight_matrices) -> Tuple:
+        """``(rem_w, add_w_u, add_w_v)`` ``(K, P)`` stacks for K matrices."""
+        return stacked_weight_columns(
+            weight_matrices, self.rem_pay, self.rem_other, self.add_u, self.add_v
+        )
+
+    def stable_mask_multi(self, weight_matrices, ts: Sequence[float]):
+        """``bool[K, n_classes, n_ts]`` stability for K draws at once.
+
+        Row ``k`` is bit-identical to
+        ``WeightedStore.from_delta(self, model_k).stable_mask(ts)``.
+        """
+        rem_w, add_w_u, add_w_v = self.stacked_weights(weight_matrices)
+        return weighted_bcg_stable_mask_multi(
+            self.rem_delta, self.rem_indptr,
+            self.add_s_u, self.add_s_v, self.add_indptr,
+            rem_w, add_w_u, add_w_v, ts,
+        )
+
+    def stable_counts_multi(self, weight_matrices, ts: Sequence[float]):
+        """``int64[K, n_ts]`` stable-class counts for K draws at once."""
+        np = _require_numpy()
+        return self.stable_mask_multi(weight_matrices, ts).sum(
+            axis=1, dtype=np.int64
+        )
+
+    def stability_windows_multi(self, weight_matrices):
+        """``(t_min[K, C], t_max[K, C])`` weighted windows for K draws."""
+        rem_w, add_w_u, add_w_v = self.stacked_weights(weight_matrices)
+        return weighted_stability_windows_multi(
+            self.rem_delta, self.rem_indptr,
+            self.add_s_u, self.add_s_v, self.add_indptr,
+            rem_w, add_w_u, add_w_v,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection and decoding
+    # ------------------------------------------------------------------ #
+
+    def graph_at(self, index: int) -> Graph:
+        """Rebuild the canonical representative stored at row ``index``."""
+        return certificate_to_graph(self.cert_words[index], self.n)
+
+    def __len__(self) -> int:
+        return int(self.num_edges.shape[0])
+
+    def _columns(self) -> Dict[str, object]:
+        return {
+            name: getattr(self, name)
+            for name in _DENSE_COLUMNS + _PROBE_COLUMNS
+        }
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across every column."""
+        return sum(array.nbytes for array in self._columns().values())
+
+    def summary(self) -> Dict[str, object]:
+        """Artifact metadata (used by the CLI and the smoke scripts)."""
+        return {
+            "n": self.n,
+            "classes": len(self),
+            "removal_probes": int(self.rem_indptr[-1]),
+            "addition_probes": int(self.add_indptr[-1]),
+            "format_version": FORMAT_VERSION,
+            "nbytes": self.nbytes,
+            "column_bytes": {
+                name: array.nbytes for name, array in self._columns().items()
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(
+        self, path: str, format: Optional[str] = None, compress: bool = False
+    ) -> str:
+        """Write the artifact to ``path``; returns the path written.
+
+        ``format="npz"`` (default for ``*.npz`` paths) writes one NumPy
+        archive; ``format="dir"`` writes a directory of raw ``.npy``
+        columns plus ``meta.json`` — loadable with ``mmap=True`` so pool
+        workers can share one resident copy of the columns.
+        """
+        np = _require_numpy()
+        if format is None:
+            format = "npz" if str(path).endswith(".npz") else "dir"
+        if format not in ("npz", "dir"):
+            raise ValueError("format must be 'npz' or 'dir'")
+        if format == "npz":
+            if not str(path).endswith(".npz"):
+                # np.savez appends the suffix itself; make that explicit so
+                # the returned path is the file actually written.
+                path = f"{path}.npz"
+            payload = dict(self._columns())
+            payload["schema"] = np.str_(SCHEMA)
+            payload["format_version"] = np.int64(FORMAT_VERSION)
+            payload["n"] = np.int64(self.n)
+            writer = np.savez_compressed if compress else np.savez
+            writer(path, **payload)
+            return path
+        os.makedirs(path, exist_ok=True)
+        columns = self._columns()
+        meta = {
+            "schema": SCHEMA,
+            "format_version": FORMAT_VERSION,
+            "n": self.n,
+            "columns": sorted(columns),
+        }
+        with open(os.path.join(path, "meta.json"), "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        for name, array in columns.items():
+            np.save(os.path.join(path, f"{name}.npy"), array)
+        return path
+
+    @classmethod
+    def load(cls, path: str, mmap: bool = False) -> "DeltaStore":
+        """Load an artifact written by :meth:`save`.
+
+        ``mmap=True`` memory-maps the columns and is only supported for the
+        directory format (zip archives cannot be mapped page-aligned).
+        """
+        np = _require_numpy()
+        if os.path.isdir(path):
+            with open(os.path.join(path, "meta.json")) as handle:
+                meta = json.load(handle)
+            cls._check_meta(meta.get("schema"), meta.get("format_version"), path)
+            mmap_mode = "r" if mmap else None
+            columns = {
+                name: np.load(
+                    os.path.join(path, f"{name}.npy"), mmap_mode=mmap_mode
+                )
+                for name in meta["columns"]
+            }
+            return cls(n=meta["n"], **columns)
+        if mmap:
+            raise ValueError(
+                "mmap loading requires the directory format; save with "
+                "format='dir' for memory-mappable artifacts"
+            )
+        with np.load(path, allow_pickle=False) as data:
+            schema = str(data["schema"]) if "schema" in data else None
+            version = (
+                int(data["format_version"]) if "format_version" in data else None
+            )
+            cls._check_meta(schema, version, path)
+            columns = {
+                name: data[name] for name in _DENSE_COLUMNS + _PROBE_COLUMNS
+            }
+            return cls(n=int(data["n"]), **columns)
+
+    @staticmethod
+    def _check_meta(schema: Optional[str], version: Optional[int], path: str) -> None:
+        if schema != SCHEMA:
+            raise ValueError(f"{path!r} is not a delta-store artifact")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path!r} has delta-store format version {version}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Column assembly + pool workers (module-level for pickling)
+# --------------------------------------------------------------------------- #
+
+
+def _merge_parts(parts: List[dict], n: int) -> dict:
+    """Concatenate column-chunk dicts (CSR offsets rebased) into one dict."""
+    np = _require_numpy()
+    parts = [part for part in parts if part["num_edges"].shape[0]] or [
+        _empty_part(n)
+    ]
+    rem_delta, rem_indptr = concat_csr(
+        [(p["rem_delta"], p["rem_indptr"]) for p in parts]
+    )
+    add_s_u, add_indptr = concat_csr(
+        [(p["add_s_u"], p["add_indptr"]) for p in parts]
+    )
+    merged = {
+        name: np.concatenate([p[name] for p in parts])
+        for name in (
+            "num_edges", "dist_total", "cert_words",
+            "rem_pay", "rem_other", "add_s_v", "add_u", "add_v",
+        )
+    }
+    merged.update(
+        rem_delta=rem_delta,
+        rem_indptr=rem_indptr,
+        add_s_u=add_s_u,
+        add_indptr=add_indptr,
+    )
+    return merged
+
+
+def _empty_part(n: int) -> dict:
+    np = _require_numpy()
+    return {
+        "num_edges": np.zeros(0, dtype=np.int32),
+        "dist_total": np.zeros(0, dtype=np.float64),
+        "cert_words": pack_certificates([], n),
+        "rem_delta": np.zeros(0, dtype=np.float32),
+        "rem_pay": np.zeros(0, dtype=np.int32),
+        "rem_other": np.zeros(0, dtype=np.int32),
+        "rem_indptr": np.zeros(1, dtype=np.int64),
+        "add_s_u": np.zeros(0, dtype=np.float32),
+        "add_s_v": np.zeros(0, dtype=np.float32),
+        "add_u": np.zeros(0, dtype=np.int32),
+        "add_v": np.zeros(0, dtype=np.int32),
+        "add_indptr": np.zeros(1, dtype=np.int64),
+    }
+
+
+def _delta_part(
+    graphs: List[Graph], n: int, oracle: Optional[DistanceOracle]
+) -> dict:
+    """One column chunk: delta probe columns + certificates for ``graphs``."""
+    if not graphs:
+        return _empty_part(n)
+    part = batch_delta_columns(graphs, oracle=oracle)
+    part["cert_words"] = pack_certificates(
+        [graph.adjacency_bitstring() for graph in graphs], n
+    )
+    return part
+
+
+def _delta_columns_chunk(task: Tuple) -> dict:
+    graphs, n = task
+    return _delta_part(graphs, n, DistanceOracle())
+
+
+def _stream_delta_chunk(task: Tuple) -> dict:
+    """Generate-and-probe one generation-tree shard into delta columns."""
+    roots, n, batch_size = task
+    oracle = DistanceOracle()
+    parts: List[dict] = []
+    pending: List[Graph] = []
+
+    def flush() -> None:
+        parts.append(_delta_part(pending, n, oracle))
+        for graph in pending:
+            clear_canonical_record(graph)
+        pending.clear()
+
+    for root in roots:
+        for graph in iter_graphs_from(root, n):
+            if not is_connected(graph):
+                continue
+            pending.append(canonical_graph(graph))
+            if len(pending) >= batch_size:
+                flush()
+    if pending:
+        flush()
+    return _merge_parts(parts, n)
+
+
+def _save_shard(path: str, part: dict, n: int) -> None:
+    """Persist one shard atomically (write-then-rename, census-store style)."""
+    np = _require_numpy()
+    tmp_path = f"{path}.tmp.npz"
+    np.savez(
+        tmp_path,
+        shard_schema=np.str_(SCHEMA),
+        shard_n=np.int64(n),
+        **part,
+    )
+    os.replace(tmp_path, path)
+
+
+def _load_shard_if_valid(path: str, n: int) -> Optional[dict]:
+    """Load one persisted shard; ``None`` when it must be (re)computed.
+
+    Missing or unreadable (crash-truncated) shards are recomputed.  A
+    *readable* shard bound to a different ``n`` raises instead: shard names
+    encode only the chunk index/count, so a reused directory would
+    otherwise merge silently into a corrupt artifact.
+    """
+    np = _require_numpy()
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if (
+                "shard_schema" not in data
+                or str(data["shard_schema"]) != SCHEMA
+                or int(data["shard_n"]) != n
+            ):
+                raise ValueError(
+                    f"{path!r} is not a shard of the n = {n} delta build; "
+                    "use a fresh shard_dir per n"
+                )
+            return {
+                name: data[name]
+                for name in data.files
+                if not name.startswith("shard_")
+            }
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError):
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide delta-store cache (shares the census-store LRU budget)
+# --------------------------------------------------------------------------- #
+
+
+def cached_delta_store(
+    n: Optional[int] = None,
+    jobs: Optional[int] = None,
+    path: Optional[str] = None,
+    mmap: bool = False,
+) -> DeltaStore:
+    """Build, load or fetch a delta store through the shared store LRU.
+
+    The :func:`~repro.analysis.store.cached_store` pattern applied to delta
+    artifacts: with ``n`` the store is built in process; with ``path`` it
+    is loaded (optionally memory-mapped).  Load keys carry the absolute
+    path, the ``mmap`` flag and the artifact's ``(mtime_ns, size)`` stamp,
+    so a regenerated artifact misses the cache instead of serving stale
+    columns; ``jobs`` only affects how a build miss is computed and is not
+    part of the key.  Entries share one bounded LRU (and its
+    :data:`~repro.analysis.store.STORE_CACHE_MAX` budget) with the census
+    stores — repeated ensembles on one machine never reload the delta
+    artifact, and a process cycling through many artifacts stays bounded.
+    """
+    from .store import _STORE_CACHE, _artifact_stamp, _cache_store
+
+    if (n is None) == (path is None):
+        raise ValueError("exactly one of n and path is required")
+    if path is not None:
+        key = (
+            "delta-load", os.path.abspath(path), bool(mmap), _artifact_stamp(path)
+        )
+        store = _STORE_CACHE.get(key)
+        if store is None:
+            store = DeltaStore.load(path, mmap=mmap)
+        return _cache_store(key, store)
+
+    key = ("delta-build", int(n))
+    store = _STORE_CACHE.get(key)
+    if store is None:
+        store = DeltaStore.build(n, jobs=jobs)
+    return _cache_store(key, store)

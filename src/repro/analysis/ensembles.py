@@ -8,23 +8,31 @@ asks the distributional question: over ``K`` seeded draws of a scenario on
 where do the per-class stability windows land — on average, how spread
 out, and at which quantiles?
 
-The workload is embarrassingly parallel over draws, and that is exactly
-how it runs:
+The Δdist probe columns depend only on the topology class list — per seed,
+only the weight pairings change — so the runner amortises the expensive
+part across the whole ensemble instead of paying it per draw:
 
-* each draw is one pool task (:func:`repro.engine.parallel_map`, results
-  in draw order, so serial and pooled runs are **identical** — asserted in
-  the test suite for ``jobs=1`` vs ``jobs=4``);
-* a draw builds its :class:`~repro.analysis.weighted_store.WeightedStore`
-  columns once and answers counts + windows from the weighted kernels;
-* with ``save_dir`` every draw persists its artifact
-  (``draw_XXXX_seedS.npz``), stamped with the full scenario recipe; an
-  interrupted or repeated run **resumes** by loading matching artifacts
-  instead of recomputing, and the saved stores can be re-queried on any
-  grid later without touching the deviation analysis again;
-* per-``t`` stable counts and per-class window endpoints are aggregated
-  across draws into mean/std/min/max/quantile summaries by the segmented
-  :func:`repro.engine.columnar.ensemble_stats` kernel — one deterministic
-  vectorised pass.
+* the deviation analysis runs **once per n** into a shared model-independent
+  :class:`~repro.analysis.delta_store.DeltaStore` (reused from the process
+  LRU, or persisted/mmapped via ``delta_cache``);
+* draws are chunked into ``batch_draws``-sized blocks, each answered by
+  the stacked multi-draw kernels
+  (:func:`repro.engine.columnar.weighted_bcg_stable_mask_multi` /
+  :func:`~repro.engine.columnar.weighted_stability_windows_multi`) — one
+  dense ``(K, P)`` pass whose per-draw rows are **bit-identical** to the
+  per-draw weighted kernels, so amortisation never changes a number;
+* blocks fan out over ``jobs`` pool workers in bounded waves and feed
+  :class:`~repro.engine.streaming.StreamingEnsembleStats` aggregators in
+  draw order, so results are identical for any worker count or batch size
+  and peak aggregation memory is independent of ``K`` (bit-exact dense
+  aggregation below ``window_exact_buffer`` draws; exact moments + P²
+  quantile sketches beyond — see the streaming module's contract);
+* with ``save_dir`` every draw persists its
+  :class:`~repro.analysis.weighted_store.WeightedStore` artifact
+  (``draw_XXXX_seedS.npz``, materialised from the shared delta columns),
+  stamped with the full scenario recipe; an interrupted or repeated run
+  **resumes** by loading matching artifacts instead of recomputing, and
+  the ``resumed``/``recomputed`` tallies on the result make that auditable.
 """
 
 from __future__ import annotations
@@ -33,14 +41,24 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..engine import parallel_map
+try:  # NumPy backs the stacked kernels and the streaming aggregation.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    np = None
+
+from ..engine import parallel_map, resolve_jobs
 from ..engine.columnar import ensemble_stats
+from ..engine.streaming import DEFAULT_EXACT_BUFFER, StreamingEnsembleStats
+from .delta_store import DeltaStore, cached_delta_store
 from .scenarios import build_scenario, default_t_grid
 from .store import LOAD_ERRORS
 from .weighted_store import WeightedStore, weighted_store_available
 
 #: Quantiles reported by default (quartiles: lower, median, upper).
 DEFAULT_QUANTILES = (0.25, 0.5, 0.75)
+
+#: Draws answered per stacked-kernel block (one pool task each).
+DEFAULT_BATCH_DRAWS = 16
 
 
 def ensemble_seeds(seed: int, draws: int) -> List[int]:
@@ -64,8 +82,10 @@ class EnsembleResult:
     window endpoints across draws (entry ``i`` describes isomorphism
     class ``i`` in canonical census order).  Every stats dict holds
     ``mean``/``std``/``min``/``max`` lists plus a ``quantiles`` mapping
-    ``{q: [...]}`` — the output of
-    :func:`repro.engine.columnar.ensemble_stats`.
+    ``{q: [...]}`` — the :func:`repro.engine.columnar.ensemble_stats`
+    shape (window stats stream through
+    :class:`~repro.engine.streaming.StreamingEnsembleStats` past the
+    exact-buffer threshold).
     """
 
     scenario: str
@@ -74,8 +94,9 @@ class EnsembleResult:
     seed: int
     seeds: List[int]
     ts: List[float]
-    #: Per-draw stable counts, ``counts[k][j]`` = draw ``k`` at ``ts[j]``.
-    counts: List[List[int]]
+    #: Per-draw stable counts as an ``int64[draws, len(ts)]`` ndarray —
+    #: ``counts[k, j]`` = draw ``k`` at ``ts[j]``.
+    counts: object
     count_stats: Dict[str, object]
     t_min_stats: Dict[str, object]
     t_max_stats: Dict[str, object]
@@ -83,6 +104,10 @@ class EnsembleResult:
     artifact_paths: Optional[List[str]] = None
     #: Extra family parameters the draws were built with.
     params: Dict[str, object] = field(default_factory=dict)
+    #: Draws answered by loading a matching saved artifact.
+    resumed: int = 0
+    #: Draws computed this run (no artifact, unreadable, or recipe mismatch).
+    recomputed: int = 0
 
     @property
     def classes(self) -> int:
@@ -97,31 +122,72 @@ def _draw_path(save_dir: str, index: int, seed: int, save_format: str) -> str:
     )
 
 
-def _ensemble_draw(task: Tuple) -> Tuple[List[int], List[float], List[float], Optional[str]]:
-    """Pool worker: one seeded draw → (counts row, t_min, t_max, path).
+def _resolve_delta_spec(spec) -> DeltaStore:
+    kind, payload, mmap = spec
+    if kind == "path":
+        return cached_delta_store(path=payload, mmap=mmap)
+    return payload
 
-    When the draw's artifact already exists with the exact scenario recipe
-    (same name/n/seed/params), it is loaded and queried instead of being
-    recomputed — resuming an interrupted ensemble and re-querying a saved
-    one are the same code path.
+
+def _ensemble_batch(task: Tuple):
+    """Pool worker: one block of draws → stacked rows + resume tallies.
+
+    Draws whose artifact already exists with the exact scenario recipe
+    (same name/n/seed/params) are answered from the loaded store; the rest
+    are answered in one stacked-kernel pass over the shared delta columns
+    — row for row bit-identical to the per-draw kernels — and persisted
+    (via :meth:`WeightedStore.from_delta`) when a ``save_path`` is set.
+    Returns ``(counts, t_min, t_max, resumed, recomputed)`` with the row
+    blocks stacked in draw order.
     """
-    name, n, seed, params, ts, save_path, save_format = task
-    scenario = build_scenario(name, n, seed=seed, **params)
-    store = None
-    if save_path is not None and os.path.exists(save_path):
-        try:
-            candidate = WeightedStore.load(save_path)
-        except LOAD_ERRORS:
-            candidate = None  # unreadable/foreign artifact: recompute
-        if candidate is not None and candidate.scenario_params == scenario.params:
-            store = candidate
-    if store is None:
-        store = WeightedStore.from_scenario(scenario)
-        if save_path is not None:
-            store.save(save_path, format=save_format)
-    counts = store.stable_counts(ts)
-    t_min, t_max = store.stability_windows()
-    return counts, t_min.tolist(), t_max.tolist(), save_path
+    name, n, block, params, ts, delta_spec, save_format = task
+    delta = _resolve_delta_spec(delta_spec)
+    size = len(block)
+    counts_rows: List = [None] * size
+    t_min_rows: List = [None] * size
+    t_max_rows: List = [None] * size
+    resumed = 0
+    fresh: List[Tuple[int, object, Optional[str]]] = []
+
+    for position, (draw_seed, save_path) in enumerate(block):
+        scenario = build_scenario(name, n, seed=draw_seed, **params)
+        store = None
+        if save_path is not None and os.path.exists(save_path):
+            try:
+                candidate = WeightedStore.load(save_path)
+            except LOAD_ERRORS:
+                candidate = None  # unreadable/foreign artifact: recompute
+            if candidate is not None and candidate.scenario_params == scenario.params:
+                store = candidate
+        if store is None:
+            fresh.append((position, scenario, save_path))
+            continue
+        resumed += 1
+        counts_rows[position] = np.asarray(store.stable_counts(ts), dtype=np.int64)
+        t_min, t_max = store.stability_windows()
+        t_min_rows[position] = t_min
+        t_max_rows[position] = t_max
+
+    if fresh:
+        matrices = [scenario.model.coefficient_matrix(n) for _, scenario, _ in fresh]
+        counts_multi = delta.stable_counts_multi(matrices, ts)
+        t_min_multi, t_max_multi = delta.stability_windows_multi(matrices)
+        for row, (position, scenario, save_path) in enumerate(fresh):
+            counts_rows[position] = counts_multi[row]
+            t_min_rows[position] = t_min_multi[row]
+            t_max_rows[position] = t_max_multi[row]
+            if save_path is not None:
+                WeightedStore.from_delta(
+                    delta, scenario.model, scenario_params=dict(scenario.params)
+                ).save(save_path, format=save_format)
+
+    return (
+        np.stack(counts_rows),
+        np.stack(t_min_rows),
+        np.stack(t_max_rows),
+        resumed,
+        len(fresh),
+    )
 
 
 def run_ensemble(
@@ -136,19 +202,32 @@ def run_ensemble(
     save_format: str = "npz",
     params: Optional[Dict[str, object]] = None,
     quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    delta: Optional[DeltaStore] = None,
+    delta_cache: Optional[str] = None,
+    batch_draws: int = DEFAULT_BATCH_DRAWS,
+    window_exact_buffer: int = DEFAULT_EXACT_BUFFER,
 ) -> EnsembleResult:
     """Sweep ``draws`` seeded instances of a scenario and aggregate.
 
     Draw ``k`` plays the registered ``scenario`` on ``n`` players with seed
     ``seed + k`` (extra factory ``params`` — e.g. ``low``/``high`` for
     ``random_weights`` — are passed through and recorded in every
-    artifact's recipe).  The per-draw work fans out over ``jobs`` pool
-    workers; results are identical for any worker count.  ``ts`` defaults
-    to the scenario library's log-spaced ``grid``-point scale grid.
+    artifact's recipe).  The deviation analysis runs once into a shared
+    :class:`DeltaStore` — pass ``delta`` to reuse one you already hold, or
+    ``delta_cache`` to load (mmap, for directory artifacts) / build-and-save
+    a persistent one; otherwise the per-process LRU builds it on first use.
+    Draws are then answered ``batch_draws`` at a time by the stacked
+    multi-draw kernels, fanned over ``jobs`` pool workers in bounded waves
+    and aggregated as a stream — results are identical for any ``jobs`` or
+    ``batch_draws`` value, and bit-identical to the per-draw path (window
+    stats: bit-exact up to ``window_exact_buffer`` draws, exact
+    moments/extrema + P² quantile sketches beyond).  ``ts`` defaults to
+    the scenario library's log-spaced ``grid``-point scale grid.
 
     With ``save_dir``, each draw persists one :class:`WeightedStore`
     artifact there (``save_format`` ``"npz"`` or ``"dir"``) and matching
-    artifacts already on disk are loaded instead of recomputed.
+    artifacts already on disk are loaded instead of recomputed; the
+    ``resumed``/``recomputed`` tallies on the result record the split.
     """
     if not weighted_store_available():
         raise RuntimeError(
@@ -156,8 +235,6 @@ def run_ensemble(
             "store columns); install numpy or sweep draws one at a time "
             "with weighted_python_sweep_bcg"
         )
-    import numpy as np
-
     params = dict(params or {})
     for reserved in ("name", "n", "seed"):
         params.pop(reserved, None)
@@ -165,37 +242,85 @@ def run_ensemble(
         default_t_grid(n, grid) if ts is None else [float(t) for t in ts]
     )
     seeds = ensemble_seeds(seed, draws)
+    if batch_draws < 1:
+        raise ValueError("batch_draws must be positive")
     if save_dir is not None:
         if save_format not in ("npz", "dir"):
             raise ValueError("save_format must be 'npz' or 'dir'")
         os.makedirs(save_dir, exist_ok=True)
-    tasks = [
-        (
-            scenario,
-            int(n),
-            draw_seed,
-            params,
-            ts,
-            None
-            if save_dir is None
-            else _draw_path(save_dir, index, draw_seed, save_format),
-            save_format,
+
+    # One delta pass for the whole ensemble, whatever its size.
+    delta_spec = None
+    if delta is None:
+        if delta_cache is not None:
+            if not os.path.exists(delta_cache):
+                built = DeltaStore.build(n, jobs=jobs)
+                built.save(
+                    delta_cache,
+                    format="npz" if str(delta_cache).endswith(".npz") else "dir",
+                )
+            mmap = os.path.isdir(delta_cache)
+            delta = cached_delta_store(path=delta_cache, mmap=mmap)
+            delta_spec = ("path", delta_cache, mmap)
+        else:
+            delta = cached_delta_store(n=n, jobs=jobs)
+    if delta.n != int(n):
+        raise ValueError(
+            f"delta store is for n = {delta.n}, ensemble asked for n = {n}"
         )
-        for index, draw_seed in enumerate(seeds)
+    if delta_spec is None:
+        delta_spec = ("store", delta, False)
+
+    paths = (
+        None
+        if save_dir is None
+        else [
+            _draw_path(save_dir, index, draw_seed, save_format)
+            for index, draw_seed in enumerate(seeds)
+        ]
+    )
+    blocks = [
+        [
+            (seeds[k], None if paths is None else paths[k])
+            for k in range(start, min(start + batch_draws, draws))
+        ]
+        for start in range(0, draws, int(batch_draws))
     ]
-    results = parallel_map(_ensemble_draw, tasks, jobs=jobs)
+    tasks = [
+        (scenario, int(n), block, params, ts, delta_spec, save_format)
+        for block in blocks
+    ]
 
-    counts = [row for row, _, _, _ in results]
-    paths = [path for _, _, _, path in results]
-
-    def stacked(rows: List[List[float]]) -> Dict[str, object]:
-        lengths = [len(row) for row in rows]
-        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
-        np.cumsum(np.asarray(lengths, dtype=np.int64), out=indptr[1:])
-        values = np.asarray(
-            [value for row in rows for value in row], dtype=np.float64
+    # Bounded waves: each parallel_map call holds at most tasks_per_wave
+    # result blocks before they are folded into the streaming aggregators
+    # and dropped, so peak memory is set by (wave × batch_draws), not K.
+    tasks_per_wave = max(1, resolve_jobs(jobs) * 4)
+    classes = len(delta)
+    t_min_agg = StreamingEnsembleStats(
+        classes, quantiles=quantiles, exact_buffer=window_exact_buffer
+    )
+    t_max_agg = StreamingEnsembleStats(
+        classes, quantiles=quantiles, exact_buffer=window_exact_buffer
+    )
+    count_blocks: List = []
+    resumed = 0
+    recomputed = 0
+    for start in range(0, len(tasks), tasks_per_wave):
+        wave = parallel_map(
+            _ensemble_batch, tasks[start:start + tasks_per_wave], jobs=jobs
         )
-        return ensemble_stats(values, indptr, quantiles=quantiles)
+        for counts_block, t_min_block, t_max_block, block_resumed, block_recomputed in wave:
+            count_blocks.append(counts_block)
+            t_min_agg.update(t_min_block)
+            t_max_agg.update(t_max_block)
+            resumed += block_resumed
+            recomputed += block_recomputed
+
+    counts = np.concatenate(count_blocks, axis=0)
+    count_indptr = np.arange(draws + 1, dtype=np.int64) * len(ts)
+    count_stats = ensemble_stats(
+        counts.astype(np.float64).ravel(), count_indptr, quantiles=quantiles
+    )
 
     return EnsembleResult(
         scenario=scenario,
@@ -204,10 +329,12 @@ def run_ensemble(
         seed=int(seed),
         seeds=seeds,
         ts=list(ts),
-        counts=[[int(c) for c in row] for row in counts],
-        count_stats=stacked(counts),
-        t_min_stats=stacked([t_min for _, t_min, _, _ in results]),
-        t_max_stats=stacked([t_max for _, _, t_max, _ in results]),
-        artifact_paths=paths if save_dir is not None else None,
+        counts=counts,
+        count_stats=count_stats,
+        t_min_stats=t_min_agg.finalize(),
+        t_max_stats=t_max_agg.finalize(),
+        artifact_paths=paths,
         params=params,
+        resumed=resumed,
+        recomputed=recomputed,
     )

@@ -337,6 +337,7 @@ def weighted_census(
     ts: Sequence[float],
     include_ucg: bool = False,
     jobs: Optional[int] = None,
+    delta=None,
 ) -> WeightedSweepResult:
     """The weighted sweep over every connected isomorphism class on ``n``.
 
@@ -344,7 +345,55 @@ def weighted_census(
     here and row ``i`` of the scalar census/store describe the same class;
     with a uniform unit model and ``ts`` equal to the α-grid the mask is
     float-exactly the scalar ``stable_mask``.
+
+    Passing a shared :class:`~repro.analysis.delta_store.DeltaStore` as
+    ``delta`` skips the deviation pass entirely: the weight columns are
+    gathered from the model's coefficient matrix at the stored probe
+    endpoints (via :meth:`WeightedStore.from_delta`), float-for-float
+    identical to the recomputing path.
     """
+    if delta is not None:
+        from .weighted_store import WeightedStore
+
+        if delta.n != int(n):
+            raise ValueError(
+                f"delta store is for n = {delta.n}, census asked for n = {n}"
+            )
+        ts = [float(t) for t in ts]
+        store = WeightedStore.from_delta(delta, model)
+        mask = store.stable_mask(ts)
+        t_min_column, t_max_column = store.stability_windows()
+        num_edges = [int(m) for m in store.num_edges]
+        edge_cost_totals = store.edge_cost_total.tolist()
+        dist_totals = store.dist_total.tolist()
+        bcg_counts, average_links, average_social_cost = sweep_grid_aggregates(
+            mask, ts, num_edges, edge_cost_totals, dist_totals
+        )
+        graphs = [delta.graph_at(index) for index in range(len(delta))]
+        ucg_mask = None
+        ucg_counts = None
+        if include_ucg:
+            ucg_mask = weighted_ucg_grid_mask(graphs, model, ts, jobs=jobs)
+            ucg_counts = [
+                sum(1 for i in range(len(graphs)) if ucg_mask[i][column])
+                for column in range(len(ts))
+            ]
+        return WeightedSweepResult(
+            n=int(n),
+            model=model,
+            ts=ts,
+            graphs=graphs,
+            bcg_mask=mask,
+            bcg_counts=bcg_counts,
+            t_min=t_min_column.tolist(),
+            t_max=t_max_column.tolist(),
+            average_links=average_links,
+            average_social_cost=average_social_cost,
+            ucg_mask=ucg_mask,
+            ucg_counts=ucg_counts,
+            edge_cost_totals=edge_cost_totals,
+            dist_totals=dist_totals,
+        )
     return weighted_sweep(
         enumerate_connected_graphs(n), model, ts, include_ucg=include_ucg, jobs=jobs
     )

@@ -152,6 +152,14 @@ def build_census_parser() -> argparse.ArgumentParser:
         choices=("average_poa", "worst_poa", "average_links"),
         help="which figure quantity --grid tabulates (default: average_poa)",
     )
+    parser.add_argument(
+        "--save-deltas", metavar="PATH", default=None,
+        help=(
+            "also persist the model-independent delta artifact (DeltaStore) "
+            "for this n — the shared input of amortised ensembles "
+            "(*.npz or a directory)"
+        ),
+    )
     return parser
 
 
@@ -420,6 +428,17 @@ def build_ensemble_parser() -> argparse.ArgumentParser:
         "--format", choices=("npz", "dir"), default="npz",
         help="artifact layout under --save-dir (default: npz)",
     )
+    parser.add_argument(
+        "--delta-cache", metavar="PATH", default=None,
+        help=(
+            "persistent shared delta artifact: loaded (mmapped when a "
+            "directory) if it exists, built once and saved there if not"
+        ),
+    )
+    parser.add_argument(
+        "--batch-draws", type=int, default=None, metavar="B",
+        help="draws answered per stacked-kernel block (default: 16)",
+    )
     return parser
 
 
@@ -449,21 +468,37 @@ def ensemble_main(argv: List[str]) -> int:
         print("an ensemble needs at least one draw", file=sys.stderr)
         return 2
 
-    result = run_ensemble(
-        scenario=args.scenario,
-        n=args.n,
-        draws=args.draws,
-        seed=args.seed,
-        grid=args.grid,
-        jobs=args.jobs,
-        save_dir=args.save_dir,
-        save_format=args.format,
-    )
+    if args.batch_draws is not None and args.batch_draws < 1:
+        print("--batch-draws must be positive", file=sys.stderr)
+        return 2
+
+    extra = {}
+    if args.batch_draws is not None:
+        extra["batch_draws"] = args.batch_draws
+    try:
+        result = run_ensemble(
+            scenario=args.scenario,
+            n=args.n,
+            draws=args.draws,
+            seed=args.seed,
+            grid=args.grid,
+            jobs=args.jobs,
+            save_dir=args.save_dir,
+            save_format=args.format,
+            delta_cache=args.delta_cache,
+            **extra,
+        )
+    except (OSError, ValueError) as error:
+        print(f"cannot run the ensemble: {error}", file=sys.stderr)
+        return 2
     print(
         f"ensemble {result.scenario}: n = {result.n}, {result.draws} draws "
         f"(seeds {result.seeds[0]}..{result.seeds[-1]}), "
         f"{result.classes} connected classes"
     )
+    print(f"  draws: resumed {result.resumed}, computed {result.recomputed}")
+    if args.delta_cache:
+        print(f"  delta cache: {args.delta_cache}")
     if result.artifact_paths:
         print(f"  artifacts: {len(result.artifact_paths)} under {args.save_dir}")
     stats = result.count_stats
@@ -537,6 +572,26 @@ def census_main(argv: List[str]) -> int:
             print(f"cannot save {args.save}: {error}", file=sys.stderr)
             return 2
         print(f"saved to {written}")
+
+    if args.save_deltas is not None:
+        from .analysis.delta_store import DeltaStore
+
+        build_deltas = (
+            DeltaStore.build_streamed if args.streamed else DeltaStore.build
+        )
+        try:
+            deltas = build_deltas(store.n, jobs=args.jobs)
+            written = deltas.save(args.save_deltas)
+        except (OSError, ValueError) as error:
+            print(f"cannot save {args.save_deltas}: {error}", file=sys.stderr)
+            return 2
+        summary = deltas.summary()
+        print(
+            f"delta artifact: {summary['classes']} classes, "
+            f"{summary['removal_probes']} removal + "
+            f"{summary['addition_probes']} addition probes, "
+            f"saved to {written}"
+        )
 
     if args.grid:
         costs = log_spaced_alphas(0.4, 2.0 * store.n * store.n, max(2, args.grid))

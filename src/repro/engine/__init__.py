@@ -52,6 +52,7 @@ both, so the core/analysis/experiments layers never re-derive them ad hoc:
 """
 
 from .batch import (
+    batch_delta_columns,
     batch_stability_deltas,
     batch_weighted_columns,
     numpy_available,
@@ -59,9 +60,12 @@ from .batch import (
 )
 from .oracle import DistanceOracle, get_default_oracle
 from .pool import chunk_evenly, parallel_map, resolve_jobs
+from .streaming import StreamingEnsembleStats, streaming_available
 
 __all__ = [
     "DistanceOracle",
+    "StreamingEnsembleStats",
+    "batch_delta_columns",
     "batch_stability_deltas",
     "batch_weighted_columns",
     "chunk_evenly",
@@ -69,5 +73,6 @@ __all__ = [
     "numpy_available",
     "parallel_map",
     "resolve_jobs",
+    "streaming_available",
     "validate_weight_matrix",
 ]

@@ -232,6 +232,95 @@ def validate_weight_matrix(
     return weight_matrix
 
 
+def batch_delta_columns(
+    graphs: Sequence[Graph],
+    oracle: Optional[DistanceOracle] = None,
+    use_orbits: Optional[bool] = None,
+):
+    """Model-independent per-probe Δdist columns with endpoint indices.
+
+    The weighted sweeps pair every deviation payoff with a coefficient
+    ``w(payer, other)``, but the payoffs themselves depend only on the
+    topology — re-deriving them per cost model (or per ensemble draw) is
+    the dominant waste of a mega-ensemble.  This function runs the
+    boolean-matmul delta tensorisation (:func:`batch_stability_deltas`)
+    once and emits the *weight-free* half of the weighted columns, plus the
+    probe endpoint indices any later coefficient gather needs:
+
+    * ``rem_delta, rem_pay, rem_other, rem_indptr`` — one entry per
+      (edge, endpoint) removal probe, two per edge in ``sorted_edges``
+      order (endpoint ``u`` paying first, then ``v``); probe ``p``'s
+      coefficient under a matrix ``W`` is ``W[rem_pay[p]][rem_other[p]]``;
+    * ``add_s_u, add_s_v, add_u, add_v, add_indptr`` — one savings pair
+      per non-edge in ``non_edges`` order, with the endpoint indices
+      (coefficients ``W[add_u][add_v]`` and ``W[add_v][add_u]``);
+    * ``num_edges, dist_total`` — dense per-graph columns for aggregates.
+
+    Δ/savings values are stored float32 (every BCG deviation payoff is an
+    integer-valued float far below 2**24, or ``±inf``, so the round trip is
+    exact — the same contract as the columnar census store); endpoint
+    indices are int32.  Requires NumPy.
+    """
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "batch_delta_columns requires NumPy; use "
+            "repro.costmodels.weighted_stability_profile per graph instead"
+        )
+    np = _np
+    results = batch_stability_deltas(
+        graphs, oracle=oracle, use_orbits=use_orbits, return_totals=True
+    )
+    num_edges: List[int] = []
+    dist_total: List[float] = []
+    rem_delta: List[float] = []
+    rem_pay: List[int] = []
+    rem_other: List[int] = []
+    rem_counts: List[int] = []
+    add_s_u: List[float] = []
+    add_s_v: List[float] = []
+    add_u: List[int] = []
+    add_v: List[int] = []
+    add_counts: List[int] = []
+    for graph, ((removal, addition), total) in zip(graphs, results):
+        num_edges.append(graph.num_edges)
+        dist_total.append(float(total))
+        edges = graph.sorted_edges()
+        for (u, v) in edges:
+            rem_pay.append(u)
+            rem_other.append(v)
+            rem_delta.append(removal[((u, v), u)])
+            rem_pay.append(v)
+            rem_other.append(u)
+            rem_delta.append(removal[((u, v), v)])
+        rem_counts.append(2 * len(edges))
+        non_edges = graph.non_edges()
+        for (u, v) in non_edges:
+            add_u.append(u)
+            add_v.append(v)
+            add_s_u.append(addition[((u, v), u)])
+            add_s_v.append(addition[((u, v), v)])
+        add_counts.append(len(non_edges))
+
+    def indptr(counts: List[int]):
+        out = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=out[1:])
+        return out
+
+    return {
+        "num_edges": np.asarray(num_edges, dtype=np.int32),
+        "dist_total": np.asarray(dist_total, dtype=np.float64),
+        "rem_delta": np.asarray(rem_delta, dtype=np.float32),
+        "rem_pay": np.asarray(rem_pay, dtype=np.int32),
+        "rem_other": np.asarray(rem_other, dtype=np.int32),
+        "rem_indptr": indptr(rem_counts),
+        "add_s_u": np.asarray(add_s_u, dtype=np.float32),
+        "add_s_v": np.asarray(add_s_v, dtype=np.float32),
+        "add_u": np.asarray(add_u, dtype=np.int32),
+        "add_v": np.asarray(add_v, dtype=np.int32),
+        "add_indptr": indptr(add_counts),
+    }
+
+
 def batch_weighted_columns(
     graphs: Sequence[Graph],
     weight_matrix: Sequence[Sequence[float]],
@@ -244,11 +333,10 @@ def batch_weighted_columns(
     per-probe comparisons the scalar censuses ask per ``α`` — except every
     probe carries its own coefficient ``w`` from ``weight_matrix``
     (``weight_matrix[payer][other]`` is the price the paying endpoint faces
-    for the pair).  This function runs the existing boolean-matmul delta
-    tensorisation (:func:`batch_stability_deltas`) once for the whole batch
-    and pairs every deviation payoff with its coefficient, emitting ragged
-    CSR columns ready for the weighted grid kernels in
-    :mod:`repro.engine.columnar`:
+    for the pair).  Implemented as :func:`batch_delta_columns` (one delta
+    tensorisation pass, model-independent) plus a dense coefficient gather
+    at the stored endpoint indices, emitting ragged CSR columns ready for
+    the weighted grid kernels in :mod:`repro.engine.columnar`:
 
     * ``rem_w, rem_delta, rem_indptr`` — one entry per (edge, endpoint)
       removal probe, two per edge in ``sorted_edges`` order (endpoint ``u``
@@ -258,10 +346,12 @@ def batch_weighted_columns(
       addition saving);
     * ``num_edges, dist_total`` — dense per-graph columns for aggregates.
 
-    All value columns are float64 (weights are arbitrary user floats; no
-    float32 narrowing).  Requires NumPy, like the columnar kernels that
-    consume the output; the per-graph fallback for NumPy-less environments
-    is :class:`repro.costmodels.stability.WeightedStabilityProfile`.
+    All emitted value columns are float64 (weights are arbitrary user
+    floats; the float32 Δ storage of the delta pass is upcast exactly —
+    every payoff is an integer-valued float or ``±inf``).  Requires NumPy,
+    like the columnar kernels that consume the output; the per-graph
+    fallback for NumPy-less environments is
+    :class:`repro.costmodels.stability.WeightedStabilityProfile`.
     """
     if _np is None:  # pragma: no cover - exercised only on minimal installs
         raise RuntimeError(
@@ -270,53 +360,21 @@ def batch_weighted_columns(
         )
     np = _np
     validate_weight_matrix(weight_matrix)
-    results = batch_stability_deltas(
-        graphs, oracle=oracle, use_orbits=use_orbits, return_totals=True
-    )
-    num_edges: List[int] = []
-    dist_total: List[float] = []
-    rem_w: List[float] = []
-    rem_delta: List[float] = []
-    rem_counts: List[int] = []
-    add_w_u: List[float] = []
-    add_s_u: List[float] = []
-    add_w_v: List[float] = []
-    add_s_v: List[float] = []
-    add_counts: List[int] = []
-    for graph, ((removal, addition), total) in zip(graphs, results):
-        num_edges.append(graph.num_edges)
-        dist_total.append(float(total))
-        edges = graph.sorted_edges()
-        for (u, v) in edges:
-            rem_w.append(weight_matrix[u][v])
-            rem_delta.append(removal[((u, v), u)])
-            rem_w.append(weight_matrix[v][u])
-            rem_delta.append(removal[((u, v), v)])
-        rem_counts.append(2 * len(edges))
-        non_edges = graph.non_edges()
-        for (u, v) in non_edges:
-            add_w_u.append(weight_matrix[u][v])
-            add_s_u.append(addition[((u, v), u)])
-            add_w_v.append(weight_matrix[v][u])
-            add_s_v.append(addition[((u, v), v)])
-        add_counts.append(len(non_edges))
-
-    def indptr(counts: List[int]):
-        out = np.zeros(len(counts) + 1, dtype=np.int64)
-        np.cumsum(np.asarray(counts, dtype=np.int64), out=out[1:])
-        return out
-
+    columns = batch_delta_columns(graphs, oracle=oracle, use_orbits=use_orbits)
+    # reshape keeps the n = 0 edge case indexable (asarray([]) is 1-D).
+    players = len(weight_matrix)
+    matrix = np.asarray(weight_matrix, dtype=np.float64).reshape(players, players)
     return {
-        "num_edges": np.asarray(num_edges, dtype=np.int32),
-        "dist_total": np.asarray(dist_total, dtype=np.float64),
-        "rem_w": np.asarray(rem_w, dtype=np.float64),
-        "rem_delta": np.asarray(rem_delta, dtype=np.float64),
-        "rem_indptr": indptr(rem_counts),
-        "add_w_u": np.asarray(add_w_u, dtype=np.float64),
-        "add_s_u": np.asarray(add_s_u, dtype=np.float64),
-        "add_w_v": np.asarray(add_w_v, dtype=np.float64),
-        "add_s_v": np.asarray(add_s_v, dtype=np.float64),
-        "add_indptr": indptr(add_counts),
+        "num_edges": columns["num_edges"],
+        "dist_total": columns["dist_total"],
+        "rem_w": matrix[columns["rem_pay"], columns["rem_other"]],
+        "rem_delta": columns["rem_delta"].astype(np.float64),
+        "rem_indptr": columns["rem_indptr"],
+        "add_w_u": matrix[columns["add_u"], columns["add_v"]],
+        "add_s_u": columns["add_s_u"].astype(np.float64),
+        "add_w_v": matrix[columns["add_v"], columns["add_u"]],
+        "add_s_v": columns["add_s_v"].astype(np.float64),
+        "add_indptr": columns["add_indptr"],
     }
 
 

@@ -291,6 +291,142 @@ def weighted_stability_windows(
     return t_min, t_max
 
 
+def _segment_any_stack(flags, indptr):
+    """OR-reduce a ``(K, P)`` boolean stack over CSR segments of axis 1.
+
+    The K-row counterpart of :func:`segment_any`: segment ``i`` of every row
+    is ``flags[:, indptr[i]:indptr[i+1]]`` and the result is
+    ``bool[K, n_segments]`` (empty segments → ``False``).
+    """
+    np = _require_numpy()
+    counts = np.diff(indptr)
+    rows = flags.shape[0]
+    out = np.zeros((rows, counts.shape[0]), dtype=bool)
+    if flags.shape[1] == 0 or counts.shape[0] == 0:
+        return out
+    nonempty = counts > 0
+    reduced = np.logical_or.reduceat(flags, indptr[:-1][nonempty], axis=1)
+    out[:, nonempty] = reduced
+    return out
+
+
+def _segment_reduce_stack(values, indptr, ufunc, empty: float):
+    np = _require_numpy()
+    counts = np.diff(indptr)
+    rows = values.shape[0]
+    out = np.full((rows, counts.shape[0]), empty, dtype=np.float64)
+    if values.shape[1] == 0 or counts.shape[0] == 0:
+        return out
+    values = values.astype(np.float64, copy=False)
+    nonempty = counts > 0
+    reduced = ufunc.reduceat(values, indptr[:-1][nonempty], axis=1)
+    out[:, nonempty] = reduced
+    return out
+
+
+def stacked_weight_columns(weight_matrices, rem_pay, rem_other, add_u, add_v):
+    """Gather per-draw probe coefficients into dense ``(K, P)`` weight stacks.
+
+    ``weight_matrices`` is a ``(K, n, n)`` stack of dense coefficient
+    matrices (one per draw, each a ``CostModel.coefficient_matrix``);
+    ``rem_pay``/``rem_other`` index the paying and receiving endpoint of
+    every removal probe and ``add_u``/``add_v`` the endpoints of every
+    addition probe (the :class:`~repro.analysis.delta_store.DeltaStore`
+    endpoint columns).  Returns
+    ``(rem_w[K, P_rem], add_w_u[K, P_add], add_w_v[K, P_add])`` — exactly
+    the coefficient columns :func:`repro.engine.batch.batch_weighted_columns`
+    would emit for each draw, gathered in one fancy-indexing pass instead of
+    K per-draw Python assembly loops.
+    """
+    np = _require_numpy()
+    stack = np.asarray(weight_matrices, dtype=np.float64)
+    if stack.ndim == 2:
+        stack = stack[None, :, :]
+    if stack.ndim != 3 or stack.shape[1] != stack.shape[2]:
+        raise ValueError(
+            "weight_matrices must be a (K, n, n) stack of square matrices, "
+            f"got shape {stack.shape}"
+        )
+    rem_pay = np.asarray(rem_pay, dtype=np.intp)
+    rem_other = np.asarray(rem_other, dtype=np.intp)
+    add_u = np.asarray(add_u, dtype=np.intp)
+    add_v = np.asarray(add_v, dtype=np.intp)
+    rem_w = stack[:, rem_pay, rem_other]
+    add_w_u = stack[:, add_u, add_v]
+    add_w_v = stack[:, add_v, add_u]
+    return rem_w, add_w_u, add_w_v
+
+
+def weighted_bcg_stable_mask_multi(
+    rem_delta, rem_indptr, add_s_u, add_s_v, add_indptr,
+    rem_w, add_w_u, add_w_v,
+    ts,
+):
+    """Weighted pairwise stability of K draws × all classes × a ``t`` grid.
+
+    The multi-draw counterpart of :func:`weighted_bcg_stable_mask`: the
+    Δdist columns (``rem_delta``, ``add_s_u``, ``add_s_v``) are shared by
+    every draw (they depend only on topology), while each draw brings its
+    own ``(K, P)`` coefficient stacks from :func:`stacked_weight_columns`.
+    Every comparison is the *same elementwise float64 expression* as the
+    per-draw kernel — broadcasting over the K axis adds no arithmetic — so
+    row ``k`` of the result is bit-identical to calling
+    :func:`weighted_bcg_stable_mask` with draw ``k``'s columns.
+
+    Returns ``bool[K, n_classes, n_ts]``.
+    """
+    np = _require_numpy()
+    _check_weight_columns(rem_w, add_w_u, add_w_v)
+    rem_w = np.asarray(rem_w).astype(np.float64, copy=False)
+    w_u = np.asarray(add_w_u).astype(np.float64, copy=False)
+    w_v = np.asarray(add_w_v).astype(np.float64, copy=False)
+    rem_delta = np.asarray(rem_delta).astype(np.float64, copy=False)[None, :]
+    s_u = np.asarray(add_s_u).astype(np.float64, copy=False)[None, :]
+    s_v = np.asarray(add_s_v).astype(np.float64, copy=False)[None, :]
+    t_list = [float(t) for t in ts]
+    draws = rem_w.shape[0]
+    n_classes = rem_indptr.shape[0] - 1
+    out = np.empty((draws, n_classes, len(t_list)), dtype=bool)
+    for column, t in enumerate(t_list):
+        severs = _segment_any_stack(rem_delta < t * rem_w - BCG_TOL, rem_indptr)
+        adds = _segment_any_stack(
+            ((s_u > t * w_u + BCG_TOL) & (s_v >= t * w_v - BCG_TOL))
+            | ((s_v > t * w_v + BCG_TOL) & (s_u >= t * w_u - BCG_TOL)),
+            add_indptr,
+        )
+        np.logical_not(severs | adds, out=out[:, :, column])
+    return out
+
+
+def weighted_stability_windows_multi(
+    rem_delta, rem_indptr, add_s_u, add_s_v, add_indptr,
+    rem_w, add_w_u, add_w_v,
+):
+    """Per-class weighted windows ``(t_min, t_max)`` for K draws at once.
+
+    The multi-draw counterpart of :func:`weighted_stability_windows` over
+    shared Δdist columns and ``(K, P)`` coefficient stacks; row ``k`` is
+    bit-identical to the per-draw kernel on draw ``k``'s columns (same
+    elementwise divisions, same ``reduceat`` reductions — min/max are
+    order-insensitive).  Returns ``(t_min[K, C], t_max[K, C])``.
+    """
+    np = _require_numpy()
+    _check_weight_columns(rem_w, add_w_u, add_w_v)
+    rem_w = np.asarray(rem_w).astype(np.float64, copy=False)
+    rem_delta = np.asarray(rem_delta).astype(np.float64, copy=False)[None, :]
+    t_max = _segment_reduce_stack(
+        rem_delta / rem_w, rem_indptr, np.minimum, float("inf")
+    )
+    ratio = np.minimum(
+        np.asarray(add_s_u).astype(np.float64, copy=False)[None, :]
+        / np.asarray(add_w_u).astype(np.float64, copy=False),
+        np.asarray(add_s_v).astype(np.float64, copy=False)[None, :]
+        / np.asarray(add_w_v).astype(np.float64, copy=False),
+    )
+    t_min = np.maximum(_segment_reduce_stack(ratio, add_indptr, np.maximum, 0.0), 0.0)
+    return t_min, t_max
+
+
 def stability_windows(rem_min, add_lo, add_indptr):
     """Per-class Lemma 2 windows ``(α_min, α_max)`` from the columns.
 

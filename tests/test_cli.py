@@ -113,3 +113,76 @@ def test_scenarios_parser_has_expected_flags():
 def test_scenarios_dispatch_from_main(capsys):
     assert main(["scenarios", "--list"]) == 0
     assert "line_metric" in capsys.readouterr().out
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="the ensemble subcommand requires NumPy",
+)
+class TestEnsembleSubcommand:
+
+    def test_summary_reports_resume_tally(self, capsys):
+        assert main(
+            ["ensemble", "--n", "4", "--draws", "3", "--grid", "4"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "3 draws" in output
+        assert "resumed 0, computed 3" in output
+
+    def test_delta_cache_flag_builds_then_reuses(self, capsys, tmp_path):
+        cache = str(tmp_path / "deltas")
+        argv = [
+            "ensemble", "--n", "4", "--draws", "2", "--grid", "4",
+            "--delta-cache", cache,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert f"delta cache: {cache}" in first
+        import os
+
+        assert os.path.isdir(cache)
+        stamp = os.path.getmtime(os.path.join(cache, "meta.json"))
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert os.path.getmtime(os.path.join(cache, "meta.json")) == stamp
+
+    def test_batch_draws_flag_changes_nothing(self, capsys):
+        assert main(
+            ["ensemble", "--n", "4", "--draws", "4", "--grid", "4",
+             "--batch-draws", "1"]
+        ) == 0
+        small = capsys.readouterr().out
+        assert main(
+            ["ensemble", "--n", "4", "--draws", "4", "--grid", "4",
+             "--batch-draws", "4"]
+        ) == 0
+        large = capsys.readouterr().out
+        assert small == large
+
+    def test_rejects_bad_batch_draws(self, capsys):
+        assert main(
+            ["ensemble", "--n", "4", "--draws", "2", "--batch-draws", "0"]
+        ) == 2
+        assert "--batch-draws" in capsys.readouterr().err
+
+    def test_save_dir_resume_summary(self, capsys, tmp_path):
+        save_dir = str(tmp_path / "draws")
+        argv = [
+            "ensemble", "--n", "4", "--draws", "2", "--grid", "4",
+            "--save-dir", save_dir,
+        ]
+        assert main(argv) == 0
+        assert "resumed 0, computed 2" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "resumed 2, computed 0" in capsys.readouterr().out
+
+    def test_census_save_deltas(self, capsys, tmp_path):
+        path = str(tmp_path / "deltas_n4.npz")
+        assert main(
+            ["census", "--n", "4", "--no-ucg", "--save-deltas", path]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "delta artifact" in output and f"saved to {path}" in output
+        from repro.analysis.delta_store import DeltaStore
+
+        assert len(DeltaStore.load(path)) == 6

@@ -1,0 +1,271 @@
+"""DeltaStore: stacked-kernel parity, persistence, sharded resume, caching.
+
+The load-bearing contract is float-exactness: the model-independent delta
+artifact plus a coefficient gather must reproduce the per-draw weighted
+kernels bit for bit, for every connected class and every registry scenario
+— otherwise amortised ensembles would silently drift from the per-draw
+path they claim to accelerate.
+"""
+
+import os
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.delta_store import (
+    DeltaStore,
+    _load_shard_if_valid,
+    cached_delta_store,
+)
+from repro.analysis.scenarios import SCENARIOS, build_scenario, default_t_grid
+from repro.analysis.store import clear_store_cache
+from repro.analysis.weighted_store import WeightedStore
+from repro.engine.columnar import (
+    weighted_bcg_stable_mask,
+    weighted_stability_windows,
+)
+
+
+def scenario_models(n, seed=7):
+    """Every registry scenario valid at this n (some need larger cores)."""
+    out = []
+    for name in sorted(SCENARIOS):
+        try:
+            out.append(build_scenario(name, n, seed=seed))
+        except ValueError:
+            continue
+    return out
+
+
+def probe_columns(store: WeightedStore):
+    return (
+        store.rem_w, store.rem_delta, store.rem_indptr,
+        store.add_w_u, store.add_s_u, store.add_w_v, store.add_s_v,
+        store.add_indptr,
+    )
+
+
+class TestStackedKernelParity:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_multi_kernels_match_per_draw_all_scenarios(self, n):
+        """Satellite acceptance: float-exact parity for every class n <= 6."""
+        delta = DeltaStore.build(n)
+        scenarios = scenario_models(n)
+        assert scenarios, "registry produced no valid scenarios"
+        matrices = [sc.model.coefficient_matrix(n) for sc in scenarios]
+        ts = default_t_grid(n, 7)
+
+        mask_multi = delta.stable_mask_multi(matrices, ts)
+        counts_multi = delta.stable_counts_multi(matrices, ts)
+        t_min_multi, t_max_multi = delta.stability_windows_multi(matrices)
+
+        for k, scenario in enumerate(scenarios):
+            store = WeightedStore.from_scenario(scenario)
+            columns = probe_columns(store)
+            mask = weighted_bcg_stable_mask(*columns, ts)
+            t_min, t_max = weighted_stability_windows(*columns)
+            assert np.array_equal(mask_multi[k], mask), scenario.name
+            assert np.array_equal(
+                counts_multi[k], np.asarray(store.stable_counts(ts))
+            ), scenario.name
+            # Window endpoints must agree bit for bit, infs included.
+            assert np.array_equal(t_min_multi[k], t_min), scenario.name
+            assert np.array_equal(t_max_multi[k], t_max), scenario.name
+
+    def test_single_matrix_accepted_as_stack_of_one(self):
+        delta = DeltaStore.build(4)
+        scenario = build_scenario("random_weights", 4, seed=3)
+        matrix = scenario.model.coefficient_matrix(4)
+        ts = default_t_grid(4, 5)
+        one = delta.stable_counts_multi(matrix, ts)
+        many = delta.stable_counts_multi([matrix], ts)
+        assert one.shape == (1, len(ts))
+        assert np.array_equal(one, many)
+
+
+class TestFromDelta:
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_from_delta_is_column_exact(self, n):
+        delta = DeltaStore.build(n)
+        for scenario in scenario_models(n):
+            direct = WeightedStore.from_scenario(scenario)
+            gathered = WeightedStore.from_delta(
+                delta, scenario.model, scenario_params=dict(scenario.params)
+            )
+            for column in (
+                "num_edges", "dist_total", "edge_cost_total", "cert_words",
+                "rem_w", "rem_delta", "rem_indptr",
+                "add_w_u", "add_s_u", "add_w_v", "add_s_v", "add_indptr",
+            ):
+                assert np.array_equal(
+                    np.asarray(getattr(direct, column)),
+                    np.asarray(getattr(gathered, column)),
+                ), (scenario.name, column)
+            assert np.array_equal(direct.weight_matrix, gathered.weight_matrix)
+            assert direct.scenario_params == gathered.scenario_params
+
+    def test_from_delta_artifact_round_trips(self, tmp_path):
+        """A gathered store saves/loads like a built one (same schema)."""
+        delta = DeltaStore.build(4)
+        scenario = build_scenario("two_tier_isp", 4, seed=0)
+        store = WeightedStore.from_delta(
+            delta, scenario.model, scenario_params=dict(scenario.params)
+        )
+        path = store.save(str(tmp_path / "draw.npz"))
+        loaded = WeightedStore.load(path)
+        assert loaded.scenario_params == scenario.params
+        ts = default_t_grid(4, 5)
+        assert loaded.stable_counts(ts) == store.stable_counts(ts)
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, tmp_path):
+        delta = DeltaStore.build(5)
+        path = delta.save(str(tmp_path / "deltas.npz"))
+        loaded = DeltaStore.load(path)
+        for column in (
+            "num_edges", "dist_total", "cert_words",
+            "rem_delta", "rem_pay", "rem_other", "rem_indptr",
+            "add_s_u", "add_s_v", "add_u", "add_v", "add_indptr",
+        ):
+            assert np.array_equal(
+                getattr(loaded, column), getattr(delta, column)
+            ), column
+
+    def test_dir_round_trip_with_mmap(self, tmp_path):
+        delta = DeltaStore.build(5)
+        path = delta.save(str(tmp_path / "deltas"), format="dir")
+        assert os.path.isdir(path)
+        loaded = DeltaStore.load(path, mmap=True)
+        scenario = build_scenario("random_weights", 5, seed=2)
+        ts = default_t_grid(5, 6)
+        matrix = scenario.model.coefficient_matrix(5)
+        assert np.array_equal(
+            loaded.stable_counts_multi([matrix], ts),
+            delta.stable_counts_multi([matrix], ts),
+        )
+
+    def test_mmap_rejected_for_npz(self, tmp_path):
+        delta = DeltaStore.build(3)
+        path = delta.save(str(tmp_path / "deltas.npz"))
+        with pytest.raises(ValueError):
+            DeltaStore.load(path, mmap=True)
+
+    def test_rejects_foreign_artifact(self, tmp_path):
+        """A weighted-store artifact at the path is refused, not mis-read."""
+        scenario = build_scenario("random_weights", 4, seed=0)
+        foreign = WeightedStore.from_scenario(scenario)
+        path = foreign.save(str(tmp_path / "other.npz"))
+        with pytest.raises(ValueError):
+            DeltaStore.load(path)
+
+    def test_graph_at_decodes_certificates(self):
+        delta = DeltaStore.build(4)
+        graphs = [delta.graph_at(i) for i in range(len(delta))]
+        assert sorted(g.num_edges for g in graphs) == sorted(
+            int(m) for m in delta.num_edges
+        )
+        assert all(g.n == 4 for g in graphs)
+
+
+class TestStreamedBuild:
+    def test_streamed_equals_build(self):
+        direct = DeltaStore.build(5)
+        streamed = DeltaStore.build_streamed(5)
+        for column in (
+            "num_edges", "dist_total", "cert_words",
+            "rem_delta", "rem_pay", "rem_other", "rem_indptr",
+            "add_s_u", "add_s_v", "add_u", "add_v", "add_indptr",
+        ):
+            assert np.array_equal(
+                getattr(streamed, column), getattr(direct, column)
+            ), column
+
+    def test_shard_resume_recomputes_corrupt_shard(self, tmp_path):
+        shard_dir = str(tmp_path / "shards")
+        first = DeltaStore.build_streamed(5, shard_dir=shard_dir)
+        shards = sorted(
+            f for f in os.listdir(shard_dir) if f.startswith("dshard_")
+        )
+        assert shards
+        # Crash-truncated shard: silently recomputed on resume.
+        victim = os.path.join(shard_dir, shards[0])
+        with open(victim, "rb") as handle:
+            payload = handle.read()
+        with open(victim, "wb") as handle:
+            handle.write(payload[:40])  # truncate mid-archive
+        assert _load_shard_if_valid(victim, 5) is None
+        second = DeltaStore.build_streamed(5, shard_dir=shard_dir)
+        assert np.array_equal(first.rem_delta, second.rem_delta)
+        assert np.array_equal(first.cert_words, second.cert_words)
+
+    def test_shard_dir_bound_to_n(self, tmp_path):
+        """A readable shard from another n raises instead of merging."""
+        shard_dir = str(tmp_path / "shards")
+        DeltaStore.build_streamed(4, shard_dir=shard_dir, shard_level=2)
+        with pytest.raises(ValueError):
+            DeltaStore.build_streamed(5, shard_dir=shard_dir, shard_level=2)
+
+
+class TestCachedDeltaStore:
+    def setup_method(self):
+        clear_store_cache()
+
+    def teardown_method(self):
+        clear_store_cache()
+
+    def test_build_cache_hit(self):
+        first = cached_delta_store(n=4)
+        second = cached_delta_store(n=4)
+        assert first is second
+
+    def test_load_cache_hit_and_stamp_invalidation(self, tmp_path):
+        delta = DeltaStore.build(4)
+        path = str(tmp_path / "deltas.npz")
+        delta.save(path)
+        first = cached_delta_store(path=path)
+        assert cached_delta_store(path=path) is first
+        # Rewriting the artifact changes the (mtime_ns, size) stamp.
+        DeltaStore.build(4).save(path)
+        os.utime(path, ns=(1, 1))
+        assert cached_delta_store(path=path) is not first
+
+    def test_requires_exactly_one_of_n_and_path(self, tmp_path):
+        with pytest.raises(ValueError):
+            cached_delta_store()
+        with pytest.raises(ValueError):
+            cached_delta_store(n=4, path=str(tmp_path / "x.npz"))
+
+    def test_shares_budget_with_census_cache(self):
+        """Delta entries live in the same LRU as cached_store entries."""
+        from repro.analysis import store as store_module
+
+        cached_delta_store(n=3)
+        assert any(
+            key[0] == "delta-build" for key in store_module._STORE_CACHE
+        )
+
+
+class TestOrdering:
+    def test_sort_canonical_is_identity_on_built_store(self):
+        delta = DeltaStore.build(5)
+        sorted_store = delta.sort_canonical()
+        for column in ("num_edges", "cert_words", "rem_delta", "rem_indptr"):
+            assert np.array_equal(
+                getattr(sorted_store, column), getattr(delta, column)
+            ), column
+
+    def test_permute_round_trip(self):
+        delta = DeltaStore.build(4)
+        order = np.arange(len(delta))[::-1].copy()
+        reversed_store = delta.permute(order)
+        restored = reversed_store.permute(order)
+        for column in (
+            "num_edges", "dist_total", "cert_words",
+            "rem_delta", "rem_pay", "rem_other", "rem_indptr",
+            "add_s_u", "add_s_v", "add_u", "add_v", "add_indptr",
+        ):
+            assert np.array_equal(
+                getattr(restored, column), getattr(delta, column)
+            ), column

@@ -37,7 +37,7 @@ def assert_results_equal(a: EnsembleResult, b: EnsembleResult):
     assert (a.scenario, a.n, a.draws, a.seeds, a.ts) == (
         b.scenario, b.n, b.draws, b.seeds, b.ts,
     )
-    assert a.counts == b.counts
+    assert np.array_equal(a.counts, b.counts)
     assert_stats_equal(a.count_stats, b.count_stats)
     assert_stats_equal(a.t_min_stats, b.t_min_stats)
     assert_stats_equal(a.t_max_stats, b.t_max_stats)
@@ -96,7 +96,9 @@ class TestDeterminism:
         for k, draw_seed in enumerate(result.seeds):
             scenario = build_scenario("random_weights", 5, seed=draw_seed)
             store = WeightedStore.from_scenario(scenario)
-            assert result.counts[k] == store.stable_counts(result.ts)
+            assert np.array_equal(
+                result.counts[k], np.asarray(store.stable_counts(result.ts))
+            )
 
     def test_extra_params_forwarded(self):
         narrow = run_ensemble(
@@ -104,8 +106,102 @@ class TestDeterminism:
             params={"low": 1.0, "high": 1.0 + 1e-9},
         )
         # With an (almost) uniform draw distribution both draws coincide.
-        assert narrow.counts[0] == narrow.counts[1]
+        assert np.array_equal(narrow.counts[0], narrow.counts[1])
         assert narrow.params == {"low": 1.0, "high": 1.0 + 1e-9}
+
+
+class TestAmortisedPath:
+    def test_serial_pooled_batched_all_identical(self):
+        """Satellite acceptance: serial ≡ pooled ≡ batched, any batch size."""
+        reference = run_ensemble(
+            "random_weights", n=5, draws=8, seed=1, grid=5, jobs=1, batch_draws=1
+        )
+        for jobs, batch_draws in ((1, 3), (1, 8), (4, 3), (4, 8)):
+            other = run_ensemble(
+                "random_weights", n=5, draws=8, seed=1, grid=5,
+                jobs=jobs, batch_draws=batch_draws,
+            )
+            assert_results_equal(reference, other)
+
+    def test_counts_is_int64_ndarray(self):
+        result = run_ensemble("random_weights", n=4, draws=3, seed=0, grid=4)
+        assert isinstance(result.counts, np.ndarray)
+        assert result.counts.dtype == np.int64
+        assert result.counts.shape == (3, 4)
+        # ...and round-trips through a raw buffer unchanged.
+        restored = np.frombuffer(
+            result.counts.tobytes(), dtype=np.int64
+        ).reshape(result.counts.shape)
+        assert np.array_equal(restored, result.counts)
+
+    def test_explicit_delta_store_reused(self):
+        from repro.analysis.delta_store import DeltaStore
+
+        delta = DeltaStore.build(5)
+        with_delta = run_ensemble(
+            "random_weights", n=5, draws=4, seed=3, grid=5, delta=delta
+        )
+        without = run_ensemble("random_weights", n=5, draws=4, seed=3, grid=5)
+        assert_results_equal(with_delta, without)
+
+    def test_delta_store_n_mismatch_raises(self):
+        from repro.analysis.delta_store import DeltaStore
+
+        with pytest.raises(ValueError):
+            run_ensemble(
+                "random_weights", n=5, draws=2, delta=DeltaStore.build(4)
+            )
+
+    def test_delta_cache_written_then_mmapped(self, tmp_path):
+        from repro.analysis.delta_store import DeltaStore
+
+        cache = str(tmp_path / "deltas")
+        first = run_ensemble(
+            "random_weights", n=5, draws=3, seed=0, grid=5, delta_cache=cache
+        )
+        assert os.path.isdir(cache)
+        DeltaStore.load(cache, mmap=True)  # valid mmap-able dir artifact
+        stamp = os.path.getmtime(os.path.join(cache, "meta.json"))
+        second = run_ensemble(
+            "random_weights", n=5, draws=3, seed=0, grid=5, delta_cache=cache
+        )
+        assert_results_equal(first, second)
+        assert os.path.getmtime(os.path.join(cache, "meta.json")) == stamp
+
+    def test_streamed_window_stats_regimes(self):
+        """Past the exact buffer: counts/moments exact, quantiles sketched."""
+        exact = run_ensemble(
+            "random_weights", n=4, draws=12, seed=0, grid=4,
+            window_exact_buffer=64,
+        )
+        streamed = run_ensemble(
+            "random_weights", n=4, draws=12, seed=0, grid=4,
+            window_exact_buffer=4,
+        )
+        assert np.array_equal(exact.counts, streamed.counts)
+        assert_stats_equal(exact.count_stats, streamed.count_stats)
+        for key in ("mean", "min", "max"):
+            assert same_list(
+                exact.t_min_stats[key], streamed.t_min_stats[key]
+            ), key
+            assert same_list(
+                exact.t_max_stats[key], streamed.t_max_stats[key]
+            ), key
+        for stats_pair in (
+            (exact.t_min_stats, streamed.t_min_stats),
+            (exact.t_max_stats, streamed.t_max_stats),
+        ):
+            dense, sketch = stats_pair
+            for q in (0.25, 0.5, 0.75):
+                a = np.asarray(dense["quantiles"][q])
+                b = np.asarray(sketch["quantiles"][q])
+                finite = np.isfinite(a) & np.isfinite(b)
+                assert np.isnan(a).sum() == np.isnan(b).sum()
+                assert np.allclose(a[finite], b[finite], atol=2.0), q
+
+    def test_rejects_bad_batch_draws(self):
+        with pytest.raises(ValueError):
+            run_ensemble("random_weights", n=4, draws=2, batch_draws=0)
 
 
 class TestArtifacts:
@@ -162,3 +258,37 @@ class TestArtifacts:
     def test_rejects_zero_draws(self):
         with pytest.raises(ValueError):
             run_ensemble("random_weights", n=4, draws=0)
+
+    def test_resume_tallies_are_audited(self, tmp_path):
+        """Satellite acceptance: resumed/recomputed surface on the result."""
+        save_dir = str(tmp_path / "draws")
+        first = run_ensemble(
+            "random_weights", n=5, draws=4, seed=2, grid=5, save_dir=save_dir
+        )
+        assert (first.resumed, first.recomputed) == (0, 4)
+        second = run_ensemble(
+            "random_weights", n=5, draws=4, seed=2, grid=5, save_dir=save_dir
+        )
+        assert (second.resumed, second.recomputed) == (4, 0)
+        # Without save_dir everything is computed fresh.
+        ephemeral = run_ensemble("random_weights", n=5, draws=4, seed=2, grid=5)
+        assert (ephemeral.resumed, ephemeral.recomputed) == (0, 4)
+
+    def test_resume_after_corrupt_artifact(self, tmp_path):
+        """Satellite acceptance: a torn artifact is recomputed, not fatal."""
+        save_dir = str(tmp_path / "draws")
+        reference = run_ensemble(
+            "random_weights", n=5, draws=3, seed=2, grid=5, save_dir=save_dir
+        )
+        victim = reference.artifact_paths[1]
+        with open(victim, "rb") as handle:
+            payload = handle.read()
+        with open(victim, "wb") as handle:
+            handle.write(payload[:40])  # truncate mid-archive
+        again = run_ensemble(
+            "random_weights", n=5, draws=3, seed=2, grid=5, save_dir=save_dir
+        )
+        assert_results_equal(reference, again)
+        assert (again.resumed, again.recomputed) == (2, 1)
+        # The torn artifact was rewritten and loads cleanly now.
+        assert WeightedStore.load(victim).scenario_params["seed"] == 3
