@@ -48,7 +48,12 @@ repository root so future PRs have a perf trajectory to compare against:
   (delta build included), vs the PR-5 per-draw store-build path
   extrapolated from a measured prefix of the same seed sequence; the
   overlapping draws' counts are asserted bit-identical and the O(classes)
-  streaming aggregation state is recorded as the peak-memory proxy.
+  streaming aggregation state is recorded as the peak-memory proxy;
+* **shard runner** (schema v7) — the fault-tolerance tax of
+  :func:`repro.engine.run_shards` persistence: the n = 7 streamed census
+  built plain vs with checksummed shards + heartbeat manifest, plus the
+  warm-resume wall time; artifacts asserted bit-identical by content
+  checksum and the overhead ratio floored at <= 1.10x.
 
 The script exits non-zero if the engine census path fails the acceptance
 floor (>= 3x naive, serial), if canonical augmentation fails its floor
@@ -57,8 +62,9 @@ floor (>= 10x the per-record loop at n = 8), if the weighted scenario
 sweep fails its floor (>= 10x the per-graph Python loop at n = 7), if the
 weighted-store artifact query fails its floor (>= 10x recomputing the
 sweep at n = 8), if the amortised mega-ensemble fails its floor (>= 10x
-the per-draw store-build path at n = 7), or if mutation cost shows
-m-scaling again.
+the per-draw store-build path at n = 7), if checksummed shard persistence
+costs more than 10% over the plain streamed build, or if mutation cost
+shows m-scaling again.
 """
 
 from __future__ import annotations
@@ -768,6 +774,58 @@ def bench_store_mmap_fanout(jobs: int = 2) -> Dict[str, float]:
     }
 
 
+def bench_shard_runner() -> Dict[str, float]:
+    """The fault-tolerance tax: checksummed shards + manifest vs plain.
+
+    Both paths run the same :func:`repro.engine.run_shards` fan-out over
+    the n = 7 BCG census; the checksummed one additionally persists every
+    shard (sha256 content checksum + config fingerprint, atomic rename)
+    and heartbeats ``manifest.json``.  The three artifacts — plain,
+    checksummed, and a warm resume from the shard directory — are
+    asserted bit-identical by content checksum, and the overhead ratio
+    carries a <= 1.10x acceptance floor.
+    """
+    import tempfile
+
+    from repro.analysis.store import CensusStore
+    from repro.engine.shardwork import manifest_path
+
+    def build(**kwargs):
+        return CensusStore.build_streamed(7, include_ucg=False, **kwargs)
+
+    plain = build()
+    plain_s = _time(build, repeats=2)
+
+    checksummed_s = float("inf")
+    for _ in range(2):
+        with tempfile.TemporaryDirectory() as tmp:
+            shard_dir = os.path.join(tmp, "shards")
+            start = time.perf_counter()
+            checksummed = build(shard_dir=shard_dir)
+            checksummed_s = min(checksummed_s, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            resumed = build(shard_dir=shard_dir)
+            resume_s = time.perf_counter() - start
+            with open(manifest_path(shard_dir)) as handle:
+                manifest = json.load(handle)
+    assert (
+        plain.content_checksum()
+        == checksummed.content_checksum()
+        == resumed.content_checksum()
+    ), "checksummed/resumed artifacts diverged from the plain build"
+    assert manifest["resumed"] == manifest["total"], "warm resume recomputed shards"
+    return {
+        "classes": len(plain),
+        "shards": manifest["total"],
+        "plain_seconds": plain_s,
+        "checksummed_seconds": checksummed_s,
+        "resume_seconds": resume_s,
+        "overhead_ratio": checksummed_s / plain_s,
+        "checksums_identical": True,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # 4. Single-edge mutation must not scale with m
 # --------------------------------------------------------------------------- #
@@ -830,7 +888,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v6",
+        "schema": "bench_engine/v7",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -846,6 +904,7 @@ def main(argv=None) -> int:
         "ensemble": bench_ensemble(),
         "ensemble_amortised": bench_ensemble_amortised(),
         "census_store_mmap_fanout": bench_store_mmap_fanout(),
+        "shard_runner": bench_shard_runner(),
     }
     if args.n9:
         report["census_n9_bcg_streamed"] = bench_census_n9_streamed()
@@ -929,6 +988,14 @@ def main(argv=None) -> int:
         f"{fanout['workers']} workers {fanout['fanout_seconds']*1e3:.0f}ms "
         f"(counts identical)"
     )
+    shardrun = report["shard_runner"]
+    print(
+        f"shard runner:  n=7 plain {shardrun['plain_seconds']:.2f}s, "
+        f"checksummed+manifest {shardrun['checksummed_seconds']:.2f}s "
+        f"({shardrun['overhead_ratio']:.3f}x, floor 1.10x), warm resume "
+        f"{shardrun['resume_seconds']*1e3:.0f}ms "
+        f"({shardrun['shards']} shards, checksums identical)"
+    )
     if "census_n9_bcg_streamed" in report:
         census9 = report["census_n9_bcg_streamed"]
         print(
@@ -972,6 +1039,12 @@ def main(argv=None) -> int:
         failures.append(
             f"amortised ensemble speedup {amortised['speedup']:.1f}x at "
             f"n={amortised['n']} is below the 10x floor"
+        )
+    if shardrun["overhead_ratio"] > 1.10 and not args.report_only:
+        failures.append(
+            f"checksummed shard persistence costs "
+            f"{(shardrun['overhead_ratio'] - 1) * 100:.1f}% over the plain "
+            "streamed build (floor: 10%)"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

@@ -30,6 +30,7 @@ from ..engine import (
     get_default_oracle,
     parallel_map,
     resolve_jobs,
+    run_shards,
 )
 from ..graphs import (
     Graph,
@@ -143,10 +144,12 @@ class EquilibriumCensus:
         roots = enumerate_graphs(shard_level)
         chunks = chunk_evenly(roots, max(1, workers * 4))
         tasks = [(chunk, n, include_ucg, batch_size) for chunk in chunks]
+        # run_shards gives the record path the same crash-resilient fan-out
+        # as the columnar stores (no persistence: GraphRecord parts are not
+        # column dicts, and the store path owns the durable artifacts).
+        report = run_shards(_stream_chunk, tasks, jobs=jobs)
         records = [
-            record
-            for chunk_records in parallel_map(_stream_chunk, tasks, jobs=jobs)
-            for record in chunk_records
+            record for chunk_records in report.parts for record in chunk_records
         ]
         records.sort(key=lambda record: class_sort_key(record.graph))
         return cls(n=n, records=records, include_ucg=include_ucg)

@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import json
 import os
-import zipfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # NumPy backs every column; the store refuses to build without it.
@@ -46,13 +45,20 @@ try:  # NumPy backs every column; the store refuses to build without it.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
-from ..engine import chunk_evenly, parallel_map, resolve_jobs
+from ..engine import (
+    chunk_evenly,
+    content_checksum,
+    parallel_map,
+    resolve_jobs,
+    run_shards,
+)
 from ..engine.batch import batch_delta_columns
 from ..engine.oracle import DistanceOracle
 from ..engine.columnar import (
     canonical_sort_indices,
     certificate_to_graph,
     concat_csr,
+    csr_invariant_errors,
     gather_segments,
     pack_certificates,
     stacked_weight_columns,
@@ -139,6 +145,7 @@ class DeltaStore:
         self.add_u = add_u
         self.add_v = add_v
         self.add_indptr = add_indptr
+        self._artifact_checksum = None  # checksum stamped on the loaded artifact
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -170,16 +177,24 @@ class DeltaStore:
         shard_level: Optional[int] = None,
         batch_size: int = 512,
         shard_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        progress=None,
+        fault_plan=None,
     ) -> "DeltaStore":
         """Build the columns by streaming the canonical-augmentation tree.
 
         Same sharding scheme as the census/weighted stores (disjoint,
-        jointly exhaustive subtrees below level-``shard_level`` roots);
-        with ``shard_dir`` finished shards persist and an interrupted build
-        resumes.  Shards are bound to ``n`` only — delta columns are
-        model-independent, so one shard directory serves every cost model.
-        The merged store is sorted into canonical census order,
-        element-for-element identical to :meth:`build`.
+        jointly exhaustive subtrees below level-``shard_level`` roots); the
+        fan-out runs through :func:`repro.engine.run_shards`, so with
+        ``shard_dir`` finished shards persist checksummed and an
+        interrupted build resumes from every shard that verifies (corrupt
+        files recomputed, wrong-config shards rejected), with progress and
+        retry tallies in the directory's ``manifest.json``.  Shards are
+        fingerprinted on ``n`` only — delta columns are model-independent,
+        so one shard directory serves every cost model.  The merged store
+        is sorted into canonical census order, element-for-element
+        identical to :meth:`build`.
         """
         _require_numpy()
         if n < 0:
@@ -192,33 +207,24 @@ class DeltaStore:
         chunks = chunk_evenly(roots, max(1, workers * 4))
         tasks = [(chunk, n, batch_size) for chunk in chunks]
 
-        if shard_dir is None:
-            parts = parallel_map(_stream_delta_chunk, tasks, jobs=jobs)
-        else:
-            os.makedirs(shard_dir, exist_ok=True)
-            paths = [
-                os.path.join(
-                    shard_dir, f"dshard_{i:04d}_of_{len(tasks):04d}.npz"
-                )
-                for i in range(len(tasks))
-            ]
-            loaded: Dict[int, dict] = {}
-            missing: List[int] = []
-            for index, path in enumerate(paths):
-                part = _load_shard_if_valid(path, n)
-                if part is None:
-                    missing.append(index)
-                else:
-                    loaded[index] = part
-            computed = parallel_map(
-                _stream_delta_chunk, [tasks[i] for i in missing], jobs=jobs
-            )
-            for index, part in zip(missing, computed):
-                _save_shard(paths[index], part, n)
-                loaded[index] = part
-            parts = [loaded[index] for index in range(len(tasks))]
+        report = run_shards(
+            _stream_delta_chunk,
+            tasks,
+            jobs=jobs,
+            shard_dir=shard_dir,
+            prefix="dshard",
+            fingerprint={
+                "kind": SCHEMA,
+                "format_version": FORMAT_VERSION,
+                "n": int(n),
+            },
+            timeout=timeout,
+            max_retries=max_retries,
+            progress=progress,
+            fault_plan=fault_plan,
+        )
 
-        store = cls._from_parts(n, parts)
+        store = cls._from_parts(n, report.parts)
         return store.sort_canonical()
 
     @classmethod
@@ -324,6 +330,69 @@ class DeltaStore:
         """Resident bytes across every column."""
         return sum(array.nbytes for array in self._columns().values())
 
+    def content_checksum(self) -> str:
+        """sha256 over every column's name, dtype, shape and bytes."""
+        return content_checksum(self._columns())
+
+    def verify(self) -> Dict[str, object]:
+        """Audit the artifact: checksum + structural invariants.
+
+        Returns ``{"ok", "classes", "checksum", "errors"}`` (see
+        :meth:`CensusStore.verify <repro.analysis.store.CensusStore.verify>`
+        for the contract).  Structural checks: CSR layout of the probe
+        columns, per-class probe counts against the edge counts (two
+        ordered removal probes per edge, one addition probe per non-edge),
+        endpoint indices within ``[0, n)``, and finite distance totals.
+        """
+        np = _require_numpy()
+        classes = len(self)
+        errors: List[str] = []
+        errors += csr_invariant_errors(
+            "rem", self.rem_delta.shape[0], self.rem_indptr, classes
+        )
+        errors += csr_invariant_errors(
+            "add", self.add_s_u.shape[0], self.add_indptr, classes
+        )
+        for name in ("rem_pay", "rem_other"):
+            if getattr(self, name).shape != self.rem_delta.shape:
+                errors.append(f"rem: {name} and rem_delta lengths differ")
+        for name in ("add_s_v", "add_u", "add_v"):
+            if getattr(self, name).shape != self.add_s_u.shape:
+                errors.append(f"add: {name} and add_s_u lengths differ")
+        pairs = self.n * (self.n - 1) // 2
+        edges = np.asarray(self.num_edges, dtype=np.int64)
+        if classes:
+            if bool(np.any(edges < 0)) or bool(np.any(edges > pairs)):
+                errors.append(f"num_edges outside [0, {pairs}]")
+            elif not errors:
+                # Two ordered removal probes per edge (one per endpoint),
+                # one addition probe per unordered non-edge.
+                if bool(np.any(np.diff(self.rem_indptr) != 2 * edges)):
+                    errors.append("rem: per-class probe counts != 2*num_edges")
+                if bool(np.any(np.diff(self.add_indptr) != pairs - edges)):
+                    errors.append("add: per-class probe counts != non-edges")
+            if not bool(np.all(np.isfinite(np.asarray(self.dist_total)))):
+                errors.append("dist_total contains non-finite values")
+        for name in ("rem_pay", "rem_other", "add_u", "add_v"):
+            indices = np.asarray(getattr(self, name))
+            if indices.shape[0] and (
+                bool(np.any(indices < 0)) or bool(np.any(indices >= self.n))
+            ):
+                errors.append(f"{name}: endpoint indices outside [0, {self.n})")
+        if self._artifact_checksum is None:
+            checksum = "absent"
+        elif self.content_checksum() == self._artifact_checksum:
+            checksum = "ok"
+        else:
+            checksum = "mismatch"
+            errors.append("content checksum does not match the saved stamp")
+        return {
+            "ok": not errors,
+            "classes": classes,
+            "checksum": checksum,
+            "errors": errors,
+        }
+
     def summary(self) -> Dict[str, object]:
         """Artifact metadata (used by the CLI and the smoke scripts)."""
         return {
@@ -366,6 +435,7 @@ class DeltaStore:
             payload["schema"] = np.str_(SCHEMA)
             payload["format_version"] = np.int64(FORMAT_VERSION)
             payload["n"] = np.int64(self.n)
+            payload["checksum"] = np.str_(self.content_checksum())
             writer = np.savez_compressed if compress else np.savez
             writer(path, **payload)
             return path
@@ -376,6 +446,7 @@ class DeltaStore:
             "format_version": FORMAT_VERSION,
             "n": self.n,
             "columns": sorted(columns),
+            "checksum": self.content_checksum(),
         }
         with open(os.path.join(path, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2, sort_keys=True)
@@ -403,7 +474,9 @@ class DeltaStore:
                 )
                 for name in meta["columns"]
             }
-            return cls(n=meta["n"], **columns)
+            store = cls(n=meta["n"], **columns)
+            store._artifact_checksum = meta.get("checksum")
+            return store
         if mmap:
             raise ValueError(
                 "mmap loading requires the directory format; save with "
@@ -418,7 +491,10 @@ class DeltaStore:
             columns = {
                 name: data[name] for name in _DENSE_COLUMNS + _PROBE_COLUMNS
             }
-            return cls(n=int(data["n"]), **columns)
+            store = cls(n=int(data["n"]), **columns)
+            if "checksum" in data:
+                store._artifact_checksum = str(data["checksum"])
+            return store
 
     @staticmethod
     def _check_meta(schema: Optional[str], version: Optional[int], path: str) -> None:
@@ -523,50 +599,6 @@ def _stream_delta_chunk(task: Tuple) -> dict:
     if pending:
         flush()
     return _merge_parts(parts, n)
-
-
-def _save_shard(path: str, part: dict, n: int) -> None:
-    """Persist one shard atomically (write-then-rename, census-store style)."""
-    np = _require_numpy()
-    tmp_path = f"{path}.tmp.npz"
-    np.savez(
-        tmp_path,
-        shard_schema=np.str_(SCHEMA),
-        shard_n=np.int64(n),
-        **part,
-    )
-    os.replace(tmp_path, path)
-
-
-def _load_shard_if_valid(path: str, n: int) -> Optional[dict]:
-    """Load one persisted shard; ``None`` when it must be (re)computed.
-
-    Missing or unreadable (crash-truncated) shards are recomputed.  A
-    *readable* shard bound to a different ``n`` raises instead: shard names
-    encode only the chunk index/count, so a reused directory would
-    otherwise merge silently into a corrupt artifact.
-    """
-    np = _require_numpy()
-    if not os.path.exists(path):
-        return None
-    try:
-        with np.load(path, allow_pickle=False) as data:
-            if (
-                "shard_schema" not in data
-                or str(data["shard_schema"]) != SCHEMA
-                or int(data["shard_n"]) != n
-            ):
-                raise ValueError(
-                    f"{path!r} is not a shard of the n = {n} delta build; "
-                    "use a fresh shard_dir per n"
-                )
-            return {
-                name: data[name]
-                for name in data.files
-                if not name.startswith("shard_")
-            }
-    except (zipfile.BadZipFile, EOFError, OSError, KeyError):
-        return None
 
 
 # --------------------------------------------------------------------------- #

@@ -46,7 +46,7 @@ try:  # NumPy backs the stacked kernels and the streaming aggregation.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     np = None
 
-from ..engine import parallel_map, resolve_jobs
+from ..engine import run_shards
 from ..engine.columnar import ensemble_stats
 from ..engine.streaming import DEFAULT_EXACT_BUFFER, StreamingEnsembleStats
 from .delta_store import DeltaStore, cached_delta_store
@@ -206,6 +206,10 @@ def run_ensemble(
     delta_cache: Optional[str] = None,
     batch_draws: int = DEFAULT_BATCH_DRAWS,
     window_exact_buffer: int = DEFAULT_EXACT_BUFFER,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    progress=None,
+    fault_plan=None,
 ) -> EnsembleResult:
     """Sweep ``draws`` seeded instances of a scenario and aggregate.
 
@@ -228,6 +232,12 @@ def run_ensemble(
     artifact there (``save_format`` ``"npz"`` or ``"dir"``) and matching
     artifacts already on disk are loaded instead of recomputed; the
     ``resumed``/``recomputed`` tallies on the result record the split.
+
+    The block fan-out runs through :func:`repro.engine.run_shards`, so a
+    crashed or hung pool worker re-queues only its own draw blocks
+    (``timeout``/``max_retries`` bound each block attempt) and, with
+    ``save_dir``, a ``manifest.json`` there tracks block progress and retry
+    tallies; ``progress`` receives each manifest snapshot.
     """
     if not weighted_store_available():
         raise RuntimeError(
@@ -291,10 +301,6 @@ def run_ensemble(
         for block in blocks
     ]
 
-    # Bounded waves: each parallel_map call holds at most tasks_per_wave
-    # result blocks before they are folded into the streaming aggregators
-    # and dropped, so peak memory is set by (wave × batch_draws), not K.
-    tasks_per_wave = max(1, resolve_jobs(jobs) * 4)
     classes = len(delta)
     t_min_agg = StreamingEnsembleStats(
         classes, quantiles=quantiles, exact_buffer=window_exact_buffer
@@ -305,16 +311,45 @@ def run_ensemble(
     count_blocks: List = []
     resumed = 0
     recomputed = 0
-    for start in range(0, len(tasks), tasks_per_wave):
-        wave = parallel_map(
-            _ensemble_batch, tasks[start:start + tasks_per_wave], jobs=jobs
-        )
-        for counts_block, t_min_block, t_max_block, block_resumed, block_recomputed in wave:
-            count_blocks.append(counts_block)
-            t_min_agg.update(t_min_block)
-            t_max_agg.update(t_max_block)
-            resumed += block_resumed
-            recomputed += block_recomputed
+
+    def _fold(index: int, block) -> None:
+        # run_shards delivers blocks strictly in index (draw) order, so the
+        # streaming aggregators see exactly the serial fold sequence and the
+        # result stays bit-identical for any jobs value.
+        nonlocal resumed, recomputed
+        counts_block, t_min_block, t_max_block, block_resumed, block_recomputed = block
+        count_blocks.append(counts_block)
+        t_min_agg.update(t_min_block)
+        t_max_agg.update(t_max_block)
+        resumed += block_resumed
+        recomputed += block_recomputed
+
+    # The work-queue runner bounds in-flight blocks at the worker count, so
+    # peak memory is set by (workers × batch_draws), not K — and a crashed
+    # worker costs one block, not the whole wave.  The manifest (block
+    # progress, retry tallies) lands next to the draw artifacts.
+    run_shards(
+        _ensemble_batch,
+        tasks,
+        jobs=jobs,
+        prefix="block",
+        consume=_fold,
+        manifest_dir=save_dir,
+        fingerprint={
+            "kind": "repro-ensemble",
+            "scenario": scenario,
+            "n": int(n),
+            "seed": int(seed),
+            "draws": int(draws),
+            "batch_draws": int(batch_draws),
+            "params": params,
+            "ts": [float(t) for t in ts],
+        },
+        timeout=timeout,
+        max_retries=max_retries,
+        progress=progress,
+        fault_plan=fault_plan,
+    )
 
     counts = np.concatenate(count_blocks, axis=0)
     count_indptr = np.arange(draws + 1, dtype=np.int64) * len(ts)

@@ -49,9 +49,11 @@ from ..core.unilateral import ucg_nash_alpha_set
 from ..engine import (
     batch_stability_deltas,
     chunk_evenly,
+    content_checksum,
     get_default_oracle,
     parallel_map,
     resolve_jobs,
+    run_shards,
 )
 from ..engine.columnar import (
     bcg_stable_mask,
@@ -59,6 +61,7 @@ from ..engine.columnar import (
     certificate_to_graph,
     certificate_words,
     concat_csr,
+    csr_invariant_errors,
     gather_segments,
     pack_certificates,
     segment_min,
@@ -148,6 +151,7 @@ class CensusStore:
         self.ucg_indptr = ucg_indptr
         self._rem_min = None  # lazy per-class α_max column
         self._m64 = None  # lazy float64 view of num_edges
+        self._artifact_checksum = None  # checksum stamped on the loaded artifact
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -185,19 +189,28 @@ class CensusStore:
         shard_level: Optional[int] = None,
         batch_size: int = 512,
         shard_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        progress=None,
+        fault_plan=None,
     ) -> "CensusStore":
         """Build the columns by streaming the canonical-augmentation tree.
 
         The sharding scheme is identical to
         :meth:`EquilibriumCensus.build_streamed` (disjoint, jointly
         exhaustive subtrees below level-``shard_level`` roots), but workers
-        return column chunks.  With ``shard_dir`` every finished shard is
-        persisted as ``shard_XXXX_of_YYYY.npz`` and an interrupted build
-        **resumes** by loading the shards already on disk (the shard count
-        is part of the file name, so a resume with a different ``jobs`` or
-        ``shard_level`` simply recomputes).  The merged store is sorted
-        into canonical census order, element-for-element identical to
-        :meth:`build`.
+        return column chunks.  The fan-out runs through
+        :func:`repro.engine.run_shards`: with ``shard_dir`` every finished
+        shard persists as a checksummed, config-fingerprinted
+        ``shard_XXXX_of_YYYY.npz`` and an interrupted build **resumes**
+        from every shard that verifies (corrupt files are recomputed, a
+        shard from a different configuration is rejected), with progress
+        and retry tallies in the directory's ``manifest.json``.  Worker
+        crashes and per-shard ``timeout`` expiries re-queue only the
+        incomplete shards (``max_retries`` pool attempts, then an in-parent
+        serial fallback).  The merged store is sorted into canonical census
+        order, element-for-element identical to :meth:`build` regardless of
+        ``jobs``, retries or resume history.
         """
         _require_numpy()
         if n < 0:
@@ -210,33 +223,25 @@ class CensusStore:
         chunks = chunk_evenly(roots, max(1, workers * 4))
         tasks = [(chunk, n, include_ucg, batch_size) for chunk in chunks]
 
-        if shard_dir is None:
-            parts = parallel_map(_stream_columns_chunk, tasks, jobs=jobs)
-        else:
-            os.makedirs(shard_dir, exist_ok=True)
-            paths = [
-                os.path.join(
-                    shard_dir, f"shard_{i:04d}_of_{len(tasks):04d}.npz"
-                )
-                for i in range(len(tasks))
-            ]
-            loaded: Dict[int, dict] = {}
-            missing: List[int] = []
-            for index, path in enumerate(paths):
-                part = _load_part_if_valid(path, n, include_ucg)
-                if part is None:
-                    missing.append(index)
-                else:
-                    loaded[index] = part
-            computed = parallel_map(
-                _stream_columns_chunk, [tasks[i] for i in missing], jobs=jobs
-            )
-            for index, part in zip(missing, computed):
-                _save_part(paths[index], part, n, include_ucg)
-                loaded[index] = part
-            parts = [loaded[index] for index in range(len(tasks))]
+        report = run_shards(
+            _stream_columns_chunk,
+            tasks,
+            jobs=jobs,
+            shard_dir=shard_dir,
+            prefix="shard",
+            fingerprint={
+                "kind": SCHEMA,
+                "format_version": FORMAT_VERSION,
+                "n": int(n),
+                "include_ucg": bool(include_ucg),
+            },
+            timeout=timeout,
+            max_retries=max_retries,
+            progress=progress,
+            fault_plan=fault_plan,
+        )
 
-        store = cls._from_parts(n, include_ucg, parts)
+        store = cls._from_parts(n, include_ucg, report.parts)
         return store.sort_canonical()
 
     @classmethod
@@ -502,6 +507,71 @@ class CensusStore:
         """Resident bytes across every column."""
         return sum(array.nbytes for array in self._columns().values())
 
+    def content_checksum(self) -> str:
+        """sha256 over every column's name, dtype, shape and bytes."""
+        return content_checksum(self._columns())
+
+    def verify(self) -> Dict[str, object]:
+        """Audit the artifact: checksum + structural invariants.
+
+        Returns ``{"ok", "classes", "checksum", "errors"}`` where
+        ``checksum`` is ``"ok"`` / ``"mismatch"`` (vs the stamp written by
+        :meth:`save`, when the artifact carries one) / ``"absent"``.
+        Structural checks: CSR layout of every ragged column, per-class
+        probe counts against the edge counts (each class has one removal
+        probe per edge and one addition probe per non-edge), edge counts
+        within ``[0, C(n,2)]``, finite distance totals, and ordered UCG
+        interval endpoints.  A corrupt artifact is caught here, at audit
+        time, instead of mid-query.
+        """
+        np = _require_numpy()
+        classes = len(self)
+        errors: List[str] = []
+        errors += csr_invariant_errors(
+            "rem", self.rem_values.shape[0], self.rem_indptr, classes
+        )
+        errors += csr_invariant_errors(
+            "add", self.add_lo.shape[0], self.add_indptr, classes
+        )
+        if self.add_hi.shape != self.add_lo.shape:
+            errors.append("add: add_hi and add_lo lengths differ")
+        pairs = self.n * (self.n - 1) // 2
+        edges = np.asarray(self.num_edges, dtype=np.int64)
+        if classes:
+            if bool(np.any(edges < 0)) or bool(np.any(edges > pairs)):
+                errors.append(f"num_edges outside [0, {pairs}]")
+            elif not errors:
+                # One removal probe per edge, one addition probe per non-edge.
+                if bool(np.any(np.diff(self.rem_indptr) != edges)):
+                    errors.append("rem: per-class probe counts != num_edges")
+                if bool(np.any(np.diff(self.add_indptr) != pairs - edges)):
+                    errors.append("add: per-class probe counts != non-edges")
+            if not bool(np.all(np.isfinite(np.asarray(self.dist_total)))):
+                errors.append("dist_total contains non-finite values")
+        if self.include_ucg:
+            errors += csr_invariant_errors(
+                "ucg", self.ucg_lo.shape[0], self.ucg_indptr, classes
+            )
+            if self.ucg_hi.shape != self.ucg_lo.shape:
+                errors.append("ucg: ucg_hi and ucg_lo lengths differ")
+            elif self.ucg_lo.shape[0] and bool(
+                np.any(np.asarray(self.ucg_lo) > np.asarray(self.ucg_hi))
+            ):
+                errors.append("ucg: interval lo > hi")
+        if self._artifact_checksum is None:
+            checksum = "absent"
+        elif self.content_checksum() == self._artifact_checksum:
+            checksum = "ok"
+        else:
+            checksum = "mismatch"
+            errors.append("content checksum does not match the saved stamp")
+        return {
+            "ok": not errors,
+            "classes": classes,
+            "checksum": checksum,
+            "errors": errors,
+        }
+
     def summary(self) -> Dict[str, object]:
         """Artifact metadata (used by the CLI and the report renderer)."""
         return {
@@ -541,6 +611,7 @@ class CensusStore:
             payload["format_version"] = np.int64(FORMAT_VERSION)
             payload["n"] = np.int64(self.n)
             payload["include_ucg"] = np.bool_(self.include_ucg)
+            payload["checksum"] = np.str_(self.content_checksum())
             writer = np.savez_compressed if compress else np.savez
             writer(path, **payload)
             return path
@@ -552,6 +623,7 @@ class CensusStore:
             "n": self.n,
             "include_ucg": self.include_ucg,
             "columns": sorted(columns),
+            "checksum": self.content_checksum(),
         }
         with open(os.path.join(path, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2, sort_keys=True)
@@ -587,7 +659,9 @@ class CensusStore:
                 )
                 for name in meta["columns"]
             }
-            return cls(n=meta["n"], include_ucg=meta["include_ucg"], **columns)
+            store = cls(n=meta["n"], include_ucg=meta["include_ucg"], **columns)
+            store._artifact_checksum = meta.get("checksum")
+            return store
         if mmap:
             raise ValueError(
                 "mmap loading requires the directory format; save with "
@@ -603,7 +677,10 @@ class CensusStore:
             columns = {name: data[name] for name in _DENSE_COLUMNS + _BCG_COLUMNS}
             if include_ucg:
                 columns.update({name: data[name] for name in _UCG_COLUMNS})
-            return cls(n=int(data["n"]), include_ucg=include_ucg, **columns)
+            store = cls(n=int(data["n"]), include_ucg=include_ucg, **columns)
+            if "checksum" in data:
+                store._artifact_checksum = str(data["checksum"])
+            return store
 
     @staticmethod
     def _check_meta(schema: Optional[str], version: Optional[int], path: str) -> None:
@@ -783,60 +860,6 @@ def _stream_columns_chunk(task: Tuple[List[Graph], int, bool, int]) -> dict:
     if pending:
         flush()
     return cols.arrays(n)
-
-
-def _save_part(path: str, part: dict, n: int, include_ucg: bool) -> None:
-    """Persist one shard atomically (write-then-rename).
-
-    An interrupted save must never leave a half-written file under the
-    final name: resume treats an existing readable shard as done, so a
-    torn write would otherwise wedge the shard directory.
-    """
-    np = _require_numpy()
-    tmp_path = f"{path}.tmp.npz"
-    np.savez(
-        tmp_path,
-        shard_schema=np.str_(SCHEMA),
-        shard_n=np.int64(n),
-        shard_include_ucg=np.bool_(include_ucg),
-        **part,
-    )
-    os.replace(tmp_path, path)
-
-
-def _load_part_if_valid(path: str, n: int, include_ucg: bool) -> Optional[dict]:
-    """Load one persisted shard; ``None`` when it must be (re)computed.
-
-    Missing or unreadable (e.g. truncated by a crash predating the atomic
-    rename) shards are recomputed.  A *readable* shard from a different
-    build configuration raises instead: shard file names encode only the
-    chunk index/count, so a shard directory reused across builds with
-    different ``n`` or ``include_ucg`` would otherwise be merged silently
-    into a corrupt store.
-    """
-    np = _require_numpy()
-    if not os.path.exists(path):
-        return None
-    try:
-        with np.load(path, allow_pickle=False) as data:
-            if (
-                "shard_schema" not in data
-                or str(data["shard_schema"]) != SCHEMA
-                or int(data["shard_n"]) != n
-                or bool(data["shard_include_ucg"]) != include_ucg
-            ):
-                raise ValueError(
-                    f"{path!r} is not a shard of this build "
-                    f"(n = {n}, include_ucg = {include_ucg}); use a fresh "
-                    "shard_dir per census configuration"
-                )
-            return {
-                name: data[name]
-                for name in data.files
-                if not name.startswith("shard_")
-            }
-    except (zipfile.BadZipFile, EOFError, OSError, KeyError):
-        return None
 
 
 # --------------------------------------------------------------------------- #

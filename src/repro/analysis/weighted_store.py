@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import json
 import os
-import zipfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # NumPy backs every column; the store refuses to build without it.
@@ -49,12 +48,19 @@ except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
 from ..costmodels.models import CostModel
-from ..engine import chunk_evenly, parallel_map, resolve_jobs
+from ..engine import (
+    chunk_evenly,
+    content_checksum,
+    parallel_map,
+    resolve_jobs,
+    run_shards,
+)
 from ..engine.oracle import DistanceOracle
 from ..engine.columnar import (
     canonical_sort_indices,
     certificate_to_graph,
     concat_csr,
+    csr_invariant_errors,
     gather_segments,
     pack_certificates,
     weighted_bcg_stable_mask,
@@ -143,6 +149,7 @@ class WeightedStore:
         self.add_s_v = add_s_v
         self.add_indptr = add_indptr
         self.scenario_params = dict(scenario_params) if scenario_params else None
+        self._artifact_checksum = None  # checksum stamped on the loaded artifact
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -201,6 +208,10 @@ class WeightedStore:
         batch_size: int = 512,
         shard_dir: Optional[str] = None,
         scenario_params: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        progress=None,
+        fault_plan=None,
     ) -> "WeightedStore":
         """Build the columns by streaming the canonical-augmentation tree.
 
@@ -208,12 +219,16 @@ class WeightedStore:
         exhaustive subtrees below level-``shard_level`` roots); workers
         canonicalise each generated graph before pricing it, so the
         weights land on the same labelled representatives as :meth:`build`.
-        With ``shard_dir`` every finished shard is persisted and an
-        interrupted build resumes; shards carry ``n`` *and* the weight
-        matrix, so a directory reused with a different cost model raises
-        instead of merging silently.  The merged store is sorted into
-        canonical census order, element-for-element identical to
-        :meth:`build`.
+        The fan-out runs through :func:`repro.engine.run_shards`: with
+        ``shard_dir`` every finished shard persists checksummed and
+        fingerprinted over ``n`` *and* the weight matrix — an interrupted
+        build resumes from every shard that verifies, corrupt files are
+        recomputed, and a directory reused with a different cost model
+        raises instead of merging silently — with progress/retry tallies in
+        the directory's ``manifest.json``.  Worker crashes and per-shard
+        ``timeout`` expiries re-queue only the incomplete shards.  The
+        merged store is sorted into canonical census order,
+        element-for-element identical to :meth:`build`.
         """
         _require_numpy()
         if n < 0:
@@ -227,33 +242,25 @@ class WeightedStore:
         chunks = chunk_evenly(roots, max(1, workers * 4))
         tasks = [(chunk, model, matrix, n, batch_size) for chunk in chunks]
 
-        if shard_dir is None:
-            parts = parallel_map(_stream_weighted_chunk, tasks, jobs=jobs)
-        else:
-            os.makedirs(shard_dir, exist_ok=True)
-            paths = [
-                os.path.join(
-                    shard_dir, f"wshard_{i:04d}_of_{len(tasks):04d}.npz"
-                )
-                for i in range(len(tasks))
-            ]
-            loaded: Dict[int, dict] = {}
-            missing: List[int] = []
-            for index, path in enumerate(paths):
-                part = _load_shard_if_valid(path, n, matrix)
-                if part is None:
-                    missing.append(index)
-                else:
-                    loaded[index] = part
-            computed = parallel_map(
-                _stream_weighted_chunk, [tasks[i] for i in missing], jobs=jobs
-            )
-            for index, part in zip(missing, computed):
-                _save_shard(paths[index], part, n, matrix)
-                loaded[index] = part
-            parts = [loaded[index] for index in range(len(tasks))]
+        report = run_shards(
+            _stream_weighted_chunk,
+            tasks,
+            jobs=jobs,
+            shard_dir=shard_dir,
+            prefix="wshard",
+            fingerprint={
+                "kind": SCHEMA,
+                "format_version": FORMAT_VERSION,
+                "n": int(n),
+                "matrix": _np.asarray(matrix, dtype=_np.float64),
+            },
+            timeout=timeout,
+            max_retries=max_retries,
+            progress=progress,
+            fault_plan=fault_plan,
+        )
 
-        store = cls._from_parts(n, matrix, parts, scenario_params)
+        store = cls._from_parts(n, matrix, report.parts, scenario_params)
         return store.sort_canonical()
 
     @classmethod
@@ -443,6 +450,73 @@ class WeightedStore:
         """Resident bytes across every column."""
         return sum(array.nbytes for array in self._columns().values())
 
+    def content_checksum(self) -> str:
+        """sha256 over every column's name, dtype, shape and bytes."""
+        return content_checksum(self._columns())
+
+    def verify(self) -> Dict[str, object]:
+        """Audit the artifact: checksum + structural invariants.
+
+        Returns ``{"ok", "classes", "checksum", "errors"}`` (see
+        :meth:`CensusStore.verify <repro.analysis.store.CensusStore.verify>`
+        for the contract).  Structural checks: CSR layout of the probe
+        columns, per-class probe counts against the edge counts (two
+        ordered removal probes per edge, one addition probe per non-edge),
+        a finite ``(n, n)`` weight matrix, and finite distance/spend
+        totals.
+        """
+        np = _require_numpy()
+        classes = len(self)
+        errors: List[str] = []
+        errors += csr_invariant_errors(
+            "rem", self.rem_w.shape[0], self.rem_indptr, classes
+        )
+        errors += csr_invariant_errors(
+            "add", self.add_w_u.shape[0], self.add_indptr, classes
+        )
+        for name in ("rem_delta",):
+            if getattr(self, name).shape != self.rem_w.shape:
+                errors.append(f"rem: {name} and rem_w lengths differ")
+        for name in ("add_s_u", "add_w_v", "add_s_v"):
+            if getattr(self, name).shape != self.add_w_u.shape:
+                errors.append(f"add: {name} and add_w_u lengths differ")
+        pairs = self.n * (self.n - 1) // 2
+        edges = np.asarray(self.num_edges, dtype=np.int64)
+        if classes:
+            if bool(np.any(edges < 0)) or bool(np.any(edges > pairs)):
+                errors.append(f"num_edges outside [0, {pairs}]")
+            elif not errors:
+                # Two ordered removal probes per edge (one per endpoint),
+                # one addition probe per unordered non-edge.
+                if bool(np.any(np.diff(self.rem_indptr) != 2 * edges)):
+                    errors.append("rem: per-class probe counts != 2*num_edges")
+                if bool(np.any(np.diff(self.add_indptr) != pairs - edges)):
+                    errors.append("add: per-class probe counts != non-edges")
+            for name in ("dist_total", "edge_cost_total"):
+                if not bool(np.all(np.isfinite(np.asarray(getattr(self, name))))):
+                    errors.append(f"{name} contains non-finite values")
+        matrix = np.asarray(self.weight_matrix)
+        if matrix.shape != (self.n, self.n):
+            errors.append(
+                f"weight_matrix has shape {matrix.shape}, expected "
+                f"({self.n}, {self.n})"
+            )
+        elif not bool(np.all(np.isfinite(matrix))):
+            errors.append("weight_matrix contains non-finite values")
+        if self._artifact_checksum is None:
+            checksum = "absent"
+        elif self.content_checksum() == self._artifact_checksum:
+            checksum = "ok"
+        else:
+            checksum = "mismatch"
+            errors.append("content checksum does not match the saved stamp")
+        return {
+            "ok": not errors,
+            "classes": classes,
+            "checksum": checksum,
+            "errors": errors,
+        }
+
     def summary(self) -> Dict[str, object]:
         """Artifact metadata (used by the CLI and the report renderer)."""
         scenario = self.scenario_params or {}
@@ -491,6 +565,7 @@ class WeightedStore:
             payload["format_version"] = np.int64(FORMAT_VERSION)
             payload["n"] = np.int64(self.n)
             payload["scenario_json"] = np.str_(scenario_json)
+            payload["checksum"] = np.str_(self.content_checksum())
             writer = np.savez_compressed if compress else np.savez
             writer(path, **payload)
             return path
@@ -502,6 +577,7 @@ class WeightedStore:
             "n": self.n,
             "scenario": self.scenario_params,
             "columns": sorted(columns),
+            "checksum": self.content_checksum(),
         }
         with open(os.path.join(path, "meta.json"), "w") as handle:
             json.dump(meta, handle, indent=2, sort_keys=True)
@@ -529,7 +605,11 @@ class WeightedStore:
                 )
                 for name in meta["columns"]
             }
-            return cls(n=meta["n"], scenario_params=meta.get("scenario"), **columns)
+            store = cls(
+                n=meta["n"], scenario_params=meta.get("scenario"), **columns
+            )
+            store._artifact_checksum = meta.get("checksum")
+            return store
         if mmap:
             raise ValueError(
                 "mmap loading requires the directory format; save with "
@@ -546,7 +626,10 @@ class WeightedStore:
                 name: data[name]
                 for name in _DENSE_COLUMNS + _PROBE_COLUMNS + ("weight_matrix",)
             }
-            return cls(n=int(data["n"]), scenario_params=scenario, **columns)
+            store = cls(n=int(data["n"]), scenario_params=scenario, **columns)
+            if "checksum" in data:
+                store._artifact_checksum = str(data["checksum"])
+            return store
 
     @staticmethod
     def _check_meta(schema: Optional[str], version: Optional[int], path: str) -> None:
@@ -697,58 +780,3 @@ def _stream_weighted_chunk(task: Tuple) -> dict:
     if pending:
         flush()
     return _merge_parts(parts, n)
-
-
-def _save_shard(path: str, part: dict, n: int, matrix) -> None:
-    """Persist one shard atomically (write-then-rename, census-store style)."""
-    np = _require_numpy()
-    tmp_path = f"{path}.tmp.npz"
-    np.savez(
-        tmp_path,
-        shard_schema=np.str_(SCHEMA),
-        shard_n=np.int64(n),
-        shard_matrix=np.asarray(matrix, dtype=np.float64),
-        **part,
-    )
-    os.replace(tmp_path, path)
-
-
-def _load_shard_if_valid(path: str, n: int, matrix) -> Optional[dict]:
-    """Load one persisted shard; ``None`` when it must be (re)computed.
-
-    Missing or unreadable (crash-truncated) shards are recomputed.  A
-    *readable* shard from a different configuration — another ``n`` or
-    another weight matrix — raises instead: shard names encode only the
-    chunk index/count, so a reused directory would otherwise merge
-    silently into a corrupt artifact.
-    """
-    np = _require_numpy()
-    if not os.path.exists(path):
-        return None
-    try:
-        with np.load(path, allow_pickle=False) as data:
-            if (
-                "shard_schema" not in data
-                or str(data["shard_schema"]) != SCHEMA
-                or int(data["shard_n"]) != n
-                or data["shard_matrix"].shape
-                != np.asarray(matrix, dtype=np.float64).shape
-                or not bool(
-                    np.array_equal(
-                        data["shard_matrix"],
-                        np.asarray(matrix, dtype=np.float64),
-                    )
-                )
-            ):
-                raise ValueError(
-                    f"{path!r} is not a shard of this weighted build "
-                    f"(n = {n} under this weight matrix); use a fresh "
-                    "shard_dir per (n, cost model) configuration"
-                )
-            return {
-                name: data[name]
-                for name in data.files
-                if not name.startswith("shard_")
-            }
-    except (zipfile.BadZipFile, EOFError, OSError, KeyError):
-        return None

@@ -140,6 +140,31 @@ def build_census_parser() -> argparse.ArgumentParser:
         help="with --streamed: persist/resume per-shard column chunks here",
     )
     parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "with --streamed: kill and re-queue any shard attempt that "
+            "runs longer than this"
+        ),
+    )
+    parser.add_argument(
+        "--shard-retries", type=int, default=None, metavar="N",
+        help=(
+            "with --streamed: pool attempts per shard beyond the first "
+            "before the in-parent serial fallback (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="with --streamed: print shard progress/retry tallies to stderr",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "audit the artifact (content checksum + CSR invariants) after "
+            "building or loading; exit 1 on failure"
+        ),
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="fan the build out over N worker processes (negative: per CPU)",
     )
@@ -221,7 +246,38 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
         "--format", choices=("npz", "dir"), default=None,
         help="on-disk layout for --save (default: inferred from the path)",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "with --save/--load: audit the artifact (content checksum + "
+            "CSR invariants); exit 1 on failure"
+        ),
+    )
     return parser
+
+
+def _shard_progress(snapshot) -> None:
+    """Default --progress sink: one manifest line per runner event."""
+    line = (
+        f"[shards] {snapshot['done']}/{snapshot['total']} done "
+        f"(resumed {snapshot['resumed']}, retries {snapshot['retries']}, "
+        f"timeouts {snapshot['timeouts']})"
+    )
+    print(line, file=sys.stderr)
+
+
+def _report_verify(audit, label: str) -> int:
+    """Print a verify() audit; returns the process exit code share (0/1)."""
+    if audit["ok"]:
+        print(
+            f"verify {label}: ok ({audit['classes']} classes, "
+            f"checksum {audit['checksum']})"
+        )
+        return 0
+    print(f"verify {label}: FAILED", file=sys.stderr)
+    for error in audit["errors"]:
+        print(f"  {error}", file=sys.stderr)
+    return 1
 
 
 def _print_weighted_table(ts, counts, links, social) -> None:
@@ -264,6 +320,9 @@ def scenarios_main(argv: List[str]) -> int:
     if (args.save or args.load) and not weighted_store_available():
         print("weighted-store artifacts require NumPy", file=sys.stderr)
         return 2
+    if args.verify and not (args.save or args.load):
+        print("--verify audits an artifact; add --save or --load", file=sys.stderr)
+        return 2
 
     if args.load is not None:
         # The artifact fixes the scenario, n, seed and model entirely —
@@ -294,6 +353,8 @@ def scenarios_main(argv: List[str]) -> int:
             print(f"cannot load {args.load}: {error}", file=sys.stderr)
             return 2
         print(format_weighted_store_summary(store, source=args.load))
+        if args.verify and _report_verify(store.verify(), args.load):
+            return 1
         ts = default_t_grid(store.n, args.grid)
         aggregates = store.aggregates(ts)
         _print_weighted_table(
@@ -345,6 +406,8 @@ def scenarios_main(argv: List[str]) -> int:
             print(f"cannot save {args.save}: {error}", file=sys.stderr)
             return 2
         print(f"saved to {written}")
+        if args.verify and _report_verify(store.verify(), written):
+            return 1
         ts = default_t_grid(scenario.n, args.grid)
         aggregates = store.aggregates(ts)
         _print_weighted_table(
@@ -439,6 +502,10 @@ def build_ensemble_parser() -> argparse.ArgumentParser:
         "--batch-draws", type=int, default=None, metavar="B",
         help="draws answered per stacked-kernel block (default: 16)",
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print draw-block progress/retry tallies to stderr",
+    )
     return parser
 
 
@@ -475,6 +542,8 @@ def ensemble_main(argv: List[str]) -> int:
     extra = {}
     if args.batch_draws is not None:
         extra["batch_draws"] = args.batch_draws
+    if args.progress:
+        extra["progress"] = _shard_progress
     try:
         result = run_ensemble(
             scenario=args.scenario,
@@ -541,9 +610,15 @@ def census_main(argv: List[str]) -> int:
         parser.print_usage(sys.stderr)
         print("exactly one of --n and --load is required", file=sys.stderr)
         return 2
-    if args.shard_dir and not args.streamed:
-        print("--shard-dir requires --streamed", file=sys.stderr)
-        return 2
+    for flag, value in (
+        ("--shard-dir", args.shard_dir),
+        ("--shard-timeout", args.shard_timeout),
+        ("--shard-retries", args.shard_retries),
+        ("--progress", args.progress or None),
+    ):
+        if value is not None and not args.streamed:
+            print(f"{flag} requires --streamed", file=sys.stderr)
+            return 2
 
     if args.load is not None:
         try:
@@ -557,6 +632,11 @@ def census_main(argv: List[str]) -> int:
         kwargs = {"include_ucg": not args.no_ucg, "jobs": args.jobs}
         if args.shard_dir:
             kwargs["shard_dir"] = args.shard_dir
+        if args.streamed:
+            kwargs["timeout"] = args.shard_timeout
+            kwargs["max_retries"] = args.shard_retries
+            if args.progress:
+                kwargs["progress"] = _shard_progress
         try:
             store = build(args.n, **kwargs)
         except (OSError, ValueError) as error:
@@ -564,6 +644,9 @@ def census_main(argv: List[str]) -> int:
             return 2
         source = f"built in-process (n = {args.n})"
     print(format_store_summary(store, source=source))
+
+    if args.verify and _report_verify(store.verify(), source):
+        return 1
 
     if args.save is not None:
         try:

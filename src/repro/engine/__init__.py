@@ -48,7 +48,17 @@ both, so the core/analysis/experiments layers never re-derive them ad hoc:
     serially in input order; ``jobs > 1`` uses a process pool but still
     returns results in input order, so parallel and serial runs are
     bit-identical.  Environments without working multiprocessing degrade to
-    the serial path automatically.
+    the serial path automatically (salvaging chunks that completed before a
+    pool broke).
+
+:func:`run_shards`
+    The fault-tolerant shard work-queue coordinator behind every
+    ``build_streamed(shard_dir=...)`` and the ensemble block runner:
+    individual futures with per-shard timeouts, bounded retries with
+    exponential backoff and a serial fallback, checksummed + config-
+    fingerprinted shard resume, and a heartbeat progress manifest (see
+    :mod:`repro.engine.shardwork`; fault injection for its recovery paths
+    lives in :mod:`repro.engine.faults`).
 """
 
 from .batch import (
@@ -60,19 +70,29 @@ from .batch import (
 )
 from .oracle import DistanceOracle, get_default_oracle
 from .pool import chunk_evenly, parallel_map, resolve_jobs
+from .shardwork import (
+    ShardRunReport,
+    config_fingerprint,
+    content_checksum,
+    run_shards,
+)
 from .streaming import StreamingEnsembleStats, streaming_available
 
 __all__ = [
     "DistanceOracle",
+    "ShardRunReport",
     "StreamingEnsembleStats",
     "batch_delta_columns",
     "batch_stability_deltas",
     "batch_weighted_columns",
     "chunk_evenly",
+    "config_fingerprint",
+    "content_checksum",
     "get_default_oracle",
     "numpy_available",
     "parallel_map",
     "resolve_jobs",
+    "run_shards",
     "streaming_available",
     "validate_weight_matrix",
 ]

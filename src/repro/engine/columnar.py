@@ -96,6 +96,33 @@ def segment_max(values, indptr, empty: float = float("-inf")):
     return _segment_reduce(values, indptr, np.maximum, empty)
 
 
+def csr_invariant_errors(name: str, values_len: int, indptr, classes: int) -> List[str]:
+    """Check one ragged column's CSR invariants; return human-readable errors.
+
+    A valid layout has ``len(indptr) == classes + 1``, ``indptr[0] == 0``,
+    a monotone non-decreasing ``indptr``, and ``indptr[-1]`` equal to the
+    flat value length — everything the segmented kernels assume without
+    checking.  Used by the stores' ``verify()`` audit.
+    """
+    np = _require_numpy()
+    indptr = np.asarray(indptr)
+    errors: List[str] = []
+    if indptr.ndim != 1 or indptr.shape[0] != classes + 1:
+        errors.append(
+            f"{name}: indptr has shape {indptr.shape}, expected ({classes + 1},)"
+        )
+        return errors
+    if classes >= 0 and indptr.shape[0] and int(indptr[0]) != 0:
+        errors.append(f"{name}: indptr[0] == {int(indptr[0])}, expected 0")
+    if indptr.shape[0] > 1 and bool(np.any(np.diff(indptr) < 0)):
+        errors.append(f"{name}: indptr is not monotone non-decreasing")
+    if indptr.shape[0] and int(indptr[-1]) != values_len:
+        errors.append(
+            f"{name}: indptr[-1] == {int(indptr[-1])} but {values_len} values"
+        )
+    return errors
+
+
 def gather_segments(values, indptr, order):
     """Reorder CSR segments by ``order``; returns ``(values, indptr)``.
 

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the shard runner (test/CI harness).
+
+Long sharded builds die in exactly four boring ways: a worker process is
+killed, a worker wedges past any reasonable deadline, a shard write is torn
+mid-flight, or bits rot in a shard file between runs.  This module makes
+each failure *reproducible on demand* so the recovery paths of
+:mod:`repro.engine.shardwork` are exercised by real process death, real
+timeouts and real corrupt bytes — not by mocks:
+
+``crash``
+    the pool worker assigned the target shard calls ``os._exit`` (the pool
+    breaks exactly as it does when the OOM killer strikes);
+``hang``
+    the worker sleeps :attr:`FaultPlan.hang_seconds` (long past any runner
+    timeout) so the per-shard deadline machinery has to kill the pool;
+``torn``
+    the shard save writes a truncated file under the *final* name and
+    aborts the build — modelling a crash that defeated the tmp+rename
+    discipline (power loss after rename, before data hit the platter);
+``flip``
+    one byte of the freshly saved shard file is flipped, so only the
+    content checksum (not "does it load?") can catch it on resume.
+
+A plan is either built in code (:class:`FaultPlan` / :func:`parse_plan`)
+and passed to the runner as ``fault_plan=...``, or injected from the
+environment (:data:`FAULTS_ENV`, e.g. ``REPRO_FAULTS="crash@2,flip@0"``)
+so CLI/smoke runs can be faulted without touching call sites.  Every fault
+fires a bounded number of ``times`` (default once) — counted *across
+processes* through ``O_CREAT|O_EXCL`` marker files in the spool directory
+(:data:`SPOOL_ENV` / :attr:`FaultPlan.spool`), because the firing worker
+may die before it could record anything in shared memory.  Without a spool
+directory a fault fires on every encounter; always set one for ``crash``
+(the serial-fallback guarantee still bounds the damage, but the retry
+tallies become meaningless).
+
+Worker-side faults (``crash``/``hang``) are injected only in pool worker
+processes — never in the serial path or the serial fallback of the runner,
+which is exactly what makes "a shard that keeps killing its worker"
+recoverable.  ``torn``/``flip`` fire in whichever process performs the
+save.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Environment variable holding a fault spec, e.g. ``"crash@2,hang@5*2"``.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Environment variable naming the cross-process fire-count spool directory.
+SPOOL_ENV = "REPRO_FAULT_SPOOL"
+
+#: Environment variable overriding how long a ``hang`` fault sleeps.
+HANG_ENV = "REPRO_FAULT_HANG_SECONDS"
+
+#: The recognised fault kinds.
+KINDS = ("crash", "hang", "torn", "flip")
+
+#: Exit status used by ``crash`` faults (distinctive in pool post-mortems).
+CRASH_EXIT_CODE = 13
+
+
+class FaultInjected(RuntimeError):
+    """Raised by parent-side faults (``torn``) to abort the build mid-write."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection point: ``kind`` fires when shard ``index`` is touched."""
+
+    kind: str
+    index: int
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.index < 0:
+            raise ValueError("fault index must be non-negative")
+        if self.times < 1:
+            raise ValueError("fault times must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of faults plus the spool that counts their firings.
+
+    Instances travel to pool workers inside the task payload, so a plan
+    needs no environment plumbing; :func:`active_plan` additionally builds
+    one from :data:`FAULTS_ENV` for CLI-level injection.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    spool: Optional[str] = None
+    hang_seconds: float = 3600.0
+
+    def lookup(self, kind: str, index: int) -> Optional[Fault]:
+        """The fault of ``kind`` targeting shard ``index``, if any."""
+        for fault in self.faults:
+            if fault.kind == kind and fault.index == index:
+                return fault
+        return None
+
+    def claim(self, kind: str, index: int) -> bool:
+        """Atomically claim one firing of ``(kind, index)``; True = fire.
+
+        With a spool, each of the fault's ``times`` firing slots is one
+        ``O_CREAT|O_EXCL`` marker file — creation succeeds in exactly one
+        process ever, so a fault fires its bounded count no matter how many
+        workers (or retries of the same worker) race for it.  Without a
+        spool the fault fires unconditionally on every encounter.
+        """
+        fault = self.lookup(kind, index)
+        if fault is None:
+            return False
+        if self.spool is None:
+            return True
+        os.makedirs(self.spool, exist_ok=True)
+        for slot in range(fault.times):
+            marker = os.path.join(self.spool, f"{kind}_{index}_{slot}")
+            try:
+                handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(handle)
+            return True
+        return False
+
+
+def parse_plan(
+    spec: str,
+    spool: Optional[str] = None,
+    hang_seconds: Optional[float] = None,
+) -> FaultPlan:
+    """Parse ``"kind@index"`` / ``"kind@index*times"`` comma-separated specs.
+
+    Example: ``parse_plan("crash@2,hang@0*3")`` crashes the worker holding
+    shard 2 once and hangs the worker holding shard 0 three times.
+    """
+    faults = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        kind, _, target = entry.partition("@")
+        if not target:
+            raise ValueError(
+                f"bad fault spec {entry!r}: expected kind@index[*times]"
+            )
+        index_text, _, times_text = target.partition("*")
+        faults.append(
+            Fault(
+                kind=kind.strip(),
+                index=int(index_text),
+                times=int(times_text) if times_text else 1,
+            )
+        )
+    return FaultPlan(
+        faults=tuple(faults),
+        spool=spool,
+        hang_seconds=3600.0 if hang_seconds is None else float(hang_seconds),
+    )
+
+
+def active_plan(environ: Optional[Dict[str, str]] = None) -> Optional[FaultPlan]:
+    """The environment-driven plan, or ``None`` when no faults are armed."""
+    environ = os.environ if environ is None else environ
+    spec = environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    hang = environ.get(HANG_ENV)
+    return parse_plan(
+        spec,
+        spool=environ.get(SPOOL_ENV) or None,
+        hang_seconds=float(hang) if hang else None,
+    )
+
+
+def fire_worker_fault(plan: FaultPlan, index: int) -> None:
+    """Inject worker-side faults for shard ``index`` (pool processes only).
+
+    ``crash`` terminates the worker process abruptly (no exception, no
+    cleanup — the executor sees only a dead child); ``hang`` sleeps far
+    past any sane per-shard timeout.
+    """
+    if plan.claim("crash", index):
+        os._exit(CRASH_EXIT_CODE)
+    if plan.claim("hang", index):
+        time.sleep(plan.hang_seconds)
+
+
+def flip_byte(path: str, offset: Optional[int] = None) -> None:
+    """Flip one byte of ``path`` in place (bit-rot simulation; tests too).
+
+    Defaults to a byte in the middle of the file, inside the compressed /
+    array payload rather than the header, so naive "does it open?" checks
+    are the ones most likely to be fooled.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot flip a byte of empty file {path!r}")
+    offset = size // 2 if offset is None else offset
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 Item = TypeVar("Item")
@@ -57,6 +58,12 @@ def chunk_evenly(items: Sequence[Item], pieces: int) -> List[List[Item]]:
     return chunks
 
 
+def _apply_chunk(task):
+    """Module-level chunk worker (must be picklable by reference)."""
+    fn, chunk = task
+    return [fn(item) for item in chunk]
+
+
 def parallel_map(
     fn: Callable[[Item], Result],
     items: Iterable[Item],
@@ -67,9 +74,12 @@ def parallel_map(
 
     Results are always returned in input order, so callers get identical
     output for any ``jobs`` value.  ``fn`` and the items must be picklable
-    when ``jobs > 1``; if the pool cannot be created or breaks before
-    producing results, the computation falls back to the deterministic
-    serial path.
+    when ``jobs > 1``.  Chunks are submitted as individual futures, so if
+    the pool breaks mid-run (a worker died) or cannot be created at all,
+    completed chunks are *salvaged* and only the incomplete remainder is
+    recomputed serially — with a :class:`RuntimeWarning`, because a broken
+    pool on a healthy machine is worth investigating.  Exceptions raised by
+    ``fn`` itself still propagate unchanged.
     """
     items = list(items)
     workers = resolve_jobs(jobs)
@@ -78,9 +88,31 @@ def parallel_map(
     workers = min(workers, len(items))
     if chunksize is None:
         chunksize = max(1, len(items) // (workers * 4))
+    chunks = [items[start : start + chunksize] for start in range(0, len(items), chunksize)]
+    completed: dict = {}
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (BrokenExecutor, OSError, PermissionError, pickle.PicklingError):
-        # No usable multiprocessing in this environment - degrade gracefully.
-        return [fn(item) for item in items]
+            futures = {
+                pool.submit(_apply_chunk, (fn, chunk)): position
+                for position, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                completed[futures[future]] = future.result()
+    except (BrokenExecutor, OSError, pickle.PicklingError) as error:
+        # Pool-infrastructure failure (dead worker, no semaphores, unpicklable
+        # fn): keep what finished, recompute only the rest serially.  fn's own
+        # exceptions are NOT caught here — they propagate to the caller.
+        warnings.warn(
+            f"process pool failed after {len(completed)}/{len(chunks)} chunks "
+            f"({type(error).__name__}: {error}); computing the remaining "
+            f"{len(chunks) - len(completed)} serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    results: List[Result] = []
+    for position, chunk in enumerate(chunks):
+        if position in completed:
+            results.extend(completed[position])
+        else:
+            results.extend(fn(item) for item in chunk)
+    return results

@@ -84,6 +84,45 @@ class TestCensusSubcommand:
         assert main(["census", "--n", "4", "--shard-dir", "/tmp/x"]) == 2
         assert "--shard-dir requires --streamed" in capsys.readouterr().err
 
+    def test_shard_knobs_require_streamed(self, capsys):
+        for extra in (
+            ["--shard-timeout", "5"],
+            ["--shard-retries", "1"],
+            ["--progress"],
+        ):
+            assert main(["census", "--n", "4"] + extra) == 2
+            assert "requires --streamed" in capsys.readouterr().err
+
+    def test_verify_reports_ok_on_a_healthy_build(self, capsys):
+        assert main(["census", "--n", "4", "--streamed", "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "verify built in-process (n = 4): ok" in output
+
+    def test_verify_catches_a_corrupted_artifact(self, capsys, tmp_path):
+        from repro.engine.faults import flip_byte
+
+        path = tmp_path / "census4_dir"
+        assert main(
+            ["census", "--n", "4", "--no-ucg", "--save", str(path), "--format", "dir"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["census", "--load", str(path), "--verify"]) == 0
+        assert "checksum ok" in capsys.readouterr().out
+
+        # Flip inside the data payload (a tiny .npy is mostly header).
+        import os
+
+        column = path / "dist_total.npy"
+        flip_byte(str(column), offset=os.path.getsize(column) - 5)
+        assert main(["census", "--load", str(path), "--verify"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+
+    def test_progress_flag_streams_manifest_lines(self, capsys):
+        assert main(["census", "--n", "4", "--streamed", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[shards]" in captured.err
+
     def test_load_errors_exit_cleanly(self, capsys, tmp_path):
         assert main(["census", "--load", str(tmp_path / "missing.npz")]) == 2
         assert "cannot load" in capsys.readouterr().err
@@ -113,6 +152,28 @@ def test_scenarios_parser_has_expected_flags():
 def test_scenarios_dispatch_from_main(capsys):
     assert main(["scenarios", "--list"]) == 0
     assert "line_metric" in capsys.readouterr().out
+
+
+def test_scenarios_verify_requires_an_artifact(capsys):
+    assert main(["scenarios", "--name", "line_metric", "--verify"]) == 2
+    assert "--verify audits an artifact" in capsys.readouterr().err
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="weighted-store artifacts require NumPy",
+)
+def test_scenarios_verify_roundtrip(capsys, tmp_path):
+    path = str(tmp_path / "line4.npz")
+    assert main(
+        ["scenarios", "--name", "line_metric", "--n", "4", "--save", path,
+         "--verify", "--grid", "3"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert f"verify {path}: ok" in output
+
+    assert main(["scenarios", "--load", path, "--verify", "--grid", "3"]) == 0
+    assert "checksum ok" in capsys.readouterr().out
 
 
 @pytest.mark.skipif(

@@ -13,11 +13,8 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from repro.analysis.delta_store import (
-    DeltaStore,
-    _load_shard_if_valid,
-    cached_delta_store,
-)
+from repro.analysis.delta_store import DeltaStore, cached_delta_store
+from repro.engine.shardwork import load_shard
 from repro.analysis.scenarios import SCENARIOS, build_scenario, default_t_grid
 from repro.analysis.store import clear_store_cache
 from repro.analysis.weighted_store import WeightedStore
@@ -120,6 +117,21 @@ class TestFromDelta:
 
 
 class TestPersistence:
+    def test_verify_and_checksum_stamp(self, tmp_path):
+        delta = DeltaStore.build(5)
+        audit = delta.verify()
+        assert audit["ok"] and audit["errors"] == []
+        assert audit["checksum"] == "absent"  # in-memory build, no stamp
+        loaded = DeltaStore.load(delta.save(str(tmp_path / "deltas.npz")))
+        assert loaded.verify()["checksum"] == "ok"
+        # Endpoint indices out of range are a structural failure, not just
+        # a checksum one.
+        loaded.add_u = loaded.add_u.copy()
+        loaded.add_u[0] = 99
+        audit = loaded.verify()
+        assert not audit["ok"]
+        assert any("add_u" in error or "checksum" in error for error in audit["errors"])
+
     def test_npz_round_trip(self, tmp_path):
         delta = DeltaStore.build(5)
         path = delta.save(str(tmp_path / "deltas.npz"))
@@ -195,8 +207,10 @@ class TestStreamedBuild:
             payload = handle.read()
         with open(victim, "wb") as handle:
             handle.write(payload[:40])  # truncate mid-archive
-        assert _load_shard_if_valid(victim, 5) is None
-        second = DeltaStore.build_streamed(5, shard_dir=shard_dir)
+        status, part = load_shard(victim, "irrelevant")
+        assert status == "corrupt" and part is None
+        with pytest.warns(RuntimeWarning, match="failed validation"):
+            second = DeltaStore.build_streamed(5, shard_dir=shard_dir)
         assert np.array_equal(first.rem_delta, second.rem_delta)
         assert np.array_equal(first.cert_words, second.cert_words)
 

@@ -11,9 +11,11 @@ tests can assert, on random graphs (connected and disconnected, ``n <= 9``):
   through the engine, serially and through the process pool.
 """
 
+import os
 import pickle
 import random
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -270,6 +272,32 @@ def test_parallel_map_preserves_order():
 
 def _square(x):
     return x * x
+
+
+def _square_crash_once(task):
+    """Kill the worker the first time item 3 is seen; succeed ever after.
+
+    The ``O_CREAT|O_EXCL`` marker makes "first time" race-free across
+    processes, so the serial salvage pass computes the real value.
+    """
+    spool, value = task
+    if value == 3:
+        marker = os.path.join(spool, "crashed")
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            pass
+        else:
+            os._exit(13)
+    return value * value
+
+
+def test_parallel_map_salvages_completed_chunks_on_pool_breakage(tmp_path):
+    items = [(str(tmp_path), value) for value in range(8)]
+    with pytest.warns(RuntimeWarning, match="process pool failed"):
+        results = parallel_map(_square_crash_once, items, jobs=2, chunksize=1)
+    assert results == [value * value for _, value in items]
+    assert os.path.exists(tmp_path / "crashed")
 
 
 def test_parallel_census_matches_serial():

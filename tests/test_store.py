@@ -124,8 +124,11 @@ class TestBuildPaths:
         first = CensusStore.build_streamed(
             5, include_ucg=False, shard_dir=str(shard_dir)
         )
-        shards = sorted(os.listdir(shard_dir))
+        shards = sorted(
+            name for name in os.listdir(shard_dir) if name.startswith("shard_")
+        )
         assert shards and all(name.endswith(".npz") for name in shards)
+        assert (shard_dir / "manifest.json").exists()
         # Second run consumes the persisted shards instead of recomputing.
         resumed = CensusStore.build_streamed(
             5, include_ucg=False, shard_dir=str(shard_dir)
@@ -139,11 +142,12 @@ class TestBuildPaths:
         reference = CensusStore.build_streamed(
             5, include_ucg=False, shard_dir=str(shard_dir)
         )
-        victim = sorted(shard_dir.iterdir())[0]
+        victim = sorted(shard_dir.glob("shard_*.npz"))[0]
         victim.write_bytes(victim.read_bytes()[:40])  # truncate mid-archive
-        resumed = CensusStore.build_streamed(
-            5, include_ucg=False, shard_dir=str(shard_dir)
-        )
+        with pytest.warns(RuntimeWarning, match="failed validation"):
+            resumed = CensusStore.build_streamed(
+                5, include_ucg=False, shard_dir=str(shard_dir)
+            )
         assert_columns_equal(reference, resumed)
 
     def test_cached_store_reuses_cached_census(self):
@@ -397,6 +401,20 @@ class TestPersistence:
     def test_npz_roundtrip(self, store6, tmp_path):
         path = store6.save(str(tmp_path / "census6.npz"))
         assert_columns_equal(store6, CensusStore.load(path))
+
+    def test_verify_and_checksum_stamp(self, store6, tmp_path):
+        audit = store6.verify()
+        assert audit["ok"] and audit["errors"] == []
+        assert audit["checksum"] == "absent"  # in-memory build, no stamp
+        path = store6.save(str(tmp_path / "census6.npz"))
+        loaded = CensusStore.load(path)
+        assert loaded.verify()["checksum"] == "ok"
+        # In-place corruption flips the audit, not just the load.
+        loaded.dist_total = loaded.dist_total.copy()
+        loaded.dist_total[0] += 1
+        audit = loaded.verify()
+        assert not audit["ok"]
+        assert audit["checksum"] == "mismatch"
 
     def test_npz_suffix_added(self, store6, tmp_path):
         path = store6.save(str(tmp_path / "census6"), format="npz")

@@ -159,7 +159,9 @@ class TestBuildPaths:
         assert_stores_equal(first, store6)
         # A resume run must reuse the shards (delete one to prove the others
         # are loaded: only the victim is recomputed, and the merge is equal).
-        victim = sorted(os.listdir(shard_dir))[0]
+        victim = sorted(
+            name for name in os.listdir(shard_dir) if name.startswith("wshard_")
+        )[0]
         os.remove(os.path.join(shard_dir, victim))
         resumed = WeightedStore.build_streamed(
             6,
@@ -190,6 +192,17 @@ class TestPersistence:
     def test_save_load_roundtrip(self, tmp_path, store6, format):
         path = store6.save(str(tmp_path / "w6"), format=format)
         assert_stores_equal(store6, WeightedStore.load(path))
+
+    def test_verify_and_checksum_stamp(self, tmp_path, store6):
+        audit = store6.verify()
+        assert audit["ok"] and audit["errors"] == []
+        assert audit["checksum"] == "absent"  # in-memory build, no stamp
+        loaded = WeightedStore.load(store6.save(str(tmp_path / "w6.npz")))
+        assert loaded.verify()["checksum"] == "ok"
+        loaded.dist_total = loaded.dist_total.copy()
+        loaded.dist_total[0] += 1.0
+        audit = loaded.verify()
+        assert not audit["ok"] and audit["checksum"] == "mismatch"
 
     def test_mmap_load(self, tmp_path, store6):
         path = store6.save(str(tmp_path / "w6dir"), format="dir")
