@@ -49,6 +49,12 @@ repository root so future PRs have a perf trajectory to compare against:
   extrapolated from a measured prefix of the same seed sequence; the
   overlapping draws' counts are asserted bit-identical and the O(classes)
   streaming aggregation state is recorded as the peak-memory proxy;
+* **UCG orientation engine at n = 7** (schema v8) — the vectorised,
+  orbit-pruned α-interval engine (:func:`repro.engine.ucg_alpha_sets`) over
+  all 853 connected classes vs the per-graph orientation backtracking
+  (timed on a strided sample and extrapolated — the full reference run
+  takes minutes); interval endpoints asserted float-identical on the
+  sample before any timing is recorded;
 * **shard runner** (schema v7) — the fault-tolerance tax of
   :func:`repro.engine.run_shards` persistence: the n = 7 streamed census
   built plain vs with checksummed shards + heartbeat manifest, plus the
@@ -62,7 +68,9 @@ floor (>= 10x the per-record loop at n = 8), if the weighted scenario
 sweep fails its floor (>= 10x the per-graph Python loop at n = 7), if the
 weighted-store artifact query fails its floor (>= 10x recomputing the
 sweep at n = 8), if the amortised mega-ensemble fails its floor (>= 10x
-the per-draw store-build path at n = 7), if checksummed shard persistence
+the per-draw store-build path at n = 7), if the UCG orientation engine
+fails its floor (>= 10x the per-graph backtracking at n = 7,
+extrapolated), if checksummed shard persistence
 costs more than 10% over the plain streamed build, or if mutation cost
 shows m-scaling again.
 """
@@ -496,6 +504,62 @@ def bench_weighted_engine() -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------------- #
+# 3e1b. UCG orientation engine: vectorised intervals vs backtracking (v8)
+# --------------------------------------------------------------------------- #
+
+
+def bench_ucg_engine(stride: int = 16) -> Dict[str, float]:
+    """Vectorised UCG α-interval engine vs the per-graph orientation backtrack.
+
+    The engine computes the Nash-supportability interval set of **all** 853
+    connected classes on 7 vertices in one batched pass (vertex-deleted
+    distance tables + superset-min interval tables + the class-quotient
+    orientation DP).  The backtracking reference takes minutes for the full
+    set, so it is timed on every ``stride``-th class and extrapolated
+    (same precedent as the amortised-ensemble projection); endpoints are
+    asserted float-identical on the sample first.  Both paths run on fresh
+    ``Graph`` instances each repeat so the per-instance ``_ucg_set`` memo
+    never short-circuits a timed run.
+    """
+    from repro.core.unilateral import ucg_nash_alpha_set
+    from repro.engine import ucg_alpha_sets
+
+    graphs = enumerate_connected_graphs(7)
+    sample = graphs[::stride]
+
+    def engine_inputs():
+        return [Graph(g.n, g.sorted_edges()) for g in graphs]
+
+    def run_engine():
+        return ucg_alpha_sets(engine_inputs())
+
+    def run_reference_sample():
+        return [
+            ucg_nash_alpha_set(Graph(g.n, g.sorted_edges())) for g in sample
+        ]
+
+    engine_sets = run_engine()
+    for k, (graph, reference) in enumerate(zip(sample, run_reference_sample())):
+        engine_set = engine_sets[k * stride]
+        assert [(iv.lo, iv.hi) for iv in engine_set.intervals] == [
+            (iv.lo, iv.hi) for iv in reference.intervals
+        ], f"UCG engine/backtracking divergence on {graph.sorted_edges()}"
+
+    engine_s = _time(run_engine, repeats=2)
+    reference_sample_s = _time(run_reference_sample, repeats=1)
+    reference_projected_s = reference_sample_s * (len(graphs) / len(sample))
+    return {
+        "graphs": len(graphs),
+        "reference_sample_size": len(sample),
+        "engine_seconds": engine_s,
+        "reference_sample_seconds": reference_sample_s,
+        "reference_projected_seconds": reference_projected_s,
+        "speedup": reference_projected_s / engine_s,
+        "engine_graphs_per_sec": len(graphs) / engine_s,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # 3e2. Persistent weighted artifacts: query-from-artifact vs recompute (v5)
 # --------------------------------------------------------------------------- #
 
@@ -888,7 +952,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v7",
+        "schema": "bench_engine/v8",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -900,6 +964,7 @@ def main(argv=None) -> int:
         "census_n8_bcg_streamed": bench_census_n8_streamed(),
         "census_store": bench_census_store_n8(),
         "weighted_engine": bench_weighted_engine(),
+        "ucg_engine": bench_ucg_engine(),
         "weighted_store": bench_weighted_store(),
         "ensemble": bench_ensemble(),
         "ensemble_amortised": bench_ensemble_amortised(),
@@ -956,6 +1021,14 @@ def main(argv=None) -> int:
         f"{weighted['vectorised_seconds']*1e3:.0f}ms vs python loop "
         f"{weighted['python_seconds']:.2f}s ({weighted['speedup']:.1f}x, "
         f"{weighted['graphs']} graphs x {weighted['grid_points']} scales)"
+    )
+    ucg = report["ucg_engine"]
+    print(
+        f"ucg engine:    n=7 all {ucg['graphs']} classes vectorised "
+        f"{ucg['engine_seconds']:.2f}s vs backtracking "
+        f"{ucg['reference_projected_seconds']:.0f}s projected from "
+        f"{ucg['reference_sample_size']} sampled classes "
+        f"({ucg['speedup']:.0f}x, floor 10x)"
     )
     wstore = report["weighted_store"]
     print(
@@ -1028,6 +1101,11 @@ def main(argv=None) -> int:
     if weighted["speedup"] < 10.0 and not args.report_only:
         failures.append(
             f"weighted engine speedup {weighted['speedup']:.1f}x at n=7 "
+            "is below the 10x floor"
+        )
+    if ucg["speedup"] < 10.0 and not args.report_only:
+        failures.append(
+            f"UCG orientation engine speedup {ucg['speedup']:.1f}x at n=7 "
             "is below the 10x floor"
         )
     if wstore["query_speedup"] < 10.0 and not args.report_only:

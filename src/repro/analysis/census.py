@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.anarchy import price_of_anarchy
 from ..core.stability_intervals import AlphaIntervalSet, PairwiseStabilityProfile
-from ..core.unilateral import ucg_nash_alpha_set
 from ..engine import (
     batch_stability_deltas,
     chunk_evenly,
@@ -31,6 +30,7 @@ from ..engine import (
     parallel_map,
     resolve_jobs,
     run_shards,
+    ucg_alpha_sets,
 )
 from ..graphs import (
     Graph,
@@ -227,11 +227,17 @@ def _make_records(
     The BCG side goes through the vectorised
     :func:`repro.engine.batch_stability_deltas` kernel for the whole batch
     at once (orbit-pruned on its per-graph paths); the UCG orientation
-    search stays per-graph against the worker's process-wide oracle.
+    search is batched through :func:`repro.engine.ucg_alpha_sets` (itself
+    float-exact against, and falling back to, the per-graph backtracking).
     """
     deltas = batch_stability_deltas(graphs, oracle=oracle)
+    ucg_sets = (
+        ucg_alpha_sets(graphs, oracle=oracle)
+        if include_ucg
+        else [None] * len(graphs)
+    )
     records = []
-    for graph, (removal, addition) in zip(graphs, deltas):
+    for graph, (removal, addition), ucg_set in zip(graphs, deltas, ucg_sets):
         records.append(
             GraphRecord(
                 graph=graph,
@@ -240,9 +246,7 @@ def _make_records(
                     removal_increase=removal,
                     addition_saving=addition,
                 ),
-                ucg_alpha_set=(
-                    ucg_nash_alpha_set(graph, oracle=oracle) if include_ucg else None
-                ),
+                ucg_alpha_set=ucg_set,
             )
         )
     return records

@@ -15,9 +15,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dynamics import sample_nash_networks_ucg, sample_stable_networks_bcg
-from ..core.equilibria import is_nash_graph_ucg, is_pairwise_stable
+from ..core.equilibria import is_pairwise_stable
 from ..core.stability_intervals import PairwiseStabilityProfile
-from ..engine import DistanceOracle, batch_stability_deltas, numpy_available
+from ..engine import (
+    DistanceOracle,
+    batch_stability_deltas,
+    numpy_available,
+    ucg_alpha_sets,
+)
 from ..graphs import Graph, canonical_form
 from .sweeps import aligned_link_costs, map_over_grid
 
@@ -143,7 +148,15 @@ def sample_equilibria_at_cost(
         sample_stable_networks_bcg(n, alpha_bcg, num_samples, seed=seed + 1, jobs=jobs)
     )
     if verify:
-        ucg_samples = [g for g in ucg_samples if is_nash_graph_ucg(g, alpha_ucg)]
+        # One batched engine pass replaces the per-sample orientation
+        # backtrack; containment matches is_nash_graph_ucg exactly (same
+        # AlphaIntervalSet, same tolerance).
+        ucg_sets = ucg_alpha_sets(ucg_samples)
+        ucg_samples = [
+            g
+            for g, alpha_set in zip(ucg_samples, ucg_sets)
+            if alpha_set.contains(alpha_ucg)
+        ]
         bcg_samples = [g for g in bcg_samples if is_pairwise_stable(g, alpha_bcg)]
     return SampledEquilibria(
         n=n,

@@ -45,7 +45,6 @@ except ImportError:  # pragma: no cover - exercised only on minimal installs
 
 from ..core.efficiency import efficient_social_cost
 from ..core.stability_intervals import AlphaIntervalSet, PairwiseStabilityProfile
-from ..core.unilateral import ucg_nash_alpha_set
 from ..engine import (
     batch_stability_deltas,
     chunk_evenly,
@@ -54,6 +53,7 @@ from ..engine import (
     parallel_map,
     resolve_jobs,
     run_shards,
+    ucg_alpha_sets,
 )
 from ..engine.columnar import (
     bcg_stable_mask,
@@ -822,8 +822,12 @@ def _analyse_columns(graphs: List[Graph], n: int, include_ucg: bool, oracle) -> 
     """Column chunk for a batch of graphs (same analysis as ``_make_records``)."""
     results = batch_stability_deltas(graphs, oracle=oracle, return_totals=True)
     cols = _ColumnAccumulator(include_ucg)
-    for graph, ((removal, addition), total) in zip(graphs, results):
-        ucg_set = ucg_nash_alpha_set(graph, oracle=oracle) if include_ucg else None
+    ucg_sets = (
+        ucg_alpha_sets(graphs, oracle=oracle) if include_ucg else [None] * len(graphs)
+    )
+    for graph, ((removal, addition), total), ucg_set in zip(
+        graphs, results, ucg_sets
+    ):
         cols.append(graph, removal, addition, total, ucg_set)
     return cols.arrays(n)
 
@@ -842,10 +846,16 @@ def _stream_columns_chunk(task: Tuple[List[Graph], int, bool, int]) -> dict:
 
     def flush() -> None:
         results = batch_stability_deltas(pending, oracle=oracle, return_totals=True)
-        for graph, ((removal, addition), total) in zip(pending, results):
-            ucg_set = (
-                ucg_nash_alpha_set(graph, oracle=oracle) if include_ucg else None
-            )
+        # Graphs arrive canonical with their automorphism record memoised,
+        # so the batched UCG engine orbit-prunes automatically.
+        ucg_sets = (
+            ucg_alpha_sets(pending, oracle=oracle)
+            if include_ucg
+            else [None] * len(pending)
+        )
+        for graph, ((removal, addition), total), ucg_set in zip(
+            pending, results, ucg_sets
+        ):
             cols.append(graph, removal, addition, total, ucg_set)
             clear_canonical_record(graph)
         pending.clear()

@@ -32,11 +32,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..costmodels.models import CostModel
-from ..costmodels.stability import (
-    weighted_stability_profile,
-    weighted_ucg_nash_t_set,
-)
-from ..engine import numpy_available, parallel_map
+from ..costmodels.stability import weighted_stability_profile
+from ..engine import chunk_evenly, numpy_available, parallel_map, resolve_jobs
 from ..engine.oracle import DistanceOracle
 from ..graphs import Graph, enumerate_connected_graphs, total_distance
 
@@ -125,12 +122,20 @@ def weighted_t_windows(
     return t_min.tolist(), t_max.tolist()
 
 
-def _weighted_ucg_intervals_task(task):
-    """Pool worker: the weighted UCG Nash t-intervals of one graph."""
-    graph, model = task
+def _weighted_ucg_intervals_chunk(task):
+    """Pool worker: weighted UCG Nash t-intervals of a chunk of graphs.
+
+    Runs the vectorised orientation engine (:mod:`repro.engine.ucg`) over
+    the whole chunk — which itself falls back to the per-graph
+    :func:`weighted_ucg_nash_t_set` backtracking when NumPy is missing, so
+    the worker is exact in every environment.
+    """
+    graphs, model = task
+    from ..engine.ucg import weighted_ucg_t_sets
+
     return [
-        (interval.lo, interval.hi)
-        for interval in weighted_ucg_nash_t_set(graph, model).intervals
+        [(interval.lo, interval.hi) for interval in t_set.intervals]
+        for t_set in weighted_ucg_t_sets(graphs, model)
     ]
 
 
@@ -142,14 +147,23 @@ def weighted_ucg_grid_mask(
 ):
     """``bool[n_graphs, n_ts]`` weighted UCG Nash-supportability mask.
 
-    The per-graph orientation search dominates (exactly as in the scalar
-    census), so it fans out over ``jobs`` workers; the grid membership test
-    itself is one vectorised interval-containment pass when NumPy is
-    available.
+    The t-intervals come from the vectorised orientation engine
+    (:func:`repro.engine.ucg.weighted_ucg_t_sets`, float-exact against the
+    per-graph backtracking), chunked over ``jobs`` workers; the grid
+    membership test itself is one vectorised interval-containment pass when
+    NumPy is available.
     """
-    interval_lists = parallel_map(
-        _weighted_ucg_intervals_task, [(g, model) for g in graphs], jobs=jobs
+    graphs = list(graphs)
+    workers = resolve_jobs(jobs)
+    chunks = chunk_evenly(graphs, max(1, workers * 4))
+    chunk_lists = parallel_map(
+        _weighted_ucg_intervals_chunk,
+        [(chunk, model) for chunk in chunks],
+        jobs=jobs,
     )
+    interval_lists = [
+        intervals for chunk in chunk_lists for intervals in chunk
+    ]
     if not numpy_available():
         from ..core.stability_intervals import AlphaInterval, AlphaIntervalSet
 

@@ -63,8 +63,10 @@ from ..engine.columnar import (
     csr_invariant_errors,
     gather_segments,
     pack_certificates,
+    ucg_nash_mask,
     weighted_bcg_stable_mask,
     weighted_stability_windows,
+    weighted_ucg_windows,
 )
 from ..graphs import (
     Graph,
@@ -77,7 +79,8 @@ from ..graphs import (
 from ..graphs.isomorphism import clear_canonical_record
 
 #: On-disk format version; bump on any incompatible schema change.
-FORMAT_VERSION = 1
+#: v2: optional UCG t-interval CSR columns (``ucg_lo``/``ucg_hi``/``ucg_indptr``).
+FORMAT_VERSION = 2
 
 #: Schema tag written into every artifact (guards against loading foreign files).
 SCHEMA = "repro-weighted-store"
@@ -89,6 +92,8 @@ _PROBE_COLUMNS = (
     "rem_w", "rem_delta", "rem_indptr",
     "add_w_u", "add_s_u", "add_w_v", "add_s_v", "add_indptr",
 )
+#: Optional UCG t-interval columns (present iff built with ``include_ucg``).
+_UCG_COLUMNS = ("ucg_lo", "ucg_hi", "ucg_indptr")
 
 
 def weighted_store_available() -> bool:
@@ -131,6 +136,9 @@ class WeightedStore:
         add_w_v,
         add_s_v,
         add_indptr,
+        ucg_lo=None,
+        ucg_hi=None,
+        ucg_indptr=None,
         scenario_params: Optional[Dict[str, object]] = None,
     ) -> None:
         _require_numpy()
@@ -148,8 +156,16 @@ class WeightedStore:
         self.add_w_v = add_w_v
         self.add_s_v = add_s_v
         self.add_indptr = add_indptr
+        self.ucg_lo = ucg_lo
+        self.ucg_hi = ucg_hi
+        self.ucg_indptr = ucg_indptr
         self.scenario_params = dict(scenario_params) if scenario_params else None
         self._artifact_checksum = None  # checksum stamped on the loaded artifact
+
+    @property
+    def include_ucg(self) -> bool:
+        """Whether the artifact carries UCG t-interval columns."""
+        return self.ucg_indptr is not None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -162,28 +178,36 @@ class WeightedStore:
         model: CostModel,
         jobs: Optional[int] = None,
         scenario_params: Optional[Dict[str, object]] = None,
+        include_ucg: bool = False,
     ) -> "WeightedStore":
         """Weighted columns for every connected class on ``n`` vertices.
 
         The class list, order and deviation analysis are exactly those of
         :func:`repro.analysis.weighted.weighted_census`; each pool worker
         emits column chunks (a dict of NumPy arrays), so the artifact never
-        exists as per-graph Python objects.
+        exists as per-graph Python objects.  ``include_ucg`` additionally
+        runs the vectorised orientation engine per class and persists the
+        UCG Nash t-interval endpoints (float-exact against
+        :func:`~repro.costmodels.stability.weighted_ucg_nash_t_set`).
         """
         _require_numpy()
         matrix = model.coefficient_matrix(n)
         graphs = enumerate_connected_graphs(n)
         workers = resolve_jobs(jobs)
         chunks = chunk_evenly(graphs, max(1, workers * 4))
-        tasks = [(chunk, model, matrix, n) for chunk in chunks]
+        tasks = [(chunk, model, matrix, n, include_ucg) for chunk in chunks]
         parts = parallel_map(_weighted_columns_chunk, tasks, jobs=jobs)
         # enumerate_connected_graphs is already canonically sorted and the
         # chunks preserve order, so no global sort is needed here.
-        return cls._from_parts(n, matrix, parts, scenario_params)
+        return cls._from_parts(n, matrix, parts, scenario_params, include_ucg)
 
     @classmethod
     def from_scenario(
-        cls, scenario, jobs: Optional[int] = None, streamed: bool = False
+        cls,
+        scenario,
+        jobs: Optional[int] = None,
+        streamed: bool = False,
+        include_ucg: bool = False,
     ) -> "WeightedStore":
         """Build the artifact of one scenario-library :class:`Scenario`.
 
@@ -196,6 +220,7 @@ class WeightedStore:
             scenario.model,
             jobs=jobs,
             scenario_params=dict(scenario.params),
+            include_ucg=include_ucg,
         )
 
     @classmethod
@@ -212,6 +237,7 @@ class WeightedStore:
         max_retries: Optional[int] = None,
         progress=None,
         fault_plan=None,
+        include_ucg: bool = False,
     ) -> "WeightedStore":
         """Build the columns by streaming the canonical-augmentation tree.
 
@@ -240,7 +266,10 @@ class WeightedStore:
         shard_level = max(0, min(shard_level, n))
         roots = enumerate_graphs(shard_level)
         chunks = chunk_evenly(roots, max(1, workers * 4))
-        tasks = [(chunk, model, matrix, n, batch_size) for chunk in chunks]
+        tasks = [
+            (chunk, model, matrix, n, batch_size, include_ucg)
+            for chunk in chunks
+        ]
 
         report = run_shards(
             _stream_weighted_chunk,
@@ -252,6 +281,7 @@ class WeightedStore:
                 "kind": SCHEMA,
                 "format_version": FORMAT_VERSION,
                 "n": int(n),
+                "include_ucg": bool(include_ucg),
                 "matrix": _np.asarray(matrix, dtype=_np.float64),
             },
             timeout=timeout,
@@ -260,7 +290,9 @@ class WeightedStore:
             fault_plan=fault_plan,
         )
 
-        store = cls._from_parts(n, matrix, report.parts, scenario_params)
+        store = cls._from_parts(
+            n, matrix, report.parts, scenario_params, include_ucg
+        )
         return store.sort_canonical()
 
     @classmethod
@@ -270,13 +302,14 @@ class WeightedStore:
         matrix,
         parts: List[dict],
         scenario_params: Optional[Dict[str, object]],
+        include_ucg: bool = False,
     ) -> "WeightedStore":
         np = _require_numpy()
         return cls(
             n=n,
             weight_matrix=np.asarray(matrix, dtype=np.float64),
             scenario_params=scenario_params,
-            **_merge_parts(parts, n),
+            **_merge_parts(parts, n, include_ucg),
         )
 
     @classmethod
@@ -285,6 +318,7 @@ class WeightedStore:
         delta,
         model: CostModel,
         scenario_params: Optional[Dict[str, object]] = None,
+        include_ucg: bool = False,
     ) -> "WeightedStore":
         """Materialise one draw's artifact from a shared model-independent
         :class:`~repro.analysis.delta_store.DeltaStore` — no deviation pass.
@@ -305,6 +339,18 @@ class WeightedStore:
         # reshape keeps the n = 0 edge case indexable (asarray([]) is 1-D)
         matrix = matrix.reshape(players, players) if delta.n else matrix.reshape(0, 0)
         rem_w = matrix[delta.rem_pay, delta.rem_other] if delta.n else np.zeros(0)
+        ucg = {}
+        if include_ucg:
+            # The delta columns are model-independent, so UCG intervals
+            # cannot be gathered from them — run the orientation engine over
+            # the decoded class representatives instead.
+            from ..engine.batch import batch_ucg_columns
+
+            graphs = [
+                certificate_to_graph(delta.cert_words[i], delta.n)
+                for i in range(int(np.asarray(delta.num_edges).shape[0]))
+            ]
+            ucg = batch_ucg_columns(graphs, model=model)
         return cls(
             n=delta.n,
             weight_matrix=matrix,
@@ -321,6 +367,7 @@ class WeightedStore:
             add_s_v=np.asarray(delta.add_s_v).astype(np.float64),
             add_indptr=np.asarray(delta.add_indptr),
             scenario_params=scenario_params,
+            **ucg,
         )
 
     # ------------------------------------------------------------------ #
@@ -342,6 +389,17 @@ class WeightedStore:
         add_s_u, _ = gather_segments(self.add_s_u, self.add_indptr, order)
         add_w_v, _ = gather_segments(self.add_w_v, self.add_indptr, order)
         add_s_v, _ = gather_segments(self.add_s_v, self.add_indptr, order)
+        ucg = {}
+        if self.include_ucg:
+            ucg_lo, ucg_indptr = gather_segments(
+                self.ucg_lo, self.ucg_indptr, order
+            )
+            ucg_hi, _ = gather_segments(self.ucg_hi, self.ucg_indptr, order)
+            ucg = {
+                "ucg_lo": ucg_lo,
+                "ucg_hi": ucg_hi,
+                "ucg_indptr": ucg_indptr,
+            }
         return WeightedStore(
             n=self.n,
             weight_matrix=self.weight_matrix,
@@ -358,6 +416,7 @@ class WeightedStore:
             add_s_v=add_s_v,
             add_indptr=add_indptr,
             scenario_params=self.scenario_params,
+            **ucg,
         )
 
     # ------------------------------------------------------------------ #
@@ -386,6 +445,35 @@ class WeightedStore:
     def stability_windows(self):
         """Per-class weighted Lemma 2 ``(t_min, t_max)`` arrays."""
         return weighted_stability_windows(*self._probe_columns())
+
+    def _require_ucg(self) -> None:
+        if not self.include_ucg:
+            raise ValueError(
+                "this weighted-store artifact carries no UCG columns; "
+                "rebuild with include_ucg=True (CLI: scenarios --ucg)"
+            )
+
+    def ucg_nash_mask(self, ts: Sequence[float]):
+        """``bool[n_classes, n_ts]`` UCG Nash supportability on a grid.
+
+        Bit-identical to :meth:`AlphaIntervalSet.contains` over the stored
+        t-interval endpoints — and those endpoints are float-exact against
+        :func:`~repro.costmodels.stability.weighted_ucg_nash_t_set`.
+        """
+        self._require_ucg()
+        return ucg_nash_mask(self.ucg_lo, self.ucg_hi, self.ucg_indptr, ts)
+
+    def ucg_nash_counts(self, ts: Sequence[float]) -> List[int]:
+        """Number of UCG Nash-supportable classes at every grid point."""
+        return [int(count) for count in self.ucg_nash_mask(ts).sum(axis=0)]
+
+    def ucg_windows(self):
+        """Per-class UCG supportability hulls ``(t_min, t_max)``.
+
+        Classes with no supportable threshold report ``(inf, -inf)``.
+        """
+        self._require_ucg()
+        return weighted_ucg_windows(self.ucg_lo, self.ucg_hi, self.ucg_indptr)
 
     def aggregates(self, ts: Sequence[float]) -> Dict[str, list]:
         """Whole-grid sweep aggregates, float-exact vs :func:`weighted_sweep`.
@@ -442,6 +530,10 @@ class WeightedStore:
     def _columns(self) -> Dict[str, object]:
         columns = {name: getattr(self, name) for name in _DENSE_COLUMNS}
         columns.update({name: getattr(self, name) for name in _PROBE_COLUMNS})
+        if self.include_ucg:
+            columns.update(
+                {name: getattr(self, name) for name in _UCG_COLUMNS}
+            )
         columns["weight_matrix"] = self.weight_matrix
         return columns
 
@@ -474,6 +566,16 @@ class WeightedStore:
         errors += csr_invariant_errors(
             "add", self.add_w_u.shape[0], self.add_indptr, classes
         )
+        if self.include_ucg:
+            errors += csr_invariant_errors(
+                "ucg", self.ucg_lo.shape[0], self.ucg_indptr, classes
+            )
+            if self.ucg_hi.shape != self.ucg_lo.shape:
+                errors.append("ucg: ucg_hi and ucg_lo lengths differ")
+            elif self.ucg_lo.shape[0] and bool(
+                np.any(np.asarray(self.ucg_lo) > np.asarray(self.ucg_hi))
+            ):
+                errors.append("ucg: interval with lo > hi")
         for name in ("rem_delta",):
             if getattr(self, name).shape != self.rem_w.shape:
                 errors.append(f"rem: {name} and rem_w lengths differ")
@@ -527,6 +629,7 @@ class WeightedStore:
             "seed": scenario.get("seed"),
             "scenario_params": dict(scenario) or None,
             "format_version": FORMAT_VERSION,
+            "include_ucg": self.include_ucg,
             "nbytes": self.nbytes,
             "column_bytes": {
                 name: array.nbytes for name, array in self._columns().items()
@@ -622,10 +725,10 @@ class WeightedStore:
             )
             cls._check_meta(schema, version, path)
             scenario = json.loads(str(data["scenario_json"]))
-            columns = {
-                name: data[name]
-                for name in _DENSE_COLUMNS + _PROBE_COLUMNS + ("weight_matrix",)
-            }
+            names = _DENSE_COLUMNS + _PROBE_COLUMNS + ("weight_matrix",)
+            if "ucg_indptr" in data:
+                names = names + _UCG_COLUMNS
+            columns = {name: data[name] for name in names}
             store = cls(n=int(data["n"]), scenario_params=scenario, **columns)
             if "checksum" in data:
                 store._artifact_checksum = str(data["checksum"])
@@ -647,7 +750,7 @@ class WeightedStore:
 # --------------------------------------------------------------------------- #
 
 
-def _merge_parts(parts: List[dict], n: int) -> dict:
+def _merge_parts(parts: List[dict], n: int, include_ucg: bool = False) -> dict:
     """Concatenate column-chunk dicts (CSR offsets rebased) into one dict.
 
     The single merge site for every build path — in-process chunks, shard
@@ -656,7 +759,7 @@ def _merge_parts(parts: List[dict], n: int) -> dict:
     """
     np = _require_numpy()
     parts = [part for part in parts if part["num_edges"].shape[0]] or [
-        _empty_part(n)
+        _empty_part(n, include_ucg)
     ]
     rem_w, rem_indptr = concat_csr([(p["rem_w"], p["rem_indptr"]) for p in parts])
     add_w_u, add_indptr = concat_csr(
@@ -675,12 +778,18 @@ def _merge_parts(parts: List[dict], n: int) -> dict:
         add_w_u=add_w_u,
         add_indptr=add_indptr,
     )
+    if include_ucg:
+        ucg_lo, ucg_indptr = concat_csr(
+            [(p["ucg_lo"], p["ucg_indptr"]) for p in parts]
+        )
+        ucg_hi, _ = concat_csr([(p["ucg_hi"], p["ucg_indptr"]) for p in parts])
+        merged.update(ucg_lo=ucg_lo, ucg_hi=ucg_hi, ucg_indptr=ucg_indptr)
     return merged
 
 
-def _empty_part(n: int) -> dict:
+def _empty_part(n: int, include_ucg: bool = False) -> dict:
     np = _require_numpy()
-    return {
+    part = {
         "num_edges": np.zeros(0, dtype=np.int32),
         "dist_total": np.zeros(0, dtype=np.float64),
         "edge_cost_total": np.zeros(0, dtype=np.float64),
@@ -694,6 +803,11 @@ def _empty_part(n: int) -> dict:
         "add_s_v": np.zeros(0, dtype=np.float64),
         "add_indptr": np.zeros(1, dtype=np.int64),
     }
+    if include_ucg:
+        part["ucg_lo"] = np.zeros(0, dtype=np.float64)
+        part["ucg_hi"] = np.zeros(0, dtype=np.float64)
+        part["ucg_indptr"] = np.zeros(1, dtype=np.int64)
+    return part
 
 
 def _edge_cost_totals(delta, model: CostModel, rem_w):
@@ -729,6 +843,7 @@ def _weighted_part(
     matrix,
     n: int,
     oracle: Optional[DistanceOracle],
+    include_ucg: bool = False,
 ) -> dict:
     """One column chunk: probe columns + dense provenance for ``graphs``.
 
@@ -737,11 +852,11 @@ def _weighted_part(
     uniform model's ``2α·m`` — survive into the artifact and the
     aggregates stay float-exact against the in-memory sweep.
     """
-    from ..engine.batch import batch_weighted_columns
+    from ..engine.batch import batch_ucg_columns, batch_weighted_columns
 
     np = _require_numpy()
     if not graphs:
-        return _empty_part(n)
+        return _empty_part(n, include_ucg)
     part = batch_weighted_columns(graphs, matrix, oracle=oracle)
     part["edge_cost_total"] = np.asarray(
         [model.bcg_edge_cost_total(graph) for graph in graphs], dtype=np.float64
@@ -749,23 +864,27 @@ def _weighted_part(
     part["cert_words"] = pack_certificates(
         [graph.adjacency_bitstring() for graph in graphs], n
     )
+    if include_ucg:
+        part.update(batch_ucg_columns(graphs, model=model, oracle=oracle))
     return part
 
 
 def _weighted_columns_chunk(task: Tuple) -> dict:
-    graphs, model, matrix, n = task
-    return _weighted_part(graphs, model, matrix, n, DistanceOracle())
+    graphs, model, matrix, n, include_ucg = task
+    return _weighted_part(graphs, model, matrix, n, DistanceOracle(), include_ucg)
 
 
 def _stream_weighted_chunk(task: Tuple) -> dict:
     """Generate-and-price one generation-tree shard into weighted columns."""
-    roots, model, matrix, n, batch_size = task
+    roots, model, matrix, n, batch_size, include_ucg = task
     oracle = DistanceOracle()
     parts: List[dict] = []
     pending: List[Graph] = []
 
     def flush() -> None:
-        parts.append(_weighted_part(pending, model, matrix, n, oracle))
+        parts.append(
+            _weighted_part(pending, model, matrix, n, oracle, include_ucg)
+        )
         for graph in pending:
             clear_canonical_record(graph)
         pending.clear()
@@ -779,4 +898,4 @@ def _stream_weighted_chunk(task: Tuple) -> dict:
                 flush()
     if pending:
         flush()
-    return _merge_parts(parts, n)
+    return _merge_parts(parts, n, include_ucg)

@@ -128,8 +128,13 @@ def build_census_parser() -> argparse.ArgumentParser:
         help="memory-map the columns when loading a directory artifact",
     )
     parser.add_argument(
-        "--no-ucg", action="store_true",
-        help="skip the (slower) UCG orientation analysis when building",
+        "--ucg",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "include the vectorised UCG orientation analysis when building "
+            "(default: on; --no-ucg for a BCG-only artifact)"
+        ),
     )
     parser.add_argument(
         "--streamed", action="store_true",
@@ -222,7 +227,11 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ucg",
         action="store_true",
-        help="also run the (slower) weighted UCG orientation analysis",
+        help=(
+            "also run the weighted UCG orientation analysis (vectorised "
+            "engine); with --save/--load the UCG t-interval columns are "
+            "persisted in / reported from the artifact"
+        ),
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -232,7 +241,8 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
         "--save", metavar="PATH", default=None,
         help=(
             "persist the sweep as a weighted-store artifact (*.npz or a "
-            "directory) and answer the table from it (BCG only)"
+            "directory) and answer the table from it (add --ucg for UCG "
+            "columns)"
         ),
     )
     parser.add_argument(
@@ -280,16 +290,20 @@ def _report_verify(audit, label: str) -> int:
     return 1
 
 
-def _print_weighted_table(ts, counts, links, social) -> None:
+def _print_weighted_table(ts, counts, links, social, ucg_counts=None) -> None:
     from .analysis.report import format_table
 
-    rows = [
-        [t, counts[k], links[k], social[k]] for k, t in enumerate(ts)
-    ]
+    headers = ["t", "#stable_bcg", "avg_links", "avg_social_cost"]
+    if ucg_counts is not None:
+        headers.append("#nash_ucg")
+    rows = []
+    for k, t in enumerate(ts):
+        row = [t, counts[k], links[k], social[k]]
+        if ucg_counts is not None:
+            row.append(ucg_counts[k])
+        rows.append(row)
     print()
-    print(
-        format_table(["t", "#stable_bcg", "avg_links", "avg_social_cost"], rows)
-    )
+    print(format_table(headers, rows))
 
 
 def scenarios_main(argv: List[str]) -> int:
@@ -310,13 +324,6 @@ def scenarios_main(argv: List[str]) -> int:
         for name in available_scenarios():
             print(name)
         return 0
-    if (args.save or args.load) and args.ucg:
-        print(
-            "weighted-store artifacts hold the BCG columns only; "
-            "drop --ucg or drop --save/--load",
-            file=sys.stderr,
-        )
-        return 2
     if (args.save or args.load) and not weighted_store_available():
         print("weighted-store artifacts require NumPy", file=sys.stderr)
         return 2
@@ -355,6 +362,13 @@ def scenarios_main(argv: List[str]) -> int:
         print(format_weighted_store_summary(store, source=args.load))
         if args.verify and _report_verify(store.verify(), args.load):
             return 1
+        if args.ucg and not store.include_ucg:
+            print(
+                f"{args.load} carries no UCG columns; rebuild the artifact "
+                "with scenarios --ucg --save",
+                file=sys.stderr,
+            )
+            return 2
         ts = default_t_grid(store.n, args.grid)
         aggregates = store.aggregates(ts)
         _print_weighted_table(
@@ -362,6 +376,7 @@ def scenarios_main(argv: List[str]) -> int:
             aggregates["bcg_counts"],
             aggregates["average_links"],
             aggregates["average_social_cost"],
+            ucg_counts=store.ucg_nash_counts(ts) if args.ucg else None,
         )
         return 0
 
@@ -394,7 +409,9 @@ def scenarios_main(argv: List[str]) -> int:
         # Build the columns once, answer the table from them, persist them:
         # the artifact *is* the sweep, so the printed numbers and any later
         # --load query come from identical columns.
-        store = WeightedStore.from_scenario(scenario, jobs=args.jobs)
+        store = WeightedStore.from_scenario(
+            scenario, jobs=args.jobs, include_ucg=args.ucg
+        )
         print(
             f"scenario {scenario.name}: n = {scenario.n}, "
             f"{model.kind} cost model, {len(store)} connected classes"
@@ -415,6 +432,7 @@ def scenarios_main(argv: List[str]) -> int:
             aggregates["bcg_counts"],
             aggregates["average_links"],
             aggregates["average_social_cost"],
+            ucg_counts=store.ucg_nash_counts(ts) if args.ucg else None,
         )
         return 0
 
@@ -629,7 +647,7 @@ def census_main(argv: List[str]) -> int:
         source = args.load
     else:
         build = CensusStore.build_streamed if args.streamed else CensusStore.build
-        kwargs = {"include_ucg": not args.no_ucg, "jobs": args.jobs}
+        kwargs = {"include_ucg": args.ucg, "jobs": args.jobs}
         if args.shard_dir:
             kwargs["shard_dir"] = args.shard_dir
         if args.streamed:

@@ -263,7 +263,21 @@ def ucg_nash_alpha_set(
     Runs :func:`orientation_interval_search` over the per-player
     best-response intervals of :func:`ownership_best_response_interval`
     (memoised per ``(player, owned)`` — distinct orientations reuse them).
+
+    The result is additionally memoised per :class:`Graph` *instance* (the
+    endpoint tuple lives on the graph's ``_ucg_set`` slot, mirroring the
+    canonical-record memo and the α-threshold memos of
+    :class:`PairwiseStabilityProfile`): graphs are immutable — every edge
+    mutation builds a new instance — so the memo can never observe a stale
+    orientation search.  The batched engine
+    (:func:`repro.engine.ucg.ucg_alpha_sets`) reads and populates the same
+    slot, so mixing the two paths never recomputes.
     """
+    cached = getattr(graph, "_ucg_set", None)
+    if cached is not None:
+        return AlphaIntervalSet(
+            AlphaInterval(lo, hi) for lo, hi in cached
+        )
     if oracle is None:
         oracle = get_default_oracle()
 
@@ -277,7 +291,11 @@ def ucg_nash_alpha_set(
             )
         return interval_cache[key]
 
-    return orientation_interval_search(graph, player_interval)
+    result = orientation_interval_search(graph, player_interval)
+    graph._ucg_set = tuple(
+        (interval.lo, interval.hi) for interval in result.intervals
+    )
+    return result
 
 
 def is_nash_graph_ucg(

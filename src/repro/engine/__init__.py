@@ -64,12 +64,14 @@ both, so the core/analysis/experiments layers never re-derive them ad hoc:
 from .batch import (
     batch_delta_columns,
     batch_stability_deltas,
+    batch_ucg_columns,
     batch_weighted_columns,
     numpy_available,
     validate_weight_matrix,
 )
 from .oracle import DistanceOracle, get_default_oracle
 from .pool import chunk_evenly, parallel_map, resolve_jobs
+from .ucg import ucg_alpha_sets, ucg_engine_available, weighted_ucg_t_sets
 from .shardwork import (
     ShardRunReport,
     config_fingerprint,
@@ -84,6 +86,7 @@ __all__ = [
     "StreamingEnsembleStats",
     "batch_delta_columns",
     "batch_stability_deltas",
+    "batch_ucg_columns",
     "batch_weighted_columns",
     "chunk_evenly",
     "config_fingerprint",
@@ -94,5 +97,8 @@ __all__ = [
     "resolve_jobs",
     "run_shards",
     "streaming_available",
+    "ucg_alpha_sets",
+    "ucg_engine_available",
     "validate_weight_matrix",
+    "weighted_ucg_t_sets",
 ]

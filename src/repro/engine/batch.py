@@ -378,6 +378,42 @@ def batch_weighted_columns(
     }
 
 
+def batch_ucg_columns(
+    graphs: Sequence[Graph],
+    model=None,
+    oracle: Optional[DistanceOracle] = None,
+    use_orbits: Optional[bool] = None,
+):
+    """UCG interval-endpoint CSR columns for a batch of graphs.
+
+    Runs the vectorised orientation engine (:mod:`repro.engine.ucg`) over
+    the whole batch — scalar α-intervals when ``model`` is ``None``,
+    weighted t-intervals for a :class:`~repro.costmodels.models.CostModel`
+    otherwise — and packs the per-graph :class:`AlphaIntervalSet` results
+    into the ``ucg_lo``/``ucg_hi``/``ucg_indptr`` layout both stores
+    persist.  Endpoints are element-for-element float-exact against the
+    per-graph backtracking references (``ucg_nash_alpha_set`` /
+    ``weighted_ucg_nash_t_set``), which remain the NumPy-less fallback of
+    the engine itself.
+    """
+    if _np is None:  # pragma: no cover - exercised only on minimal installs
+        raise RuntimeError(
+            "batch_ucg_columns requires NumPy; use "
+            "repro.core.ucg_nash_alpha_set per graph instead"
+        )
+    from .columnar import ucg_interval_columns
+    from .ucg import ucg_alpha_sets, weighted_ucg_t_sets
+
+    if model is None:
+        sets = ucg_alpha_sets(graphs, oracle=oracle, use_orbits=use_orbits)
+    else:
+        sets = weighted_ucg_t_sets(
+            graphs, model, oracle=oracle, use_orbits=use_orbits
+        )
+    lo, hi, indptr = ucg_interval_columns(sets)
+    return {"ucg_lo": lo, "ucg_hi": hi, "ucg_indptr": indptr}
+
+
 def _oracle_total(graph: Graph, oracle: DistanceOracle) -> float:
     """Total ordered-pair distance sum via the oracle's cached per-source sums.
 

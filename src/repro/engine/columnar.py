@@ -223,6 +223,48 @@ def ucg_nash_mask(iv_lo, iv_hi, iv_indptr, alphas):
     return out
 
 
+def ucg_interval_columns(interval_sets) -> Tuple:
+    """Pack per-class :class:`AlphaIntervalSet` results into CSR columns.
+
+    Returns ``(lo, hi, indptr)``: flat float64 endpoint arrays plus the
+    ``int64`` CSR offsets, one segment per class in input order — the exact
+    layout :class:`~repro.analysis.store.CensusStore` persists, so a store
+    round-trip reproduces every endpoint bit-for-bit.
+    """
+    np = _require_numpy()
+    lo: List[float] = []
+    hi: List[float] = []
+    indptr = np.zeros(len(interval_sets) + 1, dtype=np.int64)
+    for i, interval_set in enumerate(interval_sets):
+        for interval in interval_set.intervals:
+            lo.append(interval.lo)
+            hi.append(interval.hi)
+        indptr[i + 1] = len(lo)
+    return (
+        np.asarray(lo, dtype=np.float64),
+        np.asarray(hi, dtype=np.float64),
+        indptr,
+    )
+
+
+def weighted_ucg_windows(iv_lo, iv_hi, iv_indptr) -> Tuple:
+    """Per-class UCG supportability windows ``(t_min, t_max)`` from CSR columns.
+
+    The hull of each class's stored interval set: ``t_min`` is the smallest
+    supportable threshold, ``t_max`` the largest.  Classes with no interval
+    report ``(inf, -inf)`` — an empty window with ``t_min > t_max``, so
+    window emptiness is a plain comparison downstream.  Works unchanged for
+    scalar α-columns (the scalar game is the ``w ≡ 1`` special case).
+    """
+    np = _require_numpy()
+    lo = np.asarray(iv_lo).astype(np.float64, copy=False)
+    hi = np.asarray(iv_hi).astype(np.float64, copy=False)
+    return (
+        segment_min(lo, iv_indptr, empty=float("inf")),
+        segment_max(hi, iv_indptr, empty=float("-inf")),
+    )
+
+
 def _check_weight_columns(*weight_arrays) -> None:
     """Reject weighted coefficient columns the kernels cannot divide by.
 

@@ -88,7 +88,16 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_rows", "_m", "_edges", "_adj", "_hash", "_canon")
+    __slots__ = (
+        "_n",
+        "_rows",
+        "_m",
+        "_edges",
+        "_adj",
+        "_hash",
+        "_canon",
+        "_ucg_set",
+    )
 
     def __init__(self, n_vertices: int, edges: Iterable[Edge] = ()) -> None:
         if n_vertices < 0:
@@ -114,6 +123,10 @@ class Graph:
         self._hash: Optional[int] = None
         #: Memoised canonical-search result (set by repro.graphs.isomorphism).
         self._canon = None
+        #: Memoised UCG Nash α-set endpoints (set by repro.core.unilateral /
+        #: repro.engine.ucg).  Graphs are immutable — edge mutations build new
+        #: instances via _from_rows — so the memo can never go stale.
+        self._ucg_set = None
 
     @classmethod
     def _from_rows(cls, n: int, rows: Tuple[int, ...], m: int) -> "Graph":
@@ -131,6 +144,7 @@ class Graph:
         graph._adj = None
         graph._hash = None
         graph._canon = None
+        graph._ucg_set = None
         return graph
 
     def __reduce__(self):

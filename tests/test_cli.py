@@ -178,6 +178,51 @@ def test_scenarios_verify_roundtrip(capsys, tmp_path):
 
 @pytest.mark.skipif(
     importlib.util.find_spec("numpy") is None,
+    reason="UCG store columns require NumPy",
+)
+class TestUcgFlags:
+
+    def test_census_includes_ucg_by_default(self, capsys):
+        assert main(["census", "--n", "4", "--grid", "3"]) == 0
+        assert "ucg = yes" in capsys.readouterr().out
+
+    def test_census_explicit_ucg_flag(self, capsys):
+        assert main(["census", "--n", "4", "--ucg", "--grid", "3", "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "ucg = yes" in output
+        assert ": ok" in output  # --verify audits the UCG CSR columns too
+
+    def test_scenarios_ucg_save_load_roundtrip(self, capsys, tmp_path):
+        path = str(tmp_path / "ucg4.npz")
+        assert main(
+            ["scenarios", "--name", "random_weights", "--n", "4", "--ucg",
+             "--save", path, "--verify", "--grid", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "#nash_ucg" in output
+        assert f"verify {path}: ok" in output
+
+        assert main(
+            ["scenarios", "--load", path, "--ucg", "--verify", "--grid", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "#nash_ucg" in output
+        assert "ucg_lo" in output  # the artifact carries the UCG columns
+        assert "checksum ok" in output
+
+    def test_scenarios_load_without_ucg_columns_errors(self, capsys, tmp_path):
+        path = str(tmp_path / "bcg4.npz")
+        assert main(
+            ["scenarios", "--name", "random_weights", "--n", "4",
+             "--save", path, "--grid", "3"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "--load", path, "--ucg", "--grid", "3"]) == 2
+        assert "no UCG columns" in capsys.readouterr().err
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
     reason="the ensemble subcommand requires NumPy",
 )
 class TestEnsembleSubcommand:

@@ -232,12 +232,17 @@ class TestScenariosCLI:
         assert main(["scenarios", "--load", str(path)]) == 2
         assert "cannot load" in capsys.readouterr().err
 
-    def test_save_conflicts_with_ucg(self, capsys, tmp_path):
+    def test_save_persists_ucg_columns(self, capsys, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.analysis.weighted_store import WeightedStore
+
+        path = str(tmp_path / "x.npz")
         assert main(
             ["scenarios", "--name", "line_metric", "--n", "4",
-             "--ucg", "--save", str(tmp_path / "x.npz")]
-        ) == 2
-        assert "BCG columns only" in capsys.readouterr().err
+             "--ucg", "--save", path, "--grid", "3"]
+        ) == 0
+        assert "#nash_ucg" in capsys.readouterr().out
+        assert WeightedStore.load(path).include_ucg
 
 
 class TestEnsembleCLI:

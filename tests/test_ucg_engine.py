@@ -1,0 +1,357 @@
+"""Tests for the vectorised, orbit-pruned UCG orientation engine.
+
+Pins the acceptance contract of the batched UCG path: the engine's
+α-interval sets are **float-exact** (endpoint-for-endpoint, with the same
+edgeless/disconnected conventions) against the per-graph orientation
+backtracking of :func:`repro.core.unilateral.ucg_nash_alpha_set` and
+:func:`repro.costmodels.stability.weighted_ucg_nash_t_set`, orbit pruning
+changes nothing, uniform weights reduce to the scalar path, and the
+per-``Graph`` memo obeys the staleness contract (mutations build new
+instances, so a memo can never go stale).
+"""
+
+import importlib.util
+import math
+
+import pytest
+
+from repro.analysis.scenarios import available_scenarios, build_scenario
+from repro.core.stability_intervals import AlphaIntervalSet
+from repro.core.unilateral import ucg_nash_alpha_set
+from repro.costmodels import UniformCost
+from repro.costmodels.stability import weighted_ucg_nash_t_set
+from repro.engine import ucg_alpha_sets, ucg_engine_available, weighted_ucg_t_sets
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    enumerate_connected_graphs,
+    path_graph,
+)
+
+HAVE_NUMPY = importlib.util.find_spec("numpy") is not None
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the vectorised UCG engine requires NumPy"
+)
+
+INF = float("inf")
+
+
+def endpoints(interval_set: AlphaIntervalSet):
+    """Comparable endpoint tuples of an interval set."""
+    return [(iv.lo, iv.hi) for iv in interval_set.intervals]
+
+
+def fresh(graph: Graph) -> Graph:
+    """A new instance of the same topology (no memo, no canonical record)."""
+    return Graph(graph.n, graph.sorted_edges())
+
+
+# --------------------------------------------------------------------------- #
+# Float-exact parity against the backtracking reference
+# --------------------------------------------------------------------------- #
+
+
+def test_engine_availability_tracks_numpy():
+    assert ucg_engine_available() == HAVE_NUMPY
+
+
+class TestScalarParity:
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_all_connected_classes(self, n):
+        graphs = enumerate_connected_graphs(n)
+        engine_sets = ucg_alpha_sets([fresh(g) for g in graphs])
+        for graph, engine_set in zip(graphs, engine_sets):
+            assert endpoints(engine_set) == endpoints(
+                ucg_nash_alpha_set(fresh(graph))
+            ), f"UCG engine mismatch on n={n} {graph.sorted_edges()}"
+
+    def test_trivial_graphs_full_interval(self):
+        for graph in (empty_graph(0), empty_graph(1)):
+            (interval_set,) = ucg_alpha_sets([graph])
+            assert endpoints(interval_set) == [(0.0, INF)]
+
+    def test_edgeless_graphs_inf_inf_convention(self):
+        # The reference backtracking yields the degenerate [(inf, inf)]
+        # interval for edgeless graphs (base distances are infinite, so
+        # lo = hi = inf and the interval is formally nonempty); the engine
+        # must reproduce the convention exactly, not "fix" it.
+        for n in (2, 3, 5):
+            graph = empty_graph(n)
+            (interval_set,) = ucg_alpha_sets([fresh(graph)])
+            assert endpoints(interval_set) == endpoints(ucg_nash_alpha_set(graph))
+            assert endpoints(interval_set) == [(INF, INF)]
+
+    def test_disconnected_with_edges_empty_set(self):
+        # A disconnected graph that still has edges is never
+        # Nash-supportable: some player faces an infinite base distance
+        # while owning a finite-cost purchase, so every interval is empty.
+        graph = Graph(5, [(0, 1), (1, 2)])  # vertices 3, 4 isolated
+        (interval_set,) = ucg_alpha_sets([fresh(graph)])
+        assert endpoints(interval_set) == endpoints(ucg_nash_alpha_set(graph))
+        assert endpoints(interval_set) == []
+
+    def test_mixed_sizes_one_call(self):
+        graphs = [
+            empty_graph(1),
+            path_graph(4),
+            cycle_graph(5),
+            Graph(4, [(0, 1)]),  # disconnected, has an edge
+            complete_graph(3),
+        ]
+        engine_sets = ucg_alpha_sets([fresh(g) for g in graphs])
+        for graph, engine_set in zip(graphs, engine_sets):
+            assert endpoints(engine_set) == endpoints(ucg_nash_alpha_set(fresh(graph)))
+
+
+class TestWeightedParity:
+
+    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_registry_scenarios(self, name, n):
+        scenario = build_scenario(name, n, seed=7)
+        graphs = enumerate_connected_graphs(n)
+        engine_sets = weighted_ucg_t_sets([fresh(g) for g in graphs], scenario.model)
+        for graph, engine_set in zip(graphs, engine_sets):
+            assert endpoints(engine_set) == endpoints(
+                weighted_ucg_nash_t_set(graph, scenario.model)
+            ), f"weighted UCG mismatch ({name}, n={n}) {graph.sorted_edges()}"
+
+    def test_uniform_cost_reduces_to_scalar(self):
+        # With UniformCost the weighted t-sets must equal the scalar α-sets
+        # float-exactly — same closed-form link-cost table, same intervals.
+        graphs = enumerate_connected_graphs(5)
+        weighted_sets = weighted_ucg_t_sets(
+            [fresh(g) for g in graphs], UniformCost(1.0)
+        )
+        scalar_sets = ucg_alpha_sets([fresh(g) for g in graphs])
+        for weighted_set, scalar_set in zip(weighted_sets, scalar_sets):
+            assert endpoints(weighted_set) == endpoints(scalar_set)
+
+    def test_weighted_disconnected_and_trivial(self):
+        model = build_scenario("random_weights", 5, seed=1).model
+        graphs = [empty_graph(1), empty_graph(5), Graph(5, [(0, 1), (2, 3)])]
+        engine_sets = weighted_ucg_t_sets([fresh(g) for g in graphs], model)
+        assert endpoints(engine_sets[0]) == [(0.0, INF)]
+        for graph, engine_set in zip(graphs, engine_sets):
+            assert endpoints(engine_set) == endpoints(
+                weighted_ucg_nash_t_set(graph, model)
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Orbit pruning
+# --------------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestOrbitPruning:
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(5), cycle_graph(6), complete_graph(4), complete_graph(6)],
+        ids=["C5", "C6", "K4", "K6"],
+    )
+    def test_vertex_transitive_expansion(self, graph):
+        # On vertex-transitive graphs orbit pruning computes one player's
+        # tables and expands the rest through automorphism images; forcing
+        # the group (True), forbidding it (False) and the memo-only default
+        # (None) must agree endpoint-for-endpoint.
+        results = {
+            mode: endpoints(ucg_alpha_sets([fresh(graph)], use_orbits=mode)[0])
+            for mode in (True, False, None)
+        }
+        assert results[True] == results[False] == results[None]
+        assert results[True] == endpoints(ucg_nash_alpha_set(fresh(graph)))
+
+    def test_weighted_orbit_equivalence(self):
+        model = build_scenario("line_metric", 6, seed=0).model
+        graphs = [cycle_graph(6), complete_graph(5), path_graph(6)]
+        forced = weighted_ucg_t_sets(
+            [fresh(g) for g in graphs], model, use_orbits=True
+        )
+        plain = weighted_ucg_t_sets(
+            [fresh(g) for g in graphs], model, use_orbits=False
+        )
+        for a, b in zip(forced, plain):
+            assert endpoints(a) == endpoints(b)
+
+
+# --------------------------------------------------------------------------- #
+# Per-Graph memoisation and its staleness contract
+# --------------------------------------------------------------------------- #
+
+
+class TestMemoisation:
+
+    def test_reference_memoises_per_instance(self):
+        graph = path_graph(5)
+        assert graph._ucg_set is None
+        first = ucg_nash_alpha_set(graph)
+        assert graph._ucg_set == tuple(endpoints(first))
+        assert endpoints(ucg_nash_alpha_set(graph)) == endpoints(first)
+
+    def test_engine_populates_reference_hits(self):
+        graph = cycle_graph(5)
+        (engine_set,) = ucg_alpha_sets([graph])
+        assert graph._ucg_set == tuple(endpoints(engine_set))
+        # The reference now answers from the shared memo without searching.
+        assert endpoints(ucg_nash_alpha_set(graph)) == endpoints(engine_set)
+
+    def test_engine_consults_existing_memo(self):
+        graph = path_graph(4)
+        graph._ucg_set = ((1.25, 2.5),)  # sentinel: obviously not the truth
+        (interval_set,) = ucg_alpha_sets([graph])
+        assert endpoints(interval_set) == [(1.25, 2.5)]
+
+    def test_mutation_builds_fresh_unmemoised_instance(self):
+        # Graphs are immutable: add_edge/remove_edge return *new* instances,
+        # so a memoised set can never go stale — the mutated graph starts
+        # with an empty memo and is re-analysed from scratch.
+        graph = path_graph(4)
+        before = endpoints(ucg_nash_alpha_set(graph))
+        mutated = graph.add_edge(0, 3)  # closes the path into C4
+        assert mutated is not graph
+        assert mutated._ucg_set is None
+        assert graph._ucg_set == tuple(before)  # original memo untouched
+        after = endpoints(ucg_nash_alpha_set(mutated))
+        assert after == endpoints(ucg_nash_alpha_set(fresh(mutated)))
+        assert mutated._ucg_set == tuple(after)
+
+
+# --------------------------------------------------------------------------- #
+# Columnar UCG kernels and the batch façade
+# --------------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestUcgColumns:
+
+    def test_interval_columns_pack_endpoints(self):
+        import numpy as np
+
+        from repro.engine.columnar import ucg_interval_columns
+
+        graphs = [path_graph(4), Graph(4, [(0, 1)]), cycle_graph(4)]
+        sets = ucg_alpha_sets([fresh(g) for g in graphs])
+        lo, hi, indptr = ucg_interval_columns(sets)
+        assert indptr.tolist()[0] == 0
+        for i, interval_set in enumerate(sets):
+            segment = list(
+                zip(lo[indptr[i] : indptr[i + 1]], hi[indptr[i] : indptr[i + 1]])
+            )
+            assert segment == endpoints(interval_set)
+        # The disconnected class contributes an empty segment.
+        assert indptr[1] == indptr[2]
+        assert np.all(np.diff(indptr) >= 0)
+
+    def test_weighted_windows_empty_convention(self):
+        import numpy as np
+
+        from repro.engine.columnar import ucg_interval_columns, weighted_ucg_windows
+
+        sets = ucg_alpha_sets(
+            [fresh(g) for g in (path_graph(4), Graph(4, [(0, 1)]))]
+        )
+        t_min, t_max = weighted_ucg_windows(*ucg_interval_columns(sets))
+        lo0, hi0 = endpoints(sets[0])[0]
+        assert t_min[0] == lo0 and t_max[0] == endpoints(sets[0])[-1][1]
+        # Empty interval set → (inf, -inf) window: never Nash-supportable.
+        assert t_min[1] == INF and t_max[1] == -INF
+        assert np.isinf(t_max[1])
+
+    def test_batch_ucg_columns_scalar_and_weighted(self):
+        from repro.engine import batch_ucg_columns
+        from repro.engine.columnar import ucg_nash_mask
+
+        graphs = enumerate_connected_graphs(4)
+        columns = batch_ucg_columns([fresh(g) for g in graphs])
+        assert set(columns) == {"ucg_lo", "ucg_hi", "ucg_indptr"}
+        alphas = [0.5, 1.0, 2.0, 5.0]
+        mask = ucg_nash_mask(
+            columns["ucg_lo"], columns["ucg_hi"], columns["ucg_indptr"], alphas
+        )
+        for i, graph in enumerate(graphs):
+            reference = ucg_nash_alpha_set(fresh(graph))
+            assert [bool(x) for x in mask[i]] == [
+                reference.contains(a) for a in alphas
+            ]
+
+        model = build_scenario("hub_discounted", 4, seed=2).model
+        weighted = batch_ucg_columns([fresh(g) for g in graphs], model=model)
+        for i, graph in enumerate(graphs):
+            start, stop = weighted["ucg_indptr"][i], weighted["ucg_indptr"][i + 1]
+            segment = list(
+                zip(weighted["ucg_lo"][start:stop], weighted["ucg_hi"][start:stop])
+            )
+            assert segment == endpoints(weighted_ucg_nash_t_set(graph, model))
+
+
+# --------------------------------------------------------------------------- #
+# Store round trips carrying UCG columns
+# --------------------------------------------------------------------------- #
+
+
+@needs_numpy
+class TestStoreRoundTrips:
+
+    def test_census_store_ucg_round_trip(self, tmp_path):
+        from repro.analysis.store import CensusStore
+
+        store = CensusStore.build(5, include_ucg=True)
+        assert store.include_ucg
+        report = store.verify()
+        assert report["ok"] and not report["errors"]
+        path = store.save(str(tmp_path / "census5.npz"))
+        loaded = CensusStore.load(path)
+        assert loaded.include_ucg
+        assert loaded.ucg_lo.tolist() == store.ucg_lo.tolist()
+        assert loaded.ucg_hi.tolist() == store.ucg_hi.tolist()
+        assert loaded.ucg_indptr.tolist() == store.ucg_indptr.tolist()
+        alphas = [0.5, 1.0, 2.0, 4.0]
+        assert (
+            loaded.stable_mask(alphas, game="ucg").tolist()
+            == store.stable_mask(alphas, game="ucg").tolist()
+        )
+
+    def test_weighted_store_ucg_round_trip(self, tmp_path):
+        from repro.analysis.weighted_store import WeightedStore
+
+        scenario = build_scenario("random_weights", 5, seed=3)
+        store = WeightedStore.from_scenario(scenario, include_ucg=True)
+        assert store.include_ucg
+        report = store.verify()
+        assert report["ok"] and not report["errors"]
+        path = store.save(str(tmp_path / "weighted5.npz"))
+        loaded = WeightedStore.load(path)
+        assert loaded.include_ucg
+        assert loaded.ucg_lo.tolist() == store.ucg_lo.tolist()
+        assert loaded.ucg_hi.tolist() == store.ucg_hi.tolist()
+        assert loaded.ucg_indptr.tolist() == store.ucg_indptr.tolist()
+        # Stored endpoints are the reference backtracking's, float-exactly.
+        graphs = store.graphs()
+        for i, graph in enumerate(graphs):
+            start, stop = store.ucg_indptr[i], store.ucg_indptr[i + 1]
+            segment = list(zip(store.ucg_lo[start:stop], store.ucg_hi[start:stop]))
+            assert segment == endpoints(
+                weighted_ucg_nash_t_set(fresh(graph), scenario.model)
+            )
+        ts = [0.25, 1.0, 4.0]
+        assert loaded.ucg_nash_counts(ts) == store.ucg_nash_counts(ts)
+        t_min, t_max = loaded.ucg_windows()
+        for value in t_min.tolist() + t_max.tolist():
+            assert value == value or math.isnan(value)  # finite or inf, not NaN
+
+    def test_bcg_only_weighted_store_refuses_ucg_queries(self):
+        from repro.analysis.weighted_store import WeightedStore
+
+        scenario = build_scenario("random_weights", 4, seed=0)
+        store = WeightedStore.from_scenario(scenario)  # BCG only
+        assert not store.include_ucg
+        with pytest.raises(ValueError, match="no UCG columns"):
+            store.ucg_nash_counts([1.0])
+        with pytest.raises(ValueError, match="no UCG columns"):
+            store.ucg_windows()

@@ -234,7 +234,9 @@ class TestPersistence:
         )
         with pytest.raises(ValueError):
             WeightedStore.load(census_path)
-        assert FORMAT_VERSION == 1
+        # v2 added the optional UCG CSR columns; pre-UCG v1 artifacts are
+        # refused rather than silently loaded without them.
+        assert FORMAT_VERSION == 2
 
     def test_separate_process_roundtrip(self, tmp_path, store6):
         """Mirror smoke_store_roundtrip: load in a fresh interpreter."""
