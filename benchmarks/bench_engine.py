@@ -59,7 +59,11 @@ repository root so future PRs have a perf trajectory to compare against:
   :func:`repro.engine.run_shards` persistence: the n = 7 streamed census
   built plain vs with checksummed shards + heartbeat manifest, plus the
   warm-resume wall time; artifacts asserted bit-identical by content
-  checksum and the overhead ratio floored at <= 1.10x.
+  checksum and the overhead ratio floored at <= 1.10x;
+* **telemetry kill-switch** (schema v9) — the instrumented
+  :func:`repro.engine.columnar.bcg_stable_mask` wrapper with
+  ``REPRO_METRICS`` disabled vs the bare kernel on the full n = 7 census
+  columns, ceilinged at <= 1.05x (disabled telemetry must be free).
 
 The script exits non-zero if the engine census path fails the acceptance
 floor (>= 3x naive, serial), if canonical augmentation fails its floor
@@ -891,6 +895,66 @@ def bench_shard_runner() -> Dict[str, float]:
 
 
 # --------------------------------------------------------------------------- #
+# 3h. Telemetry kill-switch overhead on the vectorised kernel path (schema v9)
+# --------------------------------------------------------------------------- #
+
+
+def bench_telemetry_overhead(
+    n: int = 7, grid: int = 48, rounds: int = 40
+) -> Dict[str, float]:
+    """Disabled telemetry must be free on the hot kernel path.
+
+    Times the instrumented :func:`repro.engine.columnar.bcg_stable_mask`
+    wrapper with ``REPRO_METRICS`` off against the bare kernel (its
+    ``__wrapped__``) over the full n = 7 census columns.  With telemetry
+    disabled the wrapper's only residual cost is one enabled-flag check
+    per call, so the ratio is floored at <= 1.05 by the v9 schema check.
+    """
+    from repro import obs
+    from repro.analysis.store import CensusStore
+    from repro.analysis.sweeps import log_spaced_alphas
+    from repro.engine.columnar import bcg_stable_mask
+
+    store = CensusStore.build(n, include_ucg=False)
+    alphas = log_spaced_alphas(0.4, 2.0 * n * n, grid)
+    columns = (
+        store._rem_min_column(),
+        store.add_lo,
+        store.add_hi,
+        store.add_indptr,
+    )
+    bare = bcg_stable_mask.__wrapped__
+
+    previous = obs.set_metrics_enabled(False)
+    try:
+        bcg_stable_mask(*columns, alphas)  # warm the lazy caches out of the timing
+        bare(*columns, alphas)
+        # Alternate the two arms call-by-call and keep each arm's best
+        # time, so machine-load drift and background contention hit both
+        # equally instead of biasing whichever block runs second.
+        instrumented_call = float("inf")
+        bare_call = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            bcg_stable_mask(*columns, alphas)
+            instrumented_call = min(instrumented_call, time.perf_counter() - start)
+            start = time.perf_counter()
+            bare(*columns, alphas)
+            bare_call = min(bare_call, time.perf_counter() - start)
+    finally:
+        obs.set_metrics_enabled(previous)
+    return {
+        "n": n,
+        "grid_points": len(alphas),
+        "classes": len(store),
+        "kernel_calls": rounds,
+        "bare_seconds": bare_call * rounds,
+        "disabled_seconds": instrumented_call * rounds,
+        "disabled_overhead_ratio": instrumented_call / bare_call,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # 4. Single-edge mutation must not scale with m
 # --------------------------------------------------------------------------- #
 
@@ -952,7 +1016,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v8",
+        "schema": "bench_engine/v9",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -970,6 +1034,7 @@ def main(argv=None) -> int:
         "ensemble_amortised": bench_ensemble_amortised(),
         "census_store_mmap_fanout": bench_store_mmap_fanout(),
         "shard_runner": bench_shard_runner(),
+        "telemetry_overhead": bench_telemetry_overhead(),
     }
     if args.n9:
         report["census_n9_bcg_streamed"] = bench_census_n9_streamed()
@@ -1069,6 +1134,13 @@ def main(argv=None) -> int:
         f"{shardrun['resume_seconds']*1e3:.0f}ms "
         f"({shardrun['shards']} shards, checksums identical)"
     )
+    telemetry = report["telemetry_overhead"]
+    print(
+        f"telemetry off: n={telemetry['n']} bcg_stable_mask bare "
+        f"{telemetry['bare_seconds']*1e3:.1f}ms, instrumented+disabled "
+        f"{telemetry['disabled_seconds']*1e3:.1f}ms "
+        f"({telemetry['disabled_overhead_ratio']:.3f}x, ceiling 1.05x)"
+    )
     if "census_n9_bcg_streamed" in report:
         census9 = report["census_n9_bcg_streamed"]
         print(
@@ -1123,6 +1195,12 @@ def main(argv=None) -> int:
             f"checksummed shard persistence costs "
             f"{(shardrun['overhead_ratio'] - 1) * 100:.1f}% over the plain "
             "streamed build (floor: 10%)"
+        )
+    if telemetry["disabled_overhead_ratio"] > 1.05 and not args.report_only:
+        failures.append(
+            f"disabled telemetry costs "
+            f"{(telemetry['disabled_overhead_ratio'] - 1) * 100:.1f}% on the "
+            "vectorised kernel path (ceiling: 5%)"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

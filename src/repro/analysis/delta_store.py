@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # NumPy backs every column; the store refuses to build without it.
@@ -45,6 +46,7 @@ try:  # NumPy backs every column; the store refuses to build without it.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
+from .. import obs
 from ..engine import (
     chunk_evenly,
     content_checksum,
@@ -421,6 +423,16 @@ class DeltaStore:
         columns plus ``meta.json`` — loadable with ``mmap=True`` so pool
         workers can share one resident copy of the columns.
         """
+        start = time.perf_counter()
+        written = self._save_impl(path, format, compress)
+        obs.record_artifact_io(
+            "save", "delta", written, time.perf_counter() - start
+        )
+        return written
+
+    def _save_impl(
+        self, path: str, format: Optional[str], compress: bool
+    ) -> str:
         np = _require_numpy()
         if format is None:
             format = "npz" if str(path).endswith(".npz") else "dir"
@@ -462,6 +474,15 @@ class DeltaStore:
         ``mmap=True`` memory-maps the columns and is only supported for the
         directory format (zip archives cannot be mapped page-aligned).
         """
+        start = time.perf_counter()
+        store = cls._load_impl(path, mmap)
+        obs.record_artifact_io(
+            "load", "delta", path, time.perf_counter() - start
+        )
+        return store
+
+    @classmethod
+    def _load_impl(cls, path: str, mmap: bool) -> "DeltaStore":
         np = _require_numpy()
         if os.path.isdir(path):
             with open(os.path.join(path, "meta.json")) as handle:
@@ -587,6 +608,11 @@ def _stream_delta_chunk(task: Tuple) -> dict:
         parts.append(_delta_part(pending, n, oracle))
         for graph in pending:
             clear_canonical_record(graph)
+        obs.counter(
+            "repro_stream_classes_total",
+            "Graph classes analysed by streamed store builds",
+            store="delta",
+        ).inc(len(pending))
         pending.clear()
 
     for root in roots:
@@ -625,7 +651,12 @@ def cached_delta_store(
     stores — repeated ensembles on one machine never reload the delta
     artifact, and a process cycling through many artifacts stays bounded.
     """
-    from .store import _STORE_CACHE, _artifact_stamp, _cache_store
+    from .store import (
+        _STORE_CACHE,
+        _artifact_stamp,
+        _cache_store,
+        _count_cache_lookup,
+    )
 
     if (n is None) == (path is None):
         raise ValueError("exactly one of n and path is required")
@@ -634,12 +665,14 @@ def cached_delta_store(
             "delta-load", os.path.abspath(path), bool(mmap), _artifact_stamp(path)
         )
         store = _STORE_CACHE.get(key)
+        _count_cache_lookup("delta-store", hit=store is not None)
         if store is None:
             store = DeltaStore.load(path, mmap=mmap)
         return _cache_store(key, store)
 
     key = ("delta-build", int(n))
     store = _STORE_CACHE.get(key)
+    _count_cache_lookup("delta-store", hit=store is not None)
     if store is None:
         store = DeltaStore.build(n, jobs=jobs)
     return _cache_store(key, store)

@@ -46,6 +46,7 @@ try:  # NumPy backs the stacked kernels and the streaming aggregation.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     np = None
 
+from .. import obs
 from ..engine import run_shards
 from ..engine.columnar import ensemble_stats
 from ..engine.streaming import DEFAULT_EXACT_BUFFER, StreamingEnsembleStats
@@ -141,6 +142,13 @@ def _ensemble_batch(task: Tuple):
     blocks stacked in draw order.
     """
     name, n, block, params, ts, delta_spec, save_format = task
+    with obs.histogram(
+        "repro_ensemble_block_seconds", "Wall seconds per ensemble draw block"
+    ).time():
+        return _ensemble_batch_body(name, n, block, params, ts, delta_spec, save_format)
+
+
+def _ensemble_batch_body(name, n, block, params, ts, delta_spec, save_format):
     delta = _resolve_delta_spec(delta_spec)
     size = len(block)
     counts_rows: List = [None] * size
@@ -323,33 +331,47 @@ def run_ensemble(
         t_max_agg.update(t_max_block)
         resumed += block_resumed
         recomputed += block_recomputed
+        if obs.metrics_enabled():
+            obs.counter(
+                "repro_ensemble_draws_total",
+                "Ensemble draws aggregated (draws/sec over a scrape window)",
+            ).inc(block_resumed + block_recomputed)
+            obs.counter(
+                "repro_ensemble_draws_resumed_total",
+                "Ensemble draws answered from existing artifacts",
+            ).inc(block_resumed)
+            obs.counter(
+                "repro_ensemble_draws_recomputed_total",
+                "Ensemble draws recomputed through the stacked kernels",
+            ).inc(block_recomputed)
 
     # The work-queue runner bounds in-flight blocks at the worker count, so
     # peak memory is set by (workers × batch_draws), not K — and a crashed
     # worker costs one block, not the whole wave.  The manifest (block
     # progress, retry tallies) lands next to the draw artifacts.
-    run_shards(
-        _ensemble_batch,
-        tasks,
-        jobs=jobs,
-        prefix="block",
-        consume=_fold,
-        manifest_dir=save_dir,
-        fingerprint={
-            "kind": "repro-ensemble",
-            "scenario": scenario,
-            "n": int(n),
-            "seed": int(seed),
-            "draws": int(draws),
-            "batch_draws": int(batch_draws),
-            "params": params,
-            "ts": [float(t) for t in ts],
-        },
-        timeout=timeout,
-        max_retries=max_retries,
-        progress=progress,
-        fault_plan=fault_plan,
-    )
+    with obs.span("run_ensemble"):
+        run_shards(
+            _ensemble_batch,
+            tasks,
+            jobs=jobs,
+            prefix="block",
+            consume=_fold,
+            manifest_dir=save_dir,
+            fingerprint={
+                "kind": "repro-ensemble",
+                "scenario": scenario,
+                "n": int(n),
+                "seed": int(seed),
+                "draws": int(draws),
+                "batch_draws": int(batch_draws),
+                "params": params,
+                "ts": [float(t) for t in ts],
+            },
+            timeout=timeout,
+            max_retries=max_retries,
+            progress=progress,
+            fault_plan=fault_plan,
+        )
 
     counts = np.concatenate(count_blocks, axis=0)
     count_indptr = np.arange(draws + 1, dtype=np.int64) * len(ts)

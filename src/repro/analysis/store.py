@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zipfile
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -43,6 +44,7 @@ try:  # NumPy backs every column; the store refuses to build without it.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
+from .. import obs
 from ..core.efficiency import efficient_social_cost
 from ..core.stability_intervals import AlphaIntervalSet, PairwiseStabilityProfile
 from ..engine import (
@@ -599,6 +601,14 @@ class CensusStore:
         resident memory at once.  Both carry the schema tag and
         :data:`FORMAT_VERSION`.
         """
+        start = time.perf_counter()
+        written = self._save_impl(path, format, compress)
+        obs.record_artifact_io(
+            "save", "census", written, time.perf_counter() - start
+        )
+        return written
+
+    def _save_impl(self, path: str, format: Optional[str], compress: bool) -> str:
         np = _require_numpy()
         format = self._resolve_format(path, format)
         if format == "npz":
@@ -647,6 +657,15 @@ class CensusStore:
         ``mmap=True`` memory-maps the columns and is only supported for the
         directory format (zip archives cannot be mapped page-aligned).
         """
+        start = time.perf_counter()
+        store = cls._load_impl(path, mmap)
+        obs.record_artifact_io(
+            "load", "census", path, time.perf_counter() - start
+        )
+        return store
+
+    @classmethod
+    def _load_impl(cls, path: str, mmap: bool) -> "CensusStore":
         np = _require_numpy()
         if os.path.isdir(path):
             with open(os.path.join(path, "meta.json")) as handle:
@@ -858,6 +877,11 @@ def _stream_columns_chunk(task: Tuple[List[Graph], int, bool, int]) -> dict:
         ):
             cols.append(graph, removal, addition, total, ucg_set)
             clear_canonical_record(graph)
+        obs.counter(
+            "repro_stream_classes_total",
+            "Graph classes analysed by streamed store builds",
+            store="census",
+        ).inc(len(pending))
         pending.clear()
 
     for root in roots:
@@ -905,7 +929,22 @@ def _cache_store(key: tuple, store: CensusStore) -> CensusStore:
     _STORE_CACHE.move_to_end(key)
     while len(_STORE_CACHE) > max(1, STORE_CACHE_MAX):
         _STORE_CACHE.popitem(last=False)
+        obs.counter(
+            "repro_cache_evictions_total", "LRU evictions from the store cache",
+            cache="store-lru",
+        ).inc()
     return store
+
+
+def _count_cache_lookup(cache: str, hit: bool) -> None:
+    """One hit-or-miss tick for a store-cache lookup."""
+    obs.counter(
+        "repro_cache_hits_total" if hit else "repro_cache_misses_total",
+        "Store-cache lookups served from memory"
+        if hit
+        else "Store-cache lookups that had to build or load",
+        cache=cache,
+    ).inc()
 
 
 def cached_store(
@@ -938,6 +977,7 @@ def cached_store(
     if path is not None:
         key = ("load", os.path.abspath(path), bool(mmap), _artifact_stamp(path))
         store = _STORE_CACHE.get(key)
+        _count_cache_lookup("census-store", hit=store is not None)
         if store is None:
             store = CensusStore.load(path, mmap=mmap)
         return _cache_store(key, store)
@@ -946,6 +986,7 @@ def cached_store(
 
     key = ("build", int(n), bool(include_ucg))
     store = _STORE_CACHE.get(key)
+    _count_cache_lookup("census-store", hit=store is not None)
     if store is None:
         cached = _CENSUS_CACHE.get((int(n), bool(include_ucg)))
         if cached is not None:
@@ -958,3 +999,24 @@ def cached_store(
 def clear_store_cache() -> None:
     """Drop the store cache (used by cold-start benchmarks and tests)."""
     _STORE_CACHE.clear()
+
+
+# Pre-register the cache counter families at import so a fresh exposition
+# always carries them — a build-only run never performs a cache lookup,
+# and a dashboard watching hit rate needs the zero series to exist.
+if obs.metrics_enabled():
+    obs.counter(
+        "repro_cache_hits_total",
+        "Store-cache lookups served from memory",
+        cache="census-store",
+    )
+    obs.counter(
+        "repro_cache_misses_total",
+        "Store-cache lookups that had to build or load",
+        cache="census-store",
+    )
+    obs.counter(
+        "repro_cache_evictions_total",
+        "LRU evictions from the store cache",
+        cache="store-lru",
+    )

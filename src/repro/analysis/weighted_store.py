@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # NumPy backs every column; the store refuses to build without it.
@@ -47,6 +48,7 @@ try:  # NumPy backs every column; the store refuses to build without it.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
+from .. import obs
 from ..costmodels.models import CostModel
 from ..engine import (
     chunk_evenly,
@@ -208,14 +210,30 @@ class WeightedStore:
         jobs: Optional[int] = None,
         streamed: bool = False,
         include_ucg: bool = False,
+        progress=None,
     ) -> "WeightedStore":
         """Build the artifact of one scenario-library :class:`Scenario`.
 
         The scenario's full :attr:`Scenario.params` recipe (name, ``n``,
         seed and family parameters) is stamped into the artifact metadata.
+        ``progress`` (streamed builds only) is forwarded to
+        :func:`repro.engine.run_shards` as its manifest-snapshot callback.
         """
-        build = cls.build_streamed if streamed else cls.build
-        return build(
+        if streamed:
+            return cls.build_streamed(
+                scenario.n,
+                scenario.model,
+                jobs=jobs,
+                scenario_params=dict(scenario.params),
+                include_ucg=include_ucg,
+                progress=progress,
+            )
+        if progress is not None:
+            raise ValueError(
+                "progress reporting requires streamed=True (the in-memory "
+                "build has no shard events to report)"
+            )
+        return cls.build(
             scenario.n,
             scenario.model,
             jobs=jobs,
@@ -652,6 +670,16 @@ class WeightedStore:
         Both carry the schema tag, :data:`FORMAT_VERSION` and the scenario
         recipe.
         """
+        start = time.perf_counter()
+        written = self._save_impl(path, format, compress)
+        obs.record_artifact_io(
+            "save", "weighted", written, time.perf_counter() - start
+        )
+        return written
+
+    def _save_impl(
+        self, path: str, format: Optional[str], compress: bool
+    ) -> str:
         np = _require_numpy()
         if format is None:
             format = "npz" if str(path).endswith(".npz") else "dir"
@@ -696,6 +724,15 @@ class WeightedStore:
         ``mmap=True`` memory-maps the columns and is only supported for the
         directory format (zip archives cannot be mapped page-aligned).
         """
+        start = time.perf_counter()
+        store = cls._load_impl(path, mmap)
+        obs.record_artifact_io(
+            "load", "weighted", path, time.perf_counter() - start
+        )
+        return store
+
+    @classmethod
+    def _load_impl(cls, path: str, mmap: bool) -> "WeightedStore":
         np = _require_numpy()
         if os.path.isdir(path):
             with open(os.path.join(path, "meta.json")) as handle:
@@ -887,6 +924,11 @@ def _stream_weighted_chunk(task: Tuple) -> dict:
         )
         for graph in pending:
             clear_canonical_record(graph)
+        obs.counter(
+            "repro_stream_classes_total",
+            "Graph classes analysed by streamed store builds",
+            store="weighted",
+        ).inc(len(pending))
         pending.clear()
 
     for root in roots:

@@ -23,10 +23,12 @@ Build, persist and query a columnar census artifact::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
+from . import obs
 from .experiments import available_experiments, run_experiment
 
 
@@ -42,8 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Subcommands: 'census' builds, saves, loads and queries columnar "
             "equilibrium-census artifacts; 'scenarios' sweeps heterogeneous "
             "link-cost scenarios (and persists/queries weighted artifacts); "
-            "'ensemble' aggregates seeded scenario draws — see "
-            "'census --help' / 'scenarios --help' / 'ensemble --help'."
+            "'ensemble' aggregates seeded scenario draws; 'stats' renders "
+            "telemetry snapshots — see 'census --help' / 'scenarios "
+            "--help' / 'ensemble --help' / 'stats --help'."
         ),
     )
     parser.add_argument(
@@ -190,6 +193,7 @@ def build_census_parser() -> argparse.ArgumentParser:
             "(*.npz or a directory)"
         ),
     )
+    _add_telemetry_flags(parser)
     return parser
 
 
@@ -263,17 +267,49 @@ def build_scenarios_parser() -> argparse.ArgumentParser:
             "CSR invariants); exit 1 on failure"
         ),
     )
+    parser.add_argument(
+        "--streamed", action="store_true",
+        help=(
+            "with --save: build the artifact by streaming the sharded "
+            "generation tree instead of holding every class in memory"
+        ),
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="with --streamed: print shard progress/retry tallies to stderr",
+    )
+    _add_telemetry_flags(parser)
     return parser
 
 
-def _shard_progress(snapshot) -> None:
-    """Default --progress sink: one manifest line per runner event."""
-    line = (
-        f"[shards] {snapshot['done']}/{snapshot['total']} done "
-        f"(resumed {snapshot['resumed']}, retries {snapshot['retries']}, "
-        f"timeouts {snapshot['timeouts']})"
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared --metrics-out / --trace telemetry flags."""
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help=(
+            "write the run's telemetry to FILE on exit: *.json gets the "
+            "JSON snapshot (metrics + spans), anything else the "
+            "Prometheus text exposition"
+        ),
     )
-    print(line, file=sys.stderr)
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the hierarchical span timing table to stderr on exit",
+    )
+
+
+def _finish_telemetry(args: argparse.Namespace) -> None:
+    """Honour --trace / --metrics-out after a subcommand body ran."""
+    if getattr(args, "trace", False):
+        tree = obs.render_span_tree(obs.get_tracer().snapshot())
+        if tree:
+            print(tree, file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        try:
+            obs.write_metrics(metrics_out)
+        except OSError as error:
+            print(f"cannot write {metrics_out}: {error}", file=sys.stderr)
 
 
 def _report_verify(audit, label: str) -> int:
@@ -308,6 +344,16 @@ def _print_weighted_table(ts, counts, links, social, ucg_counts=None) -> None:
 
 def scenarios_main(argv: List[str]) -> int:
     """Run the ``scenarios`` subcommand; returns a process exit code."""
+    parser = build_scenarios_parser()
+    args = parser.parse_args(argv)
+    try:
+        with obs.span("cli:scenarios"):
+            return _scenarios_run(parser, args)
+    finally:
+        _finish_telemetry(args)
+
+
+def _scenarios_run(parser: argparse.ArgumentParser, args) -> int:
     from .analysis.report import format_table, format_weighted_store_summary
     from .analysis.scenarios import (
         available_scenarios,
@@ -318,8 +364,6 @@ def scenarios_main(argv: List[str]) -> int:
     from .analysis.store import LOAD_ERRORS
     from .analysis.weighted_store import WeightedStore, weighted_store_available
 
-    parser = build_scenarios_parser()
-    args = parser.parse_args(argv)
     if args.list:
         for name in available_scenarios():
             print(name)
@@ -329,6 +373,12 @@ def scenarios_main(argv: List[str]) -> int:
         return 2
     if args.verify and not (args.save or args.load):
         print("--verify audits an artifact; add --save or --load", file=sys.stderr)
+        return 2
+    if args.streamed and not args.save:
+        print("--streamed builds an artifact; add --save", file=sys.stderr)
+        return 2
+    if args.progress and not args.streamed:
+        print("--progress requires --streamed", file=sys.stderr)
         return 2
 
     if args.load is not None:
@@ -410,7 +460,11 @@ def scenarios_main(argv: List[str]) -> int:
         # the artifact *is* the sweep, so the printed numbers and any later
         # --load query come from identical columns.
         store = WeightedStore.from_scenario(
-            scenario, jobs=args.jobs, include_ucg=args.ucg
+            scenario,
+            jobs=args.jobs,
+            include_ucg=args.ucg,
+            streamed=args.streamed,
+            progress=obs.ProgressReporter() if args.progress else None,
         )
         print(
             f"scenario {scenario.name}: n = {scenario.n}, "
@@ -524,18 +578,27 @@ def build_ensemble_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print draw-block progress/retry tallies to stderr",
     )
+    _add_telemetry_flags(parser)
     return parser
 
 
 def ensemble_main(argv: List[str]) -> int:
     """Run the ``ensemble`` subcommand; returns a process exit code."""
+    parser = build_ensemble_parser()
+    args = parser.parse_args(argv)
+    try:
+        with obs.span("cli:ensemble"):
+            return _ensemble_run(parser, args)
+    finally:
+        _finish_telemetry(args)
+
+
+def _ensemble_run(parser: argparse.ArgumentParser, args) -> int:
     from .analysis.ensembles import run_ensemble
     from .analysis.report import format_table
     from .analysis.scenarios import available_scenarios
     from .analysis.weighted_store import weighted_store_available
 
-    parser = build_ensemble_parser()
-    args = parser.parse_args(argv)
     if not weighted_store_available():
         print("the ensemble runner requires NumPy", file=sys.stderr)
         return 2
@@ -561,7 +624,7 @@ def ensemble_main(argv: List[str]) -> int:
     if args.batch_draws is not None:
         extra["batch_draws"] = args.batch_draws
     if args.progress:
-        extra["progress"] = _shard_progress
+        extra["progress"] = obs.ProgressReporter()
     try:
         result = run_ensemble(
             scenario=args.scenario,
@@ -614,13 +677,21 @@ def ensemble_main(argv: List[str]) -> int:
 
 def census_main(argv: List[str]) -> int:
     """Run the ``census`` subcommand; returns a process exit code."""
+    parser = build_census_parser()
+    args = parser.parse_args(argv)
+    try:
+        with obs.span("cli:census"):
+            return _census_run(parser, args)
+    finally:
+        _finish_telemetry(args)
+
+
+def _census_run(parser: argparse.ArgumentParser, args) -> int:
     from .analysis.figure_series import census_figure_series
     from .analysis.report import format_figure, format_store_summary
     from .analysis.store import LOAD_ERRORS, CensusStore, store_available
     from .analysis.sweeps import log_spaced_alphas
 
-    parser = build_census_parser()
-    args = parser.parse_args(argv)
     if not store_available():
         print("the census store requires NumPy", file=sys.stderr)
         return 2
@@ -654,7 +725,7 @@ def census_main(argv: List[str]) -> int:
             kwargs["timeout"] = args.shard_timeout
             kwargs["max_retries"] = args.shard_retries
             if args.progress:
-                kwargs["progress"] = _shard_progress
+                kwargs["progress"] = obs.ProgressReporter()
         try:
             store = build(args.n, **kwargs)
         except (OSError, ValueError) as error:
@@ -719,6 +790,102 @@ def census_main(argv: List[str]) -> int:
     return 0
 
 
+def build_stats_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``stats`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments stats",
+        description=(
+            "Render telemetry: either a --metrics-out *.json snapshot "
+            "written by another run, or this process's own registry."
+        ),
+    )
+    parser.add_argument(
+        "snapshot", nargs="?", default=None, metavar="FILE",
+        help=(
+            "a JSON telemetry snapshot to render (omit to render the "
+            "current process's registry — mostly useful under --format "
+            "prom/json for piping)"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("table", "prom", "json"), default="table",
+        help=(
+            "output style: human-readable table (default), Prometheus "
+            "text exposition, or the JSON snapshot itself"
+        ),
+    )
+    return parser
+
+
+def _format_metric_value(entry: dict) -> str:
+    """One-cell summary of a snapshot metric entry, by kind."""
+    if entry["kind"] == "histogram":
+        parts = [f"count={entry['count']:g}", f"sum={entry['sum']:g}"]
+        for q, value in sorted(entry.get("quantiles", {}).items()):
+            if value is not None:
+                parts.append(f"p{str(round(float(q) * 100))}={value:.3g}")
+        return " ".join(parts)
+    value = entry["value"]
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+def stats_main(argv: List[str]) -> int:
+    """Run the ``stats`` subcommand; returns a process exit code."""
+    parser = build_stats_parser()
+    args = parser.parse_args(argv)
+    if args.snapshot is not None:
+        try:
+            with open(args.snapshot, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {args.snapshot}: {error}", file=sys.stderr)
+            return 2
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            print(
+                f"{args.snapshot} is not a repro telemetry snapshot "
+                "(write one with --metrics-out FILE.json)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        payload = obs.snapshot()
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.format == "prom":
+        sys.stdout.write(obs.prometheus_from_snapshot(payload))
+        return 0
+
+    from .analysis.report import format_table
+
+    entries = sorted(
+        payload.get("metrics", []),
+        key=lambda e: (e["name"], sorted(e["labels"].items())),
+    )
+    if entries:
+        rows = [
+            [
+                entry["name"],
+                entry["kind"],
+                ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+                or "-",
+                _format_metric_value(entry),
+            ]
+            for entry in entries
+        ]
+        print(format_table(["metric", "kind", "labels", "value"], rows))
+    else:
+        print("no metrics recorded")
+    spans = payload.get("spans")
+    if spans and spans.get("children"):
+        print()
+        print(obs.render_span_tree(spans))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -729,6 +896,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return scenarios_main(list(argv[1:]))
     if argv and argv[0] == "ensemble":
         return ensemble_main(list(argv[1:]))
+    if argv and argv[0] == "stats":
+        return stats_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -767,4 +936,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/filter (e.g. `repro stats ... | head`) closed the
+        # pipe early; redirect stdout at the fd level so the interpreter's
+        # shutdown flush does not traceback, and exit like a SIGPIPE death.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

@@ -33,6 +33,7 @@ try:  # NumPy ships with the dev toolchain but must stay optional.
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
+from .. import obs
 from ..graphs.graph import Graph
 
 
@@ -168,6 +169,7 @@ BCG_TOL = 1e-12
 UCG_TOL = 1e-9
 
 
+@obs.timed_kernel("bcg_stable_mask")
 def bcg_stable_mask(rem_min, add_lo, add_hi, add_indptr, alphas):
     """Pairwise stability (exact Definition 3) of every class at every ``α``.
 
@@ -204,6 +206,7 @@ def bcg_stable_mask(rem_min, add_lo, add_hi, add_indptr, alphas):
     return out
 
 
+@obs.timed_kernel("ucg_nash_mask")
 def ucg_nash_mask(iv_lo, iv_hi, iv_indptr, alphas):
     """UCG Nash-supportability of every class at every ``α``.
 
@@ -288,6 +291,7 @@ def _check_weight_columns(*weight_arrays) -> None:
             )
 
 
+@obs.timed_kernel("weighted_bcg_stable_mask")
 def weighted_bcg_stable_mask(
     rem_w, rem_delta, rem_indptr,
     add_w_u, add_s_u, add_w_v, add_s_v, add_indptr,
@@ -332,6 +336,7 @@ def weighted_bcg_stable_mask(
     return out
 
 
+@obs.timed_kernel("weighted_stability_windows")
 def weighted_stability_windows(
     rem_w, rem_delta, rem_indptr,
     add_w_u, add_s_u, add_w_v, add_s_v, add_indptr,
@@ -426,6 +431,7 @@ def stacked_weight_columns(weight_matrices, rem_pay, rem_other, add_u, add_v):
     return rem_w, add_w_u, add_w_v
 
 
+@obs.timed_kernel("weighted_bcg_stable_mask_multi")
 def weighted_bcg_stable_mask_multi(
     rem_delta, rem_indptr, add_s_u, add_s_v, add_indptr,
     rem_w, add_w_u, add_w_v,
@@ -467,6 +473,7 @@ def weighted_bcg_stable_mask_multi(
     return out
 
 
+@obs.timed_kernel("weighted_stability_windows_multi")
 def weighted_stability_windows_multi(
     rem_delta, rem_indptr, add_s_u, add_s_v, add_indptr,
     rem_w, add_w_u, add_w_v,
@@ -496,6 +503,7 @@ def weighted_stability_windows_multi(
     return t_min, t_max
 
 
+@obs.timed_kernel("stability_windows")
 def stability_windows(rem_min, add_lo, add_indptr):
     """Per-class Lemma 2 windows ``(α_min, α_max)`` from the columns.
 

@@ -59,9 +59,17 @@ def chunk_evenly(items: Sequence[Item], pieces: int) -> List[List[Item]]:
 
 
 def _apply_chunk(task):
-    """Module-level chunk worker (must be picklable by reference)."""
+    """Module-level chunk worker (must be picklable by reference).
+
+    Returns ``(results, telemetry)`` where ``telemetry`` is the worker
+    registry's drained metric/span deltas (or ``None``): the piggyback
+    envelope the coordinator merges exactly once per completed chunk.
+    """
+    from .. import obs
+
     fn, chunk = task
-    return [fn(item) for item in chunk]
+    results = [fn(item) for item in chunk]
+    return results, obs.drain_telemetry()
 
 
 def parallel_map(
@@ -109,10 +117,16 @@ def parallel_map(
             RuntimeWarning,
             stacklevel=2,
         )
+    from .. import obs
+
     results: List[Result] = []
     for position, chunk in enumerate(chunks):
         if position in completed:
-            results.extend(completed[position])
+            chunk_results, telemetry = completed[position]
+            obs.merge_telemetry(telemetry)
+            results.extend(chunk_results)
         else:
+            # Serial recompute records straight into this process's
+            # registry — nothing to merge.
             results.extend(fn(item) for item in chunk)
     return results

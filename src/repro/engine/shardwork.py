@@ -79,6 +79,7 @@ except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
 from . import faults as _faults
+from .. import obs
 from .pool import resolve_jobs
 
 #: Schema tag written into every runner shard file.
@@ -102,6 +103,40 @@ DEFAULT_BACKOFF_MAX = 5.0
 
 #: Manifest refresh period (seconds) while shards are in flight.
 DEFAULT_HEARTBEAT = 5.0
+
+#: Manifest tally fields promoted to counters, with metric name + help.
+#: Counter values are *diffed* against the manifest snapshot on every
+#: ``emit()``, so the exposition always equals the manifest exactly.
+_TALLY_METRICS = {
+    "resumed": (
+        "repro_shards_resumed_total",
+        "Shards reused from verified on-disk files",
+    ),
+    "computed": (
+        "repro_shards_computed_total",
+        "Shards computed this run (pool or serial)",
+    ),
+    "retries": (
+        "repro_shard_retries_total",
+        "Shard re-queue events (pool breakage, timeouts, worker errors)",
+    ),
+    "timeouts": (
+        "repro_shard_timeouts_total",
+        "Shard attempts whose deadline expired",
+    ),
+    "pool_rebuilds": (
+        "repro_shard_pool_rebuilds_total",
+        "Times the worker pool was torn down and rebuilt",
+    ),
+    "serial_fallbacks": (
+        "repro_shard_serial_fallbacks_total",
+        "Shards that exhausted pool attempts and ran serially",
+    ),
+    "corrupt_resumes": (
+        "repro_shard_corrupt_resumes_total",
+        "On-disk shards rejected by validation and recomputed",
+    ),
+}
 
 
 def _require_numpy():
@@ -217,6 +252,9 @@ def save_shard(
             f"torn write injected on shard {index} ({path})"
         )
     os.replace(tmp_path, path)
+    obs.counter(
+        "repro_shard_bytes_written_total", "Bytes persisted as shard files"
+    ).inc(os.path.getsize(path))
     if plan is not None and plan.claim("flip", index):
         _faults.flip_byte(path)
 
@@ -254,6 +292,10 @@ def load_shard(
             }
             if content_checksum(part) != str(data["__checksum__"]):
                 return ("corrupt", None)
+            obs.counter(
+                "repro_shard_bytes_read_total",
+                "Bytes read back from verified shard files",
+            ).inc(os.path.getsize(path))
             return ("ok", part)
     except (zipfile.BadZipFile, EOFError, OSError, KeyError):
         return ("corrupt", None)
@@ -291,11 +333,19 @@ class ShardRunReport:
 
 
 def _shard_call(task):
-    """Pool worker wrapper: inject worker-side faults, then run the shard."""
+    """Pool worker wrapper: inject worker-side faults, then run the shard.
+
+    Returns ``(value, telemetry)`` — the worker registry's drained
+    metric/span deltas ride back with the result and the coordinator
+    merges them exactly once per *delivered* future.  A crashed worker's
+    pending deltas die with its process and the retried attempt records
+    afresh, so nothing double-counts across re-queues.
+    """
     worker, payload, index, plan = task
     if plan is not None:
         _faults.fire_worker_fault(plan, index)
-    return worker(payload)
+    value = worker(payload)
+    return value, obs.drain_telemetry()
 
 
 def _stop_pool(pool) -> None:
@@ -391,6 +441,33 @@ def run_shards(
     finished = False
     last_beat = time.monotonic()
 
+    # Work-queue state lives up here because emit() (called from the
+    # resume scan already) publishes queue-depth/in-flight gauges.
+    queue: deque = deque()
+    inflight: Dict[object, Tuple[int, Optional[float]]] = {}
+
+    telemetry_on = obs.metrics_enabled()
+    if telemetry_on:
+        tally_counters = {
+            fld: obs.counter(name, help_text, prefix=prefix)
+            for fld, (name, help_text) in _TALLY_METRICS.items()
+        }
+        last_counts = {fld: 0 for fld in _TALLY_METRICS}
+        queue_gauge = obs.gauge(
+            "repro_shard_queue_depth", "Shards waiting in the work queue",
+            prefix=prefix,
+        )
+        inflight_gauge = obs.gauge(
+            "repro_shard_inflight", "Shards currently submitted to the pool",
+            prefix=prefix,
+        )
+        heartbeat_gauge = obs.gauge(
+            "repro_shard_heartbeat_timestamp",
+            "Unix time of the coordinator's last manifest heartbeat "
+            "(heartbeat age = now - this)",
+            prefix=prefix,
+        )
+
     def snapshot() -> Dict[str, object]:
         done = sum(1 for s in states.values() if s["state"] == "done")
         return {
@@ -425,6 +502,17 @@ def run_shards(
         last_beat = time.monotonic()
         snap = snapshot()
         report.manifest = snap
+        if telemetry_on:
+            # Promote manifest tallies to counters by diffing against the
+            # last emit, so the exposition equals the manifest exactly.
+            for fld, instrument in tally_counters.items():
+                delta = snap[fld] - last_counts[fld]
+                if delta:
+                    instrument.inc(delta)
+                    last_counts[fld] = snap[fld]
+            queue_gauge.set(len(queue))
+            inflight_gauge.set(len(inflight))
+            heartbeat_gauge.set(snap["updated_at"])
         if write_manifest and report.manifest_path is not None:
             tmp = f"{report.manifest_path}.tmp"
             with open(tmp, "w") as handle:
@@ -432,7 +520,17 @@ def run_shards(
                 handle.write("\n")
             os.replace(tmp, report.manifest_path)
         if progress is not None:
-            progress(snap)
+            try:
+                progress(snap)
+            except Exception as error:
+                # A broken progress renderer must never abort the build:
+                # downgrade to a warning and keep the coordinator alive.
+                warnings.warn(
+                    f"progress callback raised {type(error).__name__}: "
+                    f"{error}; continuing without it for this event",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     # In-order delivery: results for consume-mode buffer past gaps.
     ready: Dict[int, object] = {}
@@ -466,7 +564,6 @@ def run_shards(
         complete(index, worker(payloads[index]), source)
 
     # ---------------- resume scan ---------------- #
-    queue = deque()
     if paths is not None:
         for index in range(total):
             status, part = load_shard(paths[index], fingerprint_hash)
@@ -490,7 +587,6 @@ def run_shards(
     workers = min(resolve_jobs(jobs), max(1, total))
     serial_only = workers <= 1
     pool = None
-    inflight: Dict[object, Tuple[int, Optional[float]]] = {}
 
     def requeue(index: int, penalty: bool) -> None:
         if not penalty:
@@ -513,6 +609,8 @@ def run_shards(
             time.sleep(delay)
         emit()
 
+    run_span = obs.span(f"run_shards:{prefix}")
+    run_span.__enter__()
     try:
         while queue or inflight:
             if serial_only:
@@ -564,7 +662,7 @@ def run_shards(
                 for future in done:
                     index, _ = inflight.pop(future)
                     try:
-                        value = future.result()
+                        value, telemetry = future.result()
                     except BrokenExecutor:
                         pool_broke = True
                         requeue(index, penalty=True)
@@ -574,6 +672,9 @@ def run_shards(
                         # reproduces (and propagates) the error in-parent.
                         requeue(index, penalty=True)
                     else:
+                        # Merge the worker's piggybacked telemetry exactly
+                        # once, before the part is persisted/delivered.
+                        obs.merge_telemetry(telemetry)
                         complete(index, value, "computed")
 
             if pool_broke:
@@ -613,6 +714,7 @@ def run_shards(
     finally:
         if pool is not None:
             _stop_pool(pool)
+        run_span.__exit__(None, None, None)
 
     finished = True
     emit()

@@ -64,6 +64,7 @@ try:  # soft dependency, mirroring repro.engine.batch
 except ImportError:  # pragma: no cover - exercised only on minimal installs
     _np = None
 
+from .. import obs
 from ..graphs.isomorphism import cached_canonical_record, canonical_record
 
 INFINITY = float("inf")
@@ -576,6 +577,7 @@ def _row_budget(n: int) -> int:
     return max(n, min(4096, _TABLE_BYTE_BUDGET // max(per_row, 1)))
 
 
+@obs.timed_kernel("ucg_alpha_sets")
 def ucg_alpha_sets(
     graphs,
     oracle=None,
@@ -776,6 +778,7 @@ def _weighted_chunk_sets(graphs, model, use_orbits):
     return results
 
 
+@obs.timed_kernel("weighted_ucg_t_sets")
 def weighted_ucg_t_sets(
     graphs,
     model,

@@ -234,8 +234,42 @@ def _iter_graphs(n: int) -> Iterator[Graph]:
 
 
 def iter_connected_graphs(n: int) -> Iterator[Graph]:
-    """Stream one representative per isomorphism class of connected graphs."""
-    return (g for g in iter_graphs(n) if is_connected(g))
+    """Stream one representative per isomorphism class of connected graphs.
+
+    When telemetry is on, each exhausted stream tallies its class count
+    into ``repro_enumeration_graphs_total`` and its wall seconds into
+    ``repro_enumeration_seconds`` (graphs/sec is their ratio); disabled
+    telemetry returns the bare generator expression unchanged.
+    """
+    from .. import obs
+
+    if not obs.metrics_enabled():
+        return (g for g in iter_graphs(n) if is_connected(g))
+    return _iter_connected_counted(n)
+
+
+def _iter_connected_counted(n: int) -> Iterator[Graph]:
+    """Generator body of the instrumented :func:`iter_connected_graphs`."""
+    import time
+
+    from .. import obs
+
+    yielded = 0
+    start = time.perf_counter()
+    try:
+        for g in iter_graphs(n):
+            if is_connected(g):
+                yielded += 1
+                yield g
+    finally:
+        obs.counter(
+            "repro_enumeration_graphs_total",
+            "Connected graph classes streamed by the enumerator",
+        ).inc(yielded)
+        obs.histogram(
+            "repro_enumeration_seconds",
+            "Wall seconds per iter_connected_graphs stream",
+        ).observe(time.perf_counter() - start)
 
 
 def iter_graphs_from(root: Graph, n: int) -> Iterator[Graph]:

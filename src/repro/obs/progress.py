@@ -1,0 +1,74 @@
+"""One progress renderer for every sharded build.
+
+``census``, ``scenarios`` and ``ensemble`` used to carry near-identical
+``--progress`` stderr printers; :class:`ProgressReporter` replaces them
+with a single callable that consumes :func:`repro.engine.run_shards`
+manifest snapshots and prints one consistent line per runner event —
+done/total, resume/retry/timeout tallies, the observed completion rate
+and an ETA derived from the heartbeat timestamps.
+
+The reporter is deliberately *stateless between runs*: rate and ETA come
+straight out of each snapshot (``computed`` shards over the
+``updated_at - started_at`` wall clock), so a resumed build reports the
+rate of the work it actually did rather than an average polluted by
+shards it skipped.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds != seconds or seconds == float("inf"):
+        return "?"
+    seconds = int(seconds + 0.5)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressReporter:
+    """A ``progress=`` callback for :func:`repro.engine.run_shards`.
+
+    Prints ``[label] done/total done (resumed R, retries T, timeouts O)
+    rate/s eta E`` to ``stream`` (stderr by default) on every snapshot.
+    The label defaults to the snapshot's shard ``prefix`` so the three
+    CLI surfaces stay distinguishable while sharing one format.
+    """
+
+    def __init__(
+        self,
+        label: Optional[str] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.label = label
+        self.stream = stream
+
+    def __call__(self, snapshot: dict) -> None:
+        label = self.label or snapshot.get("prefix") or "shards"
+        total = snapshot.get("total", 0)
+        done = snapshot.get("done", 0)
+        computed = snapshot.get("computed", 0)
+        line = (
+            f"[{label}] {done}/{total} done "
+            f"(resumed {snapshot.get('resumed', 0)}, "
+            f"retries {snapshot.get('retries', 0)}, "
+            f"timeouts {snapshot.get('timeouts', 0)})"
+        )
+        elapsed = (
+            snapshot.get("updated_at", 0.0) - snapshot.get("started_at", 0.0)
+        )
+        if computed > 0 and elapsed > 0:
+            rate = computed / elapsed
+            remaining = max(total - done, 0)
+            line += (
+                f" rate {rate:.2f}/s eta {_format_eta(remaining / rate)}"
+            )
+        elif done < total:
+            line += " rate ?/s eta ?"
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(line, file=stream)

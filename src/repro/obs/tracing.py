@@ -1,0 +1,296 @@
+"""Hierarchical span tracing: wall/CPU timing trees around hot paths.
+
+``with span("census.build"):`` opens a node under the thread's current
+span; nested ``span(...)`` blocks attach as children, and repeated visits
+to the same path aggregate in place (count, total/min/max wall seconds,
+total CPU seconds) rather than growing an unbounded event log.  The
+result is a compact tree keyed by slash-joined paths, rendered with
+:func:`render_span_tree` or exported through the registry-style
+``snapshot`` / ``drain`` / ``merge`` trio so pool workers can piggyback
+their subtree totals onto chunk results exactly like metric deltas
+(see :mod:`repro.obs.metrics` for the exactly-once contract).
+
+The tracer honours the same ``REPRO_METRICS`` kill-switch: when disabled,
+:func:`span` returns a shared no-op context manager and nothing records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .metrics import _STATE
+
+#: Path separator between nested span names.
+SEP = "/"
+
+
+class SpanNode:
+    """Aggregated timings for one span path (and its children)."""
+
+    __slots__ = ("name", "count", "wall", "cpu", "min_wall", "max_wall", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.min_wall = float("inf")
+        self.max_wall = float("-inf")
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def record(self, wall: float, cpu: float) -> None:
+        self.count += 1
+        self.wall += wall
+        self.cpu += cpu
+        if wall < self.min_wall:
+            self.min_wall = wall
+        if wall > self.max_wall:
+            self.max_wall = wall
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "count": self.count,
+            "wall": self.wall,
+            "cpu": self.cpu,
+        }
+        if self.count:
+            out["min_wall"] = self.min_wall
+            out["max_wall"] = self.max_wall
+        if self.children:
+            out["children"] = [
+                child.to_dict() for child in self.children.values()
+            ]
+        return out
+
+    def merge(self, payload: dict) -> None:
+        self.count += payload["count"]
+        self.wall += payload["wall"]
+        self.cpu += payload["cpu"]
+        if payload["count"]:
+            if payload["min_wall"] < self.min_wall:
+                self.min_wall = payload["min_wall"]
+            if payload["max_wall"] > self.max_wall:
+                self.max_wall = payload["max_wall"]
+        for child_payload in payload.get("children", ()):
+            self.child(child_payload["name"]).merge(child_payload)
+
+    def is_empty(self) -> bool:
+        return self.count == 0 and not self.children
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """The live context manager: pushes onto the thread's span stack."""
+
+    __slots__ = ("_tracer", "_name", "_wall0", "_cpu0")
+
+    def __init__(self, tracer: "SpanTracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self):
+        self._tracer._push(self._name)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info):
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        self._tracer._pop(self._name, wall, cpu)
+        return False
+
+
+class SpanTracer:
+    """Per-process tracer holding one aggregated tree per thread.
+
+    Each thread keeps its own stack (spans opened on different threads
+    never nest into each other); the trees all hang off one shared root
+    whose direct children are merged across threads on export.  Spans are
+    re-entrant — ``span("a")`` inside ``span("a")`` produces an ``a/a``
+    path, which is the honest shape for recursive instrumented calls.
+    """
+
+    def __init__(self) -> None:
+        self._root = SpanNode("")
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [self._root]
+        return stack
+
+    def span(self, name: str):
+        """Open (or no-op, when disabled) a span named ``name``."""
+        if not _STATE.enabled:
+            return NOOP_SPAN
+        return _Span(self, name)
+
+    def _push(self, name: str) -> None:
+        stack = self._stack()
+        with self._lock:
+            stack.append(stack[-1].child(name))
+
+    def _pop(self, name: str, wall: float, cpu: float) -> None:
+        stack = self._stack()
+        if len(stack) < 2 or stack[-1].name != name:
+            # A mismatched exit (e.g. a span closed on a different thread)
+            # must never corrupt the tree; drop the sample instead.
+            return
+        node = stack.pop()
+        with self._lock:
+            node.record(wall, cpu)
+
+    # ------------------------ export / transport ----------------------- #
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of the whole span tree (JSON-serialisable)."""
+        with self._lock:
+            return self._root.to_dict()
+
+    def drain(self) -> Optional[dict]:
+        """Take the tree (leaving the tracer empty); ``None`` when bare.
+
+        The returned payload is what workers piggyback next to their
+        metric deltas; fold it back in with :meth:`merge`.
+        """
+        if not _STATE.enabled:
+            return None
+        with self._lock:
+            if self._root.is_empty():
+                return None
+            payload = self._root.to_dict()
+            # Reset in place so open spans (nodes still referenced from
+            # thread stacks) keep recording into the same objects.
+            for node in list(self._root.children.values()):
+                if _detach_if_idle(node):
+                    del self._root.children[node.name]
+        return payload
+
+    def merge(self, payload: Optional[dict]) -> None:
+        """Fold a :meth:`drain`/:meth:`snapshot` payload into this tree."""
+        if not payload or not _STATE.enabled:
+            return
+        with self._lock:
+            self._root.merge(payload)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._root = SpanNode("")
+        self._local = threading.local()
+
+
+def _detach_if_idle(node: SpanNode) -> bool:
+    """Zero a drained subtree; True when the node can be dropped outright.
+
+    Nodes still on some thread's stack (an open span) must survive with
+    their identity so the eventual ``record`` lands somewhere; we zero
+    their totals and keep them.
+    """
+    for child in list(node.children.values()):
+        if _detach_if_idle(child):
+            del node.children[child.name]
+    node.count = 0
+    node.wall = 0.0
+    node.cpu = 0.0
+    node.min_wall = float("inf")
+    node.max_wall = float("-inf")
+    return not node.children
+
+
+# --------------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------------- #
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def render_span_tree(snapshot: dict) -> str:
+    """Render a :meth:`SpanTracer.snapshot` payload as an aligned table.
+
+    One row per span path, indented by depth, with call count, total and
+    mean wall seconds, and total CPU seconds.
+    """
+    rows: List[tuple] = []
+
+    def walk(node: dict, depth: int) -> None:
+        if node.get("name"):
+            count = node["count"]
+            wall = node["wall"]
+            mean = wall / count if count else 0.0
+            rows.append((
+                "  " * depth + node["name"],
+                str(count),
+                _format_seconds(wall),
+                _format_seconds(mean),
+                _format_seconds(node["cpu"]),
+            ))
+        for child in node.get("children", ()):
+            walk(child, depth + (1 if node.get("name") else 0))
+
+    walk(snapshot, 0)
+    if not rows:
+        return "(no spans recorded)"
+    header = ("span", "count", "wall", "mean", "cpu")
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(header)))
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# The process-global tracer
+# --------------------------------------------------------------------------- #
+
+
+_TRACER = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-global tracer every ``span(...)`` call records into."""
+    return _TRACER
+
+
+def span(name: str):
+    """Open a span named ``name`` in the global tracer (no-op if disabled)."""
+    return _TRACER.span(name)

@@ -121,7 +121,8 @@ class TestCensusSubcommand:
     def test_progress_flag_streams_manifest_lines(self, capsys):
         assert main(["census", "--n", "4", "--streamed", "--progress"]) == 0
         captured = capsys.readouterr()
-        assert "[shards]" in captured.err
+        assert "[shard]" in captured.err
+        assert "done" in captured.err and "rate" in captured.err
 
     def test_load_errors_exit_cleanly(self, capsys, tmp_path):
         assert main(["census", "--load", str(tmp_path / "missing.npz")]) == 2
@@ -292,3 +293,98 @@ class TestEnsembleSubcommand:
         from repro.analysis.delta_store import DeltaStore
 
         assert len(DeltaStore.load(path)) == 6
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="the instrumented subcommands require NumPy",
+)
+class TestTelemetryCLI:
+    @pytest.fixture(autouse=True)
+    def _fresh_telemetry(self):
+        from repro import obs
+
+        previous = obs.set_metrics_enabled(True)
+        obs.reset_telemetry()
+        yield
+        obs.reset_telemetry()
+        obs.set_metrics_enabled(previous)
+
+    def test_census_metrics_out_prometheus(self, capsys, tmp_path):
+        path = str(tmp_path / "census.prom")
+        assert main(
+            ["census", "--n", "4", "--no-ucg", "--metrics-out", path]
+        ) == 0
+        capsys.readouterr()
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "# TYPE repro_kernel_seconds histogram" in text
+        assert 'repro_kernel_seconds_count{kernel="batch_stability_deltas"}' in text
+        assert 'repro_kernel_graphs_total{kernel="batch_stability_deltas"} 6' in text
+
+    def test_census_trace_prints_span_tree(self, capsys):
+        assert main(["census", "--n", "4", "--no-ucg", "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "cli:census" in err
+        assert "wall" in err and "count" in err
+
+    def test_stats_renders_json_snapshot(self, capsys, tmp_path):
+        path = str(tmp_path / "census.json")
+        assert main(
+            ["census", "--n", "4", "--no-ucg", "--metrics-out", path]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", path]) == 0
+        table = capsys.readouterr().out
+        assert "repro_kernel_graphs_total" in table
+        assert "cli:census" in table  # span tree rides along in the snapshot
+        assert main(["stats", path, "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_kernel_graphs_total counter" in prom
+
+    def test_stats_rejects_non_snapshot_file(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        assert main(["stats", str(path)]) == 2
+        assert "not a repro telemetry snapshot" in capsys.readouterr().err
+
+    def test_scenarios_progress_requires_streamed(self, capsys):
+        assert main(
+            ["scenarios", "--name", "random_weights", "--progress"]
+        ) == 2
+        assert "--progress requires --streamed" in capsys.readouterr().err
+
+    def test_scenarios_streamed_save_with_progress(self, capsys, tmp_path):
+        path = str(tmp_path / "ws.npz")
+        assert main(
+            [
+                "scenarios", "--name", "random_weights", "--n", "4",
+                "--save", path, "--streamed", "--progress",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "saved to" in captured.out
+        assert "[wshard]" in captured.err
+
+    def test_shard_counters_match_manifest(self, capsys, tmp_path):
+        import json as jsonlib
+
+        shard_dir = str(tmp_path / "shards")
+        path = str(tmp_path / "census.json")
+        argv = [
+            "census", "--n", "5", "--streamed", "--no-ucg",
+            "--shard-dir", shard_dir, "--metrics-out", path,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        with open(f"{shard_dir}/manifest.json", encoding="utf-8") as handle:
+            manifest = jsonlib.load(handle)
+        with open(path, encoding="utf-8") as handle:
+            snapshot = jsonlib.load(handle)
+        series = {
+            (entry["name"], entry["labels"].get("prefix")): entry.get("value")
+            for entry in snapshot["metrics"]
+        }
+        assert series[("repro_shards_computed_total", "shard")] == manifest["computed"]
+        assert series[("repro_shards_resumed_total", "shard")] == manifest["resumed"]
+        assert series[("repro_shard_retries_total", "shard")] == manifest["retries"]
