@@ -63,7 +63,14 @@ repository root so future PRs have a perf trajectory to compare against:
 * **telemetry kill-switch** (schema v9) — the instrumented
   :func:`repro.engine.columnar.bcg_stable_mask` wrapper with
   ``REPRO_METRICS`` disabled vs the bare kernel on the full n = 7 census
-  columns, ceilinged at <= 1.05x (disabled telemetry must be free).
+  columns, ceilinged at <= 1.05x (disabled telemetry must be free);
+* **census-as-a-service** (schema v10) — one warm
+  :class:`repro.service.ArtifactServer` grid query over HTTP vs the cold
+  ``census --load --grid`` CLI subprocess on the same artifact, floored
+  at >= 10x; the served figure is asserted byte-identical to the CLI
+  table, a concurrent request burst must actually coalesce, and the
+  ``/metrics`` exposition must parse and carry the request-latency
+  histogram.
 
 The script exits non-zero if the engine census path fails the acceptance
 floor (>= 3x naive, serial), if canonical augmentation fails its floor
@@ -955,6 +962,128 @@ def bench_telemetry_overhead(
 
 
 # --------------------------------------------------------------------------- #
+# 3i. Census-as-a-service: warm server query vs cold CLI subprocess (v10)
+# --------------------------------------------------------------------------- #
+
+
+def bench_service(n: int = 6, grid: int = 24, rounds: int = 12) -> Dict[str, float]:
+    """A warm artifact server must answer grids >= 10x faster than cold CLI.
+
+    The cold arm is the full ``census --load --grid`` subprocess (fresh
+    interpreter, imports, artifact load, kernel call); the warm arm is one
+    HTTP ``POST /v1/query/grid`` against an in-process
+    :class:`~repro.service.http.ArtifactServer` whose store LRU is hot.
+    The served figure payload is asserted byte-identical to the CLI table
+    before any time is recorded, and an 8-request concurrent burst must
+    actually coalesce into shared kernel calls.
+    """
+    import json as jsonlib
+    import subprocess
+    import tempfile
+    import urllib.request
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.analysis.figure_series import figure_from_payload
+    from repro.analysis.report import format_figure
+    from repro.analysis.store import CensusStore, clear_store_cache
+    from repro.service import ArtifactCatalog, GridBatcher, QueryAPI
+    from repro.service.http import start_in_thread
+    from smoke_metrics import parse_exposition
+
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        artifact = os.path.join(tmp, f"census{n}.npz")
+        CensusStore.build(n, include_ucg=True).save(artifact)
+
+        def cold_cli():
+            result = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli", "census",
+                    "--load", artifact, "--grid", str(grid),
+                ],
+                env=env, capture_output=True, text=True, check=True,
+            )
+            return result.stdout
+
+        # One un-timed cold run gives the parity reference (and warms the
+        # OS page cache so the cold arm times the interpreter + load +
+        # kernel, not first-touch disk reads).
+        cli_figure = cold_cli().split("\n\n", 1)[1]
+
+        clear_store_cache()
+        api = QueryAPI(
+            ArtifactCatalog(root=tmp), batcher=GridBatcher(window=0.005)
+        )
+        server, thread = start_in_thread(api=api)
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            def warm_query():
+                request = urllib.request.Request(
+                    base + "/v1/query/grid",
+                    data=jsonlib.dumps(
+                        {"artifact": f"census{n}.npz", "points": grid}
+                    ).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    return jsonlib.loads(response.read().decode("utf-8"))
+
+            payload = warm_query()  # warm the store LRU out of the timing
+            served_figure = format_figure(
+                figure_from_payload(payload),
+                f"average_poa over {payload['points']} grid points",
+            ) + "\n"
+            if served_figure != cli_figure:
+                raise AssertionError(
+                    "served grid figure differs from census --load --grid"
+                )
+
+            warm = min(_time(warm_query) for _ in range(rounds))
+            cold = min(_time(lambda: cold_cli()) for _ in range(3))
+
+            # Concurrent burst: 8 identical requests must coalesce.
+            before = api.batcher.stats()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                bursts = list(
+                    pool.map(lambda _: warm_query(), range(8))
+                )
+            after = api.batcher.stats()
+            if any(burst != bursts[0] for burst in bursts):
+                raise AssertionError("concurrent burst responses disagree")
+
+            exposition = urllib.request.urlopen(
+                base + "/metrics", timeout=30
+            ).read().decode("utf-8")
+            series = parse_exposition(exposition)
+            request_histogram_present = any(
+                key.startswith("repro_http_request_seconds_count")
+                for key in series
+            )
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            clear_store_cache()
+
+    return {
+        "n": n,
+        "grid_points": grid,
+        "cold_cli_seconds": cold,
+        "warm_server_seconds": warm,
+        "speedup": cold / warm,
+        "parity_ok": True,
+        "burst_requests": 8,
+        "burst_coalesced": after.coalesced - before.coalesced,
+        "metrics_exposition_ok": True,
+        "request_histogram_present": request_histogram_present,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # 4. Single-edge mutation must not scale with m
 # --------------------------------------------------------------------------- #
 
@@ -1016,7 +1145,7 @@ def main(argv=None) -> int:
     # (cpu_count in the report says whether pool gains were possible at all).
     jobs_grid = sorted({2} | {j for j in (4, min(8, cpu)) if 1 < j <= cpu})
     report = {
-        "schema": "bench_engine/v9",
+        "schema": "bench_engine/v10",
         "python": sys.version.split()[0],
         "cpu_count": cpu,
         "unix_time": time.time(),
@@ -1035,6 +1164,7 @@ def main(argv=None) -> int:
         "census_store_mmap_fanout": bench_store_mmap_fanout(),
         "shard_runner": bench_shard_runner(),
         "telemetry_overhead": bench_telemetry_overhead(),
+        "service": bench_service(),
     }
     if args.n9:
         report["census_n9_bcg_streamed"] = bench_census_n9_streamed()
@@ -1141,6 +1271,15 @@ def main(argv=None) -> int:
         f"{telemetry['disabled_seconds']*1e3:.1f}ms "
         f"({telemetry['disabled_overhead_ratio']:.3f}x, ceiling 1.05x)"
     )
+    service = report["service"]
+    print(
+        f"service:       n={service['n']} {service['grid_points']}-pt grid "
+        f"warm server {service['warm_server_seconds']*1e3:.1f}ms vs cold CLI "
+        f"{service['cold_cli_seconds']:.2f}s ({service['speedup']:.0f}x, "
+        f"floor 10x; burst coalesced "
+        f"{service['burst_coalesced']}/{service['burst_requests']}, "
+        f"figure byte-identical)"
+    )
     if "census_n9_bcg_streamed" in report:
         census9 = report["census_n9_bcg_streamed"]
         print(
@@ -1201,6 +1340,20 @@ def main(argv=None) -> int:
             f"disabled telemetry costs "
             f"{(telemetry['disabled_overhead_ratio'] - 1) * 100:.1f}% on the "
             "vectorised kernel path (ceiling: 5%)"
+        )
+    if service["speedup"] < 10.0 and not args.report_only:
+        failures.append(
+            f"warm-server grid query speedup {service['speedup']:.1f}x over "
+            "the cold CLI is below the 10x floor"
+        )
+    if not service["request_histogram_present"]:
+        failures.append(
+            "the served /metrics exposition is missing the request-latency "
+            "histogram"
+        )
+    if service["burst_coalesced"] < 2:
+        failures.append(
+            "the concurrent request burst did not coalesce any kernel calls"
         )
     if mutation["dense_over_sparse"] > 3.0:
         failures.append(

@@ -78,7 +78,7 @@ from .graphs import (
     star_graph,
 )
 
-__version__ = "1.0.0"
+from ._version import __version__
 
 __all__ = [
     "__version__",

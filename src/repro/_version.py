@@ -1,0 +1,10 @@
+"""The package version, importable without pulling in the full package.
+
+Lives in its own module so dependency-light subpackages (``repro.obs``,
+``repro.service``) can stamp exports with the version without importing
+``repro`` itself — the top-level ``__init__`` imports the heavy core and
+analysis layers, and ``repro.obs`` must stay importable from engine hot
+paths without cycles.
+"""
+
+__version__ = "1.0.0"

@@ -653,6 +653,7 @@ def cached_delta_store(
     """
     from .store import (
         _STORE_CACHE,
+        _STORE_CACHE_LOCK,
         _artifact_stamp,
         _cache_store,
         _count_cache_lookup,
@@ -664,15 +665,17 @@ def cached_delta_store(
         key = (
             "delta-load", os.path.abspath(path), bool(mmap), _artifact_stamp(path)
         )
+        with _STORE_CACHE_LOCK:
+            store = _STORE_CACHE.get(key)
+            _count_cache_lookup("delta-store", hit=store is not None)
+            if store is None:
+                store = DeltaStore.load(path, mmap=mmap)
+            return _cache_store(key, store)
+
+    key = ("delta-build", int(n))
+    with _STORE_CACHE_LOCK:
         store = _STORE_CACHE.get(key)
         _count_cache_lookup("delta-store", hit=store is not None)
         if store is None:
-            store = DeltaStore.load(path, mmap=mmap)
+            store = DeltaStore.build(n, jobs=jobs)
         return _cache_store(key, store)
-
-    key = ("delta-build", int(n))
-    store = _STORE_CACHE.get(key)
-    _count_cache_lookup("delta-store", hit=store is not None)
-    if store is None:
-        store = DeltaStore.build(n, jobs=jobs)
-    return _cache_store(key, store)

@@ -85,6 +85,64 @@ def _is_number(x: float) -> bool:
     return x == x and x not in (float("inf"), float("-inf"))
 
 
+def figure_to_payload(figure: FigureData) -> Dict[str, object]:
+    """A :class:`FigureData` as a plain JSON-safe dict (service wire shape).
+
+    The inverse of :func:`figure_from_payload`; round-tripping preserves
+    every float bit-for-bit (Python's JSON encoder emits ``repr`` floats),
+    so a figure rendered from the payload is byte-identical to one
+    rendered from the original dataclass.
+    """
+    def series(s: FigureSeries) -> Dict[str, object]:
+        return {
+            "game": s.game,
+            "quantity": s.quantity,
+            "points": [
+                {
+                    "alpha": p.alpha,
+                    "axis": p.axis,
+                    "value": p.value,
+                    "num_equilibria": p.num_equilibria,
+                }
+                for p in s.points
+            ],
+        }
+
+    return {
+        "n": figure.n,
+        "quantity": figure.quantity,
+        "description": figure.description,
+        "ucg": series(figure.ucg),
+        "bcg": series(figure.bcg),
+    }
+
+
+def figure_from_payload(payload: Dict[str, object]) -> FigureData:
+    """Rebuild a :class:`FigureData` from a :func:`figure_to_payload` dict."""
+    def series(entry: Dict[str, object]) -> FigureSeries:
+        return FigureSeries(
+            game=entry["game"],
+            quantity=entry["quantity"],
+            points=[
+                SeriesPoint(
+                    alpha=float(p["alpha"]),
+                    axis=float(p["axis"]),
+                    value=float(p["value"]),
+                    num_equilibria=int(p["num_equilibria"]),
+                )
+                for p in entry["points"]
+            ],
+        )
+
+    return FigureData(
+        n=int(payload["n"]),
+        quantity=payload["quantity"],
+        ucg=series(payload["ucg"]),
+        bcg=series(payload["bcg"]),
+        description=payload.get("description", ""),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Census-based (exhaustive) series
 # --------------------------------------------------------------------------- #
@@ -107,6 +165,7 @@ def census_figure_series(
     quantity: str,
     total_edge_costs: Optional[Sequence[float]] = None,
     align_per_edge_cost: bool = True,
+    aggregates=None,
 ) -> FigureData:
     """Compute a Figure 2/3-style dataset from an exhaustive census.
 
@@ -125,14 +184,21 @@ def census_figure_series(
         ``α = cost`` and the BCG at ``α = cost / 2`` so that one x-value
         corresponds to the same total price of an edge in both games.  When
         false both games are evaluated at ``α = cost``.
+    aggregates:
+        Optional ``(alphas, game) -> grid-aggregates dict`` override for
+        the store fast path.  The service layer injects its batched
+        :meth:`~repro.service.QueryAPI.grid_aggregates` here so concurrent
+        figure requests coalesce into shared kernel calls; results are
+        identical because the kernels are per-column independent.
     """
     if quantity not in ("average_poa", "worst_poa", "average_links"):
         raise ValueError(f"unknown quantity {quantity!r}")
     if total_edge_costs is None:
         total_edge_costs = default_alpha_grid(census.n)
-    if hasattr(census, "grid_aggregates"):
+    if aggregates is not None or hasattr(census, "grid_aggregates"):
         return _store_figure_series(
-            census, quantity, total_edge_costs, align_per_edge_cost
+            census, quantity, total_edge_costs, align_per_edge_cost,
+            aggregates=aggregates,
         )
     ucg_series = FigureSeries(game="ucg", quantity=quantity)
     bcg_series = FigureSeries(game="bcg", quantity=quantity)
@@ -173,6 +239,7 @@ def _store_figure_series(
     quantity: str,
     total_edge_costs: Sequence[float],
     align_per_edge_cost: bool,
+    aggregates=None,
 ) -> FigureData:
     """Whole-grid figure series from a columnar :class:`CensusStore`.
 
@@ -189,15 +256,17 @@ def _store_figure_series(
             alpha_ucg = alpha_bcg = cost
         alphas_ucg.append(alpha_ucg)
         alphas_bcg.append(alpha_bcg)
+    if aggregates is None:
+        aggregates = store.grid_aggregates
     ucg_series = FigureSeries(game="ucg", quantity=quantity)
     bcg_series = FigureSeries(game="bcg", quantity=quantity)
     for game, alphas, series in (
         ("ucg", alphas_ucg, ucg_series),
         ("bcg", alphas_bcg, bcg_series),
     ):
-        aggregates = store.grid_aggregates(alphas, game)
-        values = aggregates[quantity]
-        counts = aggregates["counts"]
+        grid = aggregates(alphas, game)
+        values = grid[quantity]
+        counts = grid["counts"]
         for alpha, value, count in zip(alphas, values, counts):
             series.points.append(
                 SeriesPoint(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import zipfile
 from collections import OrderedDict
@@ -903,6 +904,15 @@ def _stream_columns_chunk(task: Tuple[List[Graph], int, bool, int]) -> dict:
 
 _STORE_CACHE: "OrderedDict[tuple, CensusStore]" = OrderedDict()
 
+#: One re-entrant lock guards every mutation of :data:`_STORE_CACHE` — the
+#: cache is shared by :func:`cached_store`, :func:`cached_delta_store` and
+#: :func:`cached_weighted_store`, and the service layer calls all three from
+#: concurrent request threads.  The lock is held across a whole miss
+#: (including the build/load) so the hit/miss/eviction counters stay exact
+#: and two threads never build the same artifact twice; artifact loads are
+#: milliseconds, and the expensive kernel queries run outside the lock.
+_STORE_CACHE_LOCK = threading.RLock()
+
 #: Upper bound on cached stores.  Small on purpose: an n = 8 store is a few
 #: MB resident but an n = 9 store is tens of MB, and a long-lived process
 #: cycling through artifacts (the ensemble/experiment runners) must not
@@ -915,16 +925,27 @@ def _artifact_stamp(path: str) -> tuple:
 
     Load-keyed cache entries are not determined by the path alone — a
     long-lived process may regenerate an artifact in place and must not
-    keep being served the old columns.  For the directory format the stamp
-    probes ``meta.json`` (every :meth:`CensusStore.save` rewrites it).
+    keep being served the old columns.  The directory format aggregates
+    over every file in the directory (newest mtime, total size), so
+    rewriting any single column in place also invalidates the entry.
     """
-    probe = os.path.join(path, "meta.json") if os.path.isdir(path) else path
-    stat = os.stat(probe)
+    if os.path.isdir(path):
+        # Per-file stamps, not an aggregate: a same-clock-tick in-place
+        # rewrite of one column leaves the directory-wide max mtime (and
+        # total size) unchanged but never that file's own pre-write mtime.
+        return tuple(
+            (name,) + _artifact_stamp(os.path.join(path, name))
+            for name in sorted(os.listdir(path))
+        )
+    stat = os.stat(path)
     return (stat.st_mtime_ns, stat.st_size)
 
 
 def _cache_store(key: tuple, store: CensusStore) -> CensusStore:
-    """Insert (or touch) one cache entry, evicting least-recently-used."""
+    """Insert (or touch) one cache entry, evicting least-recently-used.
+
+    Callers must hold :data:`_STORE_CACHE_LOCK`.
+    """
     _STORE_CACHE[key] = store
     _STORE_CACHE.move_to_end(key)
     while len(_STORE_CACHE) > max(1, STORE_CACHE_MAX):
@@ -976,29 +997,32 @@ def cached_store(
         raise ValueError("exactly one of n and path is required")
     if path is not None:
         key = ("load", os.path.abspath(path), bool(mmap), _artifact_stamp(path))
-        store = _STORE_CACHE.get(key)
-        _count_cache_lookup("census-store", hit=store is not None)
-        if store is None:
-            store = CensusStore.load(path, mmap=mmap)
-        return _cache_store(key, store)
+        with _STORE_CACHE_LOCK:
+            store = _STORE_CACHE.get(key)
+            _count_cache_lookup("census-store", hit=store is not None)
+            if store is None:
+                store = CensusStore.load(path, mmap=mmap)
+            return _cache_store(key, store)
 
     from .census import _CENSUS_CACHE
 
     key = ("build", int(n), bool(include_ucg))
-    store = _STORE_CACHE.get(key)
-    _count_cache_lookup("census-store", hit=store is not None)
-    if store is None:
-        cached = _CENSUS_CACHE.get((int(n), bool(include_ucg)))
-        if cached is not None:
-            store = CensusStore.from_census(cached)
-        else:
-            store = CensusStore.build(n, include_ucg=include_ucg, jobs=jobs)
-    return _cache_store(key, store)
+    with _STORE_CACHE_LOCK:
+        store = _STORE_CACHE.get(key)
+        _count_cache_lookup("census-store", hit=store is not None)
+        if store is None:
+            cached = _CENSUS_CACHE.get((int(n), bool(include_ucg)))
+            if cached is not None:
+                store = CensusStore.from_census(cached)
+            else:
+                store = CensusStore.build(n, include_ucg=include_ucg, jobs=jobs)
+        return _cache_store(key, store)
 
 
 def clear_store_cache() -> None:
     """Drop the store cache (used by cold-start benchmarks and tests)."""
-    _STORE_CACHE.clear()
+    with _STORE_CACHE_LOCK:
+        _STORE_CACHE.clear()
 
 
 # Pre-register the cache counter families at import so a fresh exposition

@@ -941,3 +941,41 @@ def _stream_weighted_chunk(task: Tuple) -> dict:
     if pending:
         flush()
     return _merge_parts(parts, n, include_ucg)
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide weighted-store cache (shares the census-store LRU budget)
+# --------------------------------------------------------------------------- #
+
+
+def cached_weighted_store(path: str, mmap: bool = False) -> WeightedStore:
+    """Load (or fetch) a weighted artifact through the shared store LRU.
+
+    The :func:`~repro.analysis.store.cached_store` pattern for weighted
+    artifacts — load-only, since a weighted build needs a full scenario
+    recipe and belongs to :meth:`WeightedStore.from_scenario`.  Keys carry
+    the absolute path, the ``mmap`` flag and the artifact's
+    ``(mtime_ns, size)`` stamp, so an artifact regenerated in place misses
+    the cache instead of serving stale columns.  Entries share one bounded
+    LRU (and its :data:`~repro.analysis.store.STORE_CACHE_MAX` budget, and
+    its lock — lookups are thread-safe) with the census and delta stores,
+    which is what lets the long-running query service keep its working set
+    of mixed artifacts hot without unbounded growth.
+    """
+    from .store import (
+        _STORE_CACHE,
+        _STORE_CACHE_LOCK,
+        _artifact_stamp,
+        _cache_store,
+        _count_cache_lookup,
+    )
+
+    key = (
+        "weighted-load", os.path.abspath(path), bool(mmap), _artifact_stamp(path)
+    )
+    with _STORE_CACHE_LOCK:
+        store = _STORE_CACHE.get(key)
+        _count_cache_lookup("weighted-store", hit=store is not None)
+        if store is None:
+            store = WeightedStore.load(path, mmap=mmap)
+        return _cache_store(key, store)

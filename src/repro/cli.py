@@ -45,9 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
             "equilibrium-census artifacts; 'scenarios' sweeps heterogeneous "
             "link-cost scenarios (and persists/queries weighted artifacts); "
             "'ensemble' aggregates seeded scenario draws; 'stats' renders "
-            "telemetry snapshots — see 'census --help' / 'scenarios "
-            "--help' / 'ensemble --help' / 'stats --help'."
+            "telemetry snapshots; 'serve' exposes artifacts over JSON/HTTP "
+            "and 'query' is its client — see '<subcommand> --help'."
         ),
+    )
+    from ._version import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=__version__,
+        help="print the library version and exit",
     )
     parser.add_argument(
         "experiments",
@@ -361,7 +367,6 @@ def _scenarios_run(parser: argparse.ArgumentParser, args) -> int:
         default_t_grid,
         scenario_sweep,
     )
-    from .analysis.store import LOAD_ERRORS
     from .analysis.weighted_store import WeightedStore, weighted_store_available
 
     if args.list:
@@ -404,29 +409,27 @@ def _scenarios_run(parser: argparse.ArgumentParser, args) -> int:
                 file=sys.stderr,
             )
             return 2
-        try:
-            store = WeightedStore.load(args.load)
-        except LOAD_ERRORS as error:
-            print(f"cannot load {args.load}: {error}", file=sys.stderr)
-            return 2
-        print(format_weighted_store_summary(store, source=args.load))
-        if args.verify and _report_verify(store.verify(), args.load):
+        opened = _open_query_api(args.load, "weighted")
+        if isinstance(opened, int):
+            return opened
+        api, summary = opened
+        print(format_weighted_store_summary(summary, source=args.load))
+        if args.verify and _report_verify(api.verify(args.load), args.load):
             return 1
-        if args.ucg and not store.include_ucg:
+        if args.ucg and not summary["include_ucg"]:
             print(
                 f"{args.load} carries no UCG columns; rebuild the artifact "
                 "with scenarios --ucg --save",
                 file=sys.stderr,
             )
             return 2
-        ts = default_t_grid(store.n, args.grid)
-        aggregates = store.aggregates(ts)
+        grid = api.weighted_grid(args.load, points=args.grid, ucg=args.ucg)
         _print_weighted_table(
-            ts,
-            aggregates["bcg_counts"],
-            aggregates["average_links"],
-            aggregates["average_social_cost"],
-            ucg_counts=store.ucg_nash_counts(ts) if args.ucg else None,
+            grid["ts"],
+            grid["bcg_counts"],
+            grid["average_links"],
+            grid["average_social_cost"],
+            ucg_counts=grid["ucg_counts"] if args.ucg else None,
         )
         return 0
 
@@ -689,7 +692,7 @@ def census_main(argv: List[str]) -> int:
 def _census_run(parser: argparse.ArgumentParser, args) -> int:
     from .analysis.figure_series import census_figure_series
     from .analysis.report import format_figure, format_store_summary
-    from .analysis.store import LOAD_ERRORS, CensusStore, store_available
+    from .analysis.store import CensusStore, store_available
     from .analysis.sweeps import log_spaced_alphas
 
     if not store_available():
@@ -710,12 +713,7 @@ def _census_run(parser: argparse.ArgumentParser, args) -> int:
             return 2
 
     if args.load is not None:
-        try:
-            store = CensusStore.load(args.load, mmap=args.mmap)
-        except LOAD_ERRORS as error:
-            print(f"cannot load {args.load}: {error}", file=sys.stderr)
-            return 2
-        source = args.load
+        return _census_query(args)
     else:
         build = CensusStore.build_streamed if args.streamed else CensusStore.build
         kwargs = {"include_ucg": args.ucg, "jobs": args.jobs}
@@ -779,6 +777,114 @@ def _census_run(parser: argparse.ArgumentParser, args) -> int:
             from .analysis.report import format_table
 
             aggregates = store.grid_aggregates(costs, "bcg")
+            rows = [
+                [alpha, value, count]
+                for alpha, value, count in zip(
+                    costs, aggregates[args.quantity], aggregates["counts"]
+                )
+            ]
+            print(f"{args.quantity} (BCG only; artifact has no UCG columns)")
+            print(format_table(["alpha", args.quantity, "#eq_bcg"], rows))
+    return 0
+
+
+def _open_query_api(path: str, kind: str, mmap: bool = False):
+    """``(api, summary) | exit_code`` for one CLI ``--load`` artifact.
+
+    Every ``--load`` subcommand goes through the same
+    :class:`~repro.service.QueryAPI` the HTTP server runs on, so the CLI
+    table and the served JSON are computed by one code path.
+    """
+    from .analysis.store import LOAD_ERRORS
+    from .service import ArtifactCatalog, QueryAPI
+
+    api = QueryAPI(ArtifactCatalog(mmap=mmap))
+    try:
+        info = api.catalog.info(path)
+        if info.kind != kind:
+            print(
+                f"cannot load {path}: artifact is a {info.kind} store, "
+                f"not a {kind} store",
+                file=sys.stderr,
+            )
+            return 2
+        summary = api.summary(path)
+    except KeyError as error:
+        print(f"cannot load {path}: {error.args[0]}", file=sys.stderr)
+        return 2
+    except LOAD_ERRORS as error:
+        print(f"cannot load {path}: {error}", file=sys.stderr)
+        return 2
+    return api, summary
+
+
+def _census_query(args) -> int:
+    """The ``census --load`` body, answered through the query service."""
+    from .analysis.figure_series import figure_from_payload
+    from .analysis.report import (
+        format_figure,
+        format_store_summary,
+        format_table,
+    )
+    from .analysis.sweeps import log_spaced_alphas
+
+    opened = _open_query_api(args.load, "census", mmap=args.mmap)
+    if isinstance(opened, int):
+        return opened
+    api, summary = opened
+    print(format_store_summary(summary, source=args.load))
+
+    if args.verify and _report_verify(api.verify(args.load), args.load):
+        return 1
+
+    if args.save is not None:
+        # Re-saving through the service keeps --load --save working (e.g.
+        # npz -> dir conversions) off the same loaded columns.
+        _info, store = api.catalog.get(args.load)
+        try:
+            written = store.save(args.save, format=args.format)
+        except OSError as error:
+            print(f"cannot save {args.save}: {error}", file=sys.stderr)
+            return 2
+        print(f"saved to {written}")
+
+    if args.save_deltas is not None:
+        from .analysis.delta_store import DeltaStore
+
+        build_deltas = (
+            DeltaStore.build_streamed if args.streamed else DeltaStore.build
+        )
+        try:
+            deltas = build_deltas(summary["n"], jobs=args.jobs)
+            written = deltas.save(args.save_deltas)
+        except (OSError, ValueError) as error:
+            print(f"cannot save {args.save_deltas}: {error}", file=sys.stderr)
+            return 2
+        delta_summary = deltas.summary()
+        print(
+            f"delta artifact: {delta_summary['classes']} classes, "
+            f"{delta_summary['removal_probes']} removal + "
+            f"{delta_summary['addition_probes']} addition probes, "
+            f"saved to {written}"
+        )
+
+    if args.grid:
+        print()
+        if summary["include_ucg"]:
+            payload = api.figure(args.load, args.quantity, args.grid)
+            figure = figure_from_payload(payload)
+            print(
+                format_figure(
+                    figure,
+                    f"{args.quantity} over {payload['points']} grid points",
+                )
+            )
+        else:
+            # BCG-only artifact (the include_ucg=False large-n case): print
+            # the one-game grid straight off the vectorised aggregates.
+            n = summary["n"]
+            costs = log_spaced_alphas(0.4, 2.0 * n * n, max(2, args.grid))
+            aggregates = api.grid_aggregates(args.load, costs, "bcg")
             rows = [
                 [alpha, value, count]
                 for alpha, value, count in zip(
@@ -886,10 +992,299 @@ def stats_main(argv: List[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description=(
+            "Serve census / weighted / delta artifacts over JSON/HTTP "
+            "(stdlib asyncio, no extra dependencies): /healthz, /metrics "
+            "(Prometheus), /artifacts and /v1/query/* endpoints, with "
+            "concurrent grid queries coalesced into shared kernel calls."
+        ),
+    )
+    parser.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="directory of artifacts to discover and serve",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8973, metavar="PORT",
+        help="bind port; 0 picks a free one and prints it (default: 8973)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=4, metavar="N",
+        help="compute threads answering queries (default: 4)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help=(
+            "how long the first of a burst of grid requests waits for "
+            "companions before computing; 0 disables coalescing "
+            "(default: 0.005)"
+        ),
+    )
+    parser.add_argument(
+        "--no-mmap", action="store_true",
+        help="load directory artifacts resident instead of memory-mapped",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="shutdown grace period for in-flight requests (default: 5)",
+    )
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    """Run the ``serve`` subcommand; returns a process exit code."""
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    from .service.http import serve_forever
+
+    try:
+        return serve_forever(
+            args.dir,
+            host=args.host,
+            port=args.port,
+            threads=args.threads,
+            batch_window=args.batch_window,
+            mmap=not args.no_mmap,
+            drain_grace=args.drain_grace,
+        )
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``query`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments query",
+        description=(
+            "Query a running artifact server (see 'serve').  'grid' "
+            "renders the identical table 'census --load --grid' prints, "
+            "so server answers are directly diffable against local ones."
+        ),
+    )
+    parser.add_argument(
+        "what",
+        choices=(
+            "health", "artifacts", "summary", "grid", "windows", "ensemble",
+        ),
+        help="which endpoint to query",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8973", metavar="URL",
+        help="server base URL (default: http://127.0.0.1:8973)",
+    )
+    parser.add_argument(
+        "--artifact", default=None, metavar="ID",
+        help="artifact id (as listed by 'query artifacts')",
+    )
+    parser.add_argument(
+        "--quantity", default="average_poa",
+        choices=("average_poa", "worst_poa", "average_links"),
+        help="figure quantity for 'grid' (default: average_poa)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=24, metavar="N",
+        help="grid points for 'grid' (default: 24)",
+    )
+    parser.add_argument(
+        "--game", default="bcg", choices=("bcg", "ucg"),
+        help="game for 'windows' (default: bcg)",
+    )
+    parser.add_argument(
+        "--scenario", default="random_weights", metavar="NAME",
+        help="scenario for 'ensemble' (default: random_weights)",
+    )
+    parser.add_argument("--n", type=int, default=6, metavar="N")
+    parser.add_argument("--draws", type=int, default=8, metavar="K")
+    parser.add_argument("--seed", type=int, default=0, metavar="S")
+    parser.add_argument("--grid", type=int, default=8, metavar="POINTS")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON response instead of a rendered table",
+    )
+    return parser
+
+
+def _http_json(url: str, payload: Optional[dict] = None):
+    """One GET/POST round-trip returning the decoded JSON body."""
+    import urllib.request
+
+    request = urllib.request.Request(
+        url,
+        data=None if payload is None else json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def query_main(argv: List[str]) -> int:
+    """Run the ``query`` subcommand; returns a process exit code."""
+    import urllib.error
+
+    parser = build_query_parser()
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+    needs_artifact = args.what in ("summary", "grid", "windows")
+    if needs_artifact and args.artifact is None:
+        print(f"'{args.what}' needs --artifact", file=sys.stderr)
+        return 2
+    try:
+        payload = _query_request(base, args)
+    except urllib.error.HTTPError as error:
+        try:
+            detail = json.loads(error.read().decode("utf-8")).get("error")
+        except (ValueError, OSError):
+            detail = None
+        print(
+            f"server error {error.code}: {detail or error.reason}",
+            file=sys.stderr,
+        )
+        return 1
+    except (urllib.error.URLError, OSError) as error:
+        print(f"cannot reach {base}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    _render_query_response(args, payload)
+    return 0
+
+
+def _query_request(base: str, args) -> dict:
+    """Dispatch one ``query`` subcommand to the server."""
+    if args.what == "health":
+        return _http_json(base + "/healthz")
+    if args.what == "artifacts":
+        return _http_json(base + "/artifacts")
+    if args.what == "summary":
+        return _http_json(base + "/artifacts/" + args.artifact)
+    if args.what == "grid":
+        return _http_json(
+            base + "/v1/query/grid",
+            {
+                "artifact": args.artifact,
+                "quantity": args.quantity,
+                "points": args.points,
+            },
+        )
+    if args.what == "windows":
+        return _http_json(
+            base + "/v1/query/windows",
+            {"artifact": args.artifact, "game": args.game},
+        )
+    return _http_json(
+        base + "/v1/query/ensemble-stats",
+        {
+            "scenario": args.scenario,
+            "n": args.n,
+            "draws": args.draws,
+            "seed": args.seed,
+            "grid": args.grid,
+        },
+    )
+
+
+def _render_query_response(args, payload: dict) -> None:
+    """Human-readable rendering of a ``query`` response."""
+    from .analysis.report import format_table
+
+    if args.what == "health":
+        print(
+            f"status {payload['status']}, version {payload['version']}, "
+            f"{payload['artifacts']} artifact(s), up "
+            f"{payload['uptime_seconds']:.1f}s"
+        )
+    elif args.what == "artifacts":
+        rows = [
+            [art["id"], art["kind"], art["n"], art["format"]]
+            for art in payload["artifacts"]
+        ]
+        print(format_table(["id", "kind", "n", "format"], rows))
+    elif args.what == "summary":
+        from .analysis.report import (
+            format_store_summary,
+            format_weighted_store_summary,
+        )
+
+        summary = payload["summary"]
+        if summary["kind"] == "census":
+            print(format_store_summary(summary))
+        elif summary["kind"] == "weighted":
+            print(format_weighted_store_summary(summary))
+        else:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+    elif args.what == "grid":
+        # Render through the same FigureData path the census subcommand
+        # uses, with the same title — the tables are byte-identical.
+        from .analysis.figure_series import figure_from_payload
+        from .analysis.report import format_figure
+
+        figure = figure_from_payload(payload)
+        print(
+            format_figure(
+                figure,
+                f"{args.quantity} over {payload['points']} grid points",
+            )
+        )
+    elif args.what == "windows":
+        axis = "alpha" if payload["kind"] == "census" else "t"
+        lo, hi = payload[f"{axis}_min"], payload[f"{axis}_max"]
+        rows = [
+            [k, lo[k], hi[k]] for k in range(payload["classes"])
+        ]
+        print(
+            format_table(["class", f"{axis}_min", f"{axis}_max"], rows)
+        )
+    else:  # ensemble
+        stats = payload["count_stats"]
+        quantiles = stats["quantiles"]
+        rows = [
+            [
+                t,
+                stats["mean"][k],
+                stats["std"][k],
+                stats["min"][k],
+                quantiles["0.25"][k],
+                quantiles["0.5"][k],
+                quantiles["0.75"][k],
+                stats["max"][k],
+            ]
+            for k, t in enumerate(payload["ts"])
+        ]
+        print(
+            f"ensemble {payload['scenario']}: n = {payload['n']}, "
+            f"{payload['draws']} draws, {payload['classes']} connected "
+            "classes"
+        )
+        print()
+        print(
+            format_table(
+                ["t", "mean", "std", "min", "q25", "median", "q75", "max"],
+                rows,
+            )
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] in ("--version", "-V"):
+        from ._version import __version__
+
+        print(__version__)
+        return 0
     if argv and argv[0] == "census":
         return census_main(list(argv[1:]))
     if argv and argv[0] == "scenarios":
@@ -898,6 +1293,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return ensemble_main(list(argv[1:]))
     if argv and argv[0] == "stats":
         return stats_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
+    if argv and argv[0] == "query":
+        return query_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -95,9 +95,16 @@ __all__ = [
 
 
 def snapshot() -> dict:
-    """Combined plain-data snapshot: metrics plus the span tree."""
+    """Combined plain-data snapshot: metrics plus the span tree.
+
+    Stamped with ``repro_version`` so exported telemetry records which
+    library build produced it.
+    """
+    from .._version import __version__
+
     payload = get_registry().to_json()
     payload["spans"] = get_tracer().snapshot()
+    payload["repro_version"] = __version__
     return payload
 
 

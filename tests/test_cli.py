@@ -388,3 +388,73 @@ class TestTelemetryCLI:
         assert series[("repro_shards_computed_total", "shard")] == manifest["computed"]
         assert series[("repro_shards_resumed_total", "shard")] == manifest["resumed"]
         assert series[("repro_shard_retries_total", "shard")] == manifest["retries"]
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_the_library_version(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == __version__
+
+
+class TestServeAndQuery:
+    """The 'query' client renders byte-identical tables to local commands."""
+
+    @pytest.fixture()
+    def served(self, tmp_path):
+        pytest.importorskip("numpy")
+        from repro.analysis.store import CensusStore, clear_store_cache
+        from repro.service import ArtifactCatalog, GridBatcher, QueryAPI
+        from repro.service.http import start_in_thread
+
+        clear_store_cache()
+        CensusStore.build(4, include_ucg=True).save(str(tmp_path / "c4.npz"))
+        api = QueryAPI(
+            ArtifactCatalog(root=str(tmp_path)),
+            batcher=GridBatcher(window=0.005),
+        )
+        server, thread = start_in_thread(api=api)
+        yield f"http://127.0.0.1:{server.port}", str(tmp_path / "c4.npz")
+        server.shutdown()
+        thread.join(timeout=10)
+        clear_store_cache()
+
+    def test_query_grid_equals_census_load_grid(self, served, capsys):
+        url, artifact = served
+        assert main(["census", "--load", artifact, "--grid", "10"]) == 0
+        local = capsys.readouterr().out
+        assert (
+            main([
+                "query", "grid", "--url", url,
+                "--artifact", "c4.npz", "--points", "10",
+            ])
+            == 0
+        )
+        remote = capsys.readouterr().out
+        # census prints summary + blank line + figure; query prints the figure.
+        assert remote == local.split("\n\n", 1)[1]
+
+    def test_query_health_and_artifacts(self, served, capsys):
+        from repro import __version__
+
+        url, _artifact = served
+        assert main(["query", "health", "--url", url]) == 0
+        assert __version__ in capsys.readouterr().out
+        assert main(["query", "artifacts", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "c4.npz" in out and "census" in out
+
+    def test_query_requires_artifact_for_grid(self, capsys):
+        assert main(["query", "grid"]) == 2
+        assert "--artifact" in capsys.readouterr().err
+
+    def test_query_unreachable_server(self, capsys):
+        assert (
+            main(["query", "health", "--url", "http://127.0.0.1:9"]) == 2
+        )
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_rejects_missing_directory(self, capsys, tmp_path):
+        assert main(["serve", "--dir", str(tmp_path / "missing")]) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -590,3 +590,82 @@ class TestTinyN:
             avg_s = store.average_price_of_anarchy(alpha, "bcg")
             avg_c = census.average_price_of_anarchy(alpha, "bcg")
             assert (avg_s != avg_s and avg_c != avg_c) or avg_s == avg_c
+
+
+class TestCacheThreadSafety:
+    """The shared store LRU stays exact under concurrent hammering."""
+
+    def _lookup_totals(self, cache: str):
+        """(hits, misses) recorded for one cache label so far."""
+        from repro import obs
+
+        totals = {"repro_cache_hits_total": 0.0, "repro_cache_misses_total": 0.0}
+        for entry in obs.snapshot()["metrics"]:
+            if entry["name"] in totals and entry["labels"].get("cache") == cache:
+                totals[entry["name"]] = entry["value"]
+        return totals["repro_cache_hits_total"], totals["repro_cache_misses_total"]
+
+    def test_hammered_cached_store_counts_every_lookup_exactly(self, tmp_path):
+        """N threads × M lookups: one shared object, hits+misses == lookups.
+
+        Without the cache lock two racing misses would both build (object
+        identity breaks) and the hit/miss counters would drift from the
+        true lookup count; holding the lock across the whole miss keeps
+        both exact.
+        """
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        path = str(tmp_path / "census4.npz")
+        CensusStore.build(4, include_ucg=False).save(path)
+        clear_store_cache()
+        hits_before, misses_before = self._lookup_totals("census-store")
+
+        threads, lookups_each = 8, 25
+        barrier = threading.Barrier(threads)
+
+        def hammer(_):
+            barrier.wait()
+            return [cached_store(path=path) for _ in range(lookups_each)]
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            batches = list(pool.map(hammer, range(threads)))
+
+        stores = {id(store) for batch in batches for store in batch}
+        assert len(stores) == 1, "concurrent misses built duplicate stores"
+
+        hits, misses = self._lookup_totals("census-store")
+        total = (hits - hits_before) + (misses - misses_before)
+        assert total == threads * lookups_each
+        assert misses - misses_before == 1.0
+        clear_store_cache()
+
+    def test_hammered_delta_and_weighted_caches(self, tmp_path):
+        """The delta and weighted twins share the same lock discipline."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.analysis.delta_store import DeltaStore, cached_delta_store
+        from repro.analysis.weighted_store import (
+            WeightedStore,
+            cached_weighted_store,
+        )
+        from repro.analysis.scenarios import build_scenario
+
+        delta_path = str(tmp_path / "delta4.npz")
+        DeltaStore.build(4).save(delta_path)
+        weighted_path = str(tmp_path / "weighted4.npz")
+        WeightedStore.from_scenario(
+            build_scenario("random_weights", 4, seed=0)
+        ).save(weighted_path)
+        clear_store_cache()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            deltas = list(
+                pool.map(lambda _: cached_delta_store(path=delta_path), range(40))
+            )
+            weighteds = list(
+                pool.map(lambda _: cached_weighted_store(weighted_path), range(40))
+            )
+        assert len({id(store) for store in deltas}) == 1
+        assert len({id(store) for store in weighteds}) == 1
+        clear_store_cache()
